@@ -1,0 +1,175 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and prints paper-vs-measured comparison tables. The -quick
+// flag trades tail resolution for speed; the default budgets resolve
+// P99.99 and 1e-5 drop rates.
+//
+// Usage:
+//
+//	experiments [-quick] [-only figure4,table1,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"pingmesh/internal/experiments"
+	"pingmesh/internal/viz"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced probe budgets (~10x faster, noisier tails)")
+		only  = flag.String("only", "", "comma-separated subset: figure3,figure4,table1,figure5,figure6,figure7,figure8,fanout,qos,ablations")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Seed: 20260704}
+	if *quick {
+		opts.Probes = 200_000
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	selected := func(name string) bool { return len(want) == 0 || want[name] }
+
+	runners := []struct {
+		name string
+		run  func() ([]experiments.Report, error)
+	}{
+		{"figure3", func() ([]experiments.Report, error) {
+			r, err := experiments.Figure3(opts)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Report{r.Report()}, nil
+		}},
+		{"figure4", func() ([]experiments.Report, error) {
+			r, err := experiments.Figure4(opts)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Println("inter-pod latency CDF (log-x):")
+			fmt.Print(viz.RenderCDF([]viz.CDFSeries{
+				{Name: "DC1 inter-pod", Marker: '1', Points: r.DC1InterCDF},
+				{Name: "DC2 inter-pod", Marker: '2', Points: r.DC2InterCDF},
+			}, 72, 16))
+			fmt.Println()
+			return []experiments.Report{r.ReportA(), r.ReportB(), r.ReportC(), r.ReportD()}, nil
+		}},
+		{"table1", func() ([]experiments.Report, error) {
+			r, err := experiments.Table1(opts)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Report{r.Report()}, nil
+		}},
+		{"figure5", func() ([]experiments.Report, error) {
+			r, err := experiments.Figure5(opts)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Report{r.Report()}, nil
+		}},
+		{"figure6", func() ([]experiments.Report, error) {
+			r, err := experiments.Figure6(opts, experiments.Figure6Config{})
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Report{r.Report()}, nil
+		}},
+		{"figure7", func() ([]experiments.Report, error) {
+			r, err := experiments.Figure7(opts)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Report{r.Report()}, nil
+		}},
+		{"figure8", func() ([]experiments.Report, error) {
+			r, err := experiments.Figure8(opts)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range r.Scenarios {
+				fmt.Printf("-- %s --\n%s\n", s.Name, s.ASCII)
+			}
+			return []experiments.Report{r.Report()}, nil
+		}},
+		{"fanout", func() ([]experiments.Report, error) {
+			r, err := experiments.FanOut(opts)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Report{r.Report()}, nil
+		}},
+		{"qos", func() ([]experiments.Report, error) {
+			r, err := experiments.QoSMonitoring(opts)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Report{r.Report()}, nil
+		}},
+		{"limitations", func() ([]experiments.Report, error) {
+			icw, err := experiments.LimitationICW(opts)
+			if err != nil {
+				return nil, err
+			}
+			scale, err := experiments.ScaleMath(opts)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Report{icw.Report(), scale.Report()}, nil
+		}},
+		{"ablations", func() ([]experiments.Report, error) {
+			var reps []experiments.Report
+			ecmp, err := experiments.AblationECMP(opts)
+			if err != nil {
+				return nil, err
+			}
+			reps = append(reps, ecmp.Report())
+			drop, err := experiments.AblationDropHeuristic(opts)
+			if err != nil {
+				return nil, err
+			}
+			reps = append(reps, drop.Report())
+			sampling, err := experiments.AblationSampling(opts)
+			if err != nil {
+				return nil, err
+			}
+			reps = append(reps, sampling.Report())
+			graph, err := experiments.AblationGraphDesign(opts)
+			if err != nil {
+				return nil, err
+			}
+			reps = append(reps, graph.Report())
+			return reps, nil
+		}},
+	}
+
+	ranAny := false
+	for _, r := range runners {
+		if !selected(r.name) {
+			continue
+		}
+		ranAny = true
+		start := time.Now()
+		reports, err := r.run()
+		if err != nil {
+			log.Fatalf("%s: %v", r.name, err)
+		}
+		for i := range reports {
+			fmt.Println(reports[i].String())
+		}
+		fmt.Printf("(%s took %v)\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ranAny {
+		fmt.Fprintf(os.Stderr, "no experiment matched -only=%s\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,67 @@
+// Command pingmesh-controller runs a Pingmesh Controller: it loads a
+// network topology spec, generates a pinglist for every server, and serves
+// them over the RESTful web API agents poll. Run several replicas behind a
+// load-balanced VIP for fault tolerance (§3.3.2).
+//
+// Usage:
+//
+//	pingmesh-controller -topology topology.json -listen :8080 [-save-dir dir]
+//
+// The topology file is a JSON topology.Spec; see examples/quickstart for a
+// generated one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"pingmesh/internal/controller"
+	"pingmesh/internal/core"
+	"pingmesh/internal/topology"
+)
+
+func main() {
+	var (
+		topoPath = flag.String("topology", "", "path to the topology spec JSON (required)")
+		listen   = flag.String("listen", ":8080", "HTTP listen address")
+		saveDir  = flag.String("save-dir", "", "optionally persist generated pinglists to this directory")
+		payload  = flag.Int("payload", 0, "add payload probe variants of this many bytes")
+	)
+	flag.Parse()
+	if *topoPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*topoPath)
+	if err != nil {
+		log.Fatalf("open topology: %v", err)
+	}
+	spec, err := topology.ReadSpec(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("parse topology: %v", err)
+	}
+	top, err := topology.Build(spec)
+	if err != nil {
+		log.Fatalf("build topology: %v", err)
+	}
+
+	cfg := core.DefaultGeneratorConfig()
+	cfg.PayloadBytes = *payload
+	ctrl, err := controller.New(top, cfg, nil)
+	if err != nil {
+		log.Fatalf("controller: %v", err)
+	}
+	if *saveDir != "" {
+		if err := ctrl.SaveToDir(*saveDir); err != nil {
+			log.Fatalf("save pinglists: %v", err)
+		}
+	}
+	fmt.Printf("pingmesh-controller: %d servers, %d pinglists, version %s, listening on %s\n",
+		top.NumServers(), ctrl.PinglistCount(), ctrl.Version(), *listen)
+	log.Fatal(http.ListenAndServe(*listen, ctrl.Handler()))
+}

@@ -1,0 +1,90 @@
+// Command pingmesh-viz renders the Pingmesh visualization (§6.3) from
+// latency record CSV files: the pod-pair P99 heatmap of one DC, as ASCII
+// and optionally SVG, with automatic pattern classification.
+//
+// Usage:
+//
+//	pingmesh-viz -topology topology.json [-dc 0] [-svg out.svg] records.csv...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pingmesh/internal/analysis"
+	"pingmesh/internal/probe"
+	"pingmesh/internal/topology"
+	"pingmesh/internal/viz"
+)
+
+func main() {
+	var (
+		topoPath  = flag.String("topology", "", "topology spec JSON (required)")
+		dc        = flag.Int("dc", 0, "DC index to render")
+		svgPath   = flag.String("svg", "", "write SVG here")
+		minProbes = flag.Uint64("min-probes", 5, "per-cell probe floor")
+	)
+	flag.Parse()
+	if *topoPath == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pingmesh-viz -topology spec.json [-dc N] records.csv...")
+		os.Exit(2)
+	}
+	f, err := os.Open(*topoPath)
+	if err != nil {
+		log.Fatalf("open topology: %v", err)
+	}
+	spec, err := topology.ReadSpec(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("parse topology: %v", err)
+	}
+	top, err := topology.Build(spec)
+	if err != nil {
+		log.Fatalf("build topology: %v", err)
+	}
+	if *dc < 0 || *dc >= len(top.DCs) {
+		log.Fatalf("DC index %d out of range (fleet has %d DCs)", *dc, len(top.DCs))
+	}
+
+	keyer := &analysis.Keyer{Top: top}
+	groups := map[string]*analysis.LatencyStats{}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatalf("read %s: %v", path, err)
+		}
+		recs, errs := probe.DecodeBatch(data)
+		if len(errs) > 0 {
+			fmt.Fprintf(os.Stderr, "%s: skipped %d corrupt rows\n", path, len(errs))
+		}
+		for i := range recs {
+			key, ok := keyer.PodPair(&recs[i])
+			if !ok {
+				continue
+			}
+			st := groups[key]
+			if st == nil {
+				st = analysis.NewLatencyStats()
+				groups[key] = st
+			}
+			st.Add(&recs[i])
+		}
+	}
+
+	h := viz.BuildHeatmap(top, *dc, groups, *minProbes)
+	fmt.Print(h.RenderASCII())
+	cls := h.Classify()
+	fmt.Printf("pattern: %s", cls.Pattern)
+	if cls.Podset >= 0 {
+		fmt.Printf(" (podset %d)", cls.Podset)
+	}
+	fmt.Println()
+	if *svgPath != "" {
+		if err := os.WriteFile(*svgPath, []byte(h.RenderSVG()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgPath)
+	}
+}

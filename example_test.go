@@ -1,0 +1,48 @@
+package pingmesh_test
+
+import (
+	"fmt"
+	"time"
+
+	"pingmesh"
+	"pingmesh/internal/netsim"
+)
+
+// A complete simulated Pingmesh deployment: probe a window, break the
+// Spine tier, and let the visualization classify the damage (§6.3).
+func Example() {
+	tb, err := pingmesh.NewSimTestbed(pingmesh.TopologySpec{DCs: []pingmesh.DCSpec{
+		{Name: "DC1", Podsets: 3, PodsPerPodset: 3, ServersPerPod: 3, LeavesPerPodset: 2, Spines: 4},
+	}}, pingmesh.SimOptions{Seed: 1234})
+	if err != nil {
+		panic(err)
+	}
+
+	// Healthy fleet.
+	from := tb.Clock.Now()
+	if err := tb.RunWindow(30 * time.Minute); err != nil {
+		panic(err)
+	}
+	h, err := tb.HeatmapFor(0, from, tb.Clock.Now())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("healthy pattern:", h.Classify().Pattern)
+
+	// The Spine tier degrades; cross-podset latency goes out of SLA.
+	tb.Net.SetTierDegraded(0, pingmesh.TierSpine, netsim.Degradation{ExtraLatencyMean: 10 * time.Millisecond})
+	from = tb.Clock.Now()
+	if err := tb.RunWindow(30 * time.Minute); err != nil {
+		panic(err)
+	}
+	h, err = tb.HeatmapFor(0, from, tb.Clock.Now())
+	if err != nil {
+		panic(err)
+	}
+	cls := h.Classify()
+	fmt.Println("incident pattern:", cls.Pattern)
+
+	// Output:
+	// healthy pattern: normal
+	// incident pattern: spine-failure
+}

@@ -1,0 +1,140 @@
+// Silentdrop: the §5.2 incident, end to end — a Spine switch silently
+// drops ~1.5% of packets (nothing in its own counters), every service in
+// the DC sees its drop rate explode, and the on-call drives the paper's
+// workflow: confirm with Pingmesh data, pull affected pairs, TCP-traceroute
+// them to pinpoint the switch, isolate it from live traffic, verify
+// recovery, and RMA the hardware (a reload cannot fix bit flips).
+//
+// Run with:
+//
+//	go run ./examples/silentdrop
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"time"
+
+	"pingmesh"
+	"pingmesh/internal/autopilot"
+	"pingmesh/internal/dsa"
+	"pingmesh/internal/netsim"
+	"pingmesh/internal/reportdb"
+	"pingmesh/internal/silentdrop"
+)
+
+func main() {
+	tb, err := pingmesh.NewSimTestbed(pingmesh.TopologySpec{DCs: []pingmesh.DCSpec{
+		{Name: "DC1", Podsets: 3, PodsPerPodset: 4, ServersPerPod: 4, LeavesPerPodset: 3, Spines: 8},
+	}}, pingmesh.SimOptions{Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	measure := func(label string) float64 {
+		from := tb.Clock.Now()
+		if err := tb.RunWindow(20 * time.Minute); err != nil {
+			log.Fatal(err)
+		}
+		if err := tb.Pipeline.RunTenMinute(from, tb.Clock.Now()); err != nil {
+			log.Fatal(err)
+		}
+		rows, err := tb.DB().Query(dsa.TableSLA,
+			reportdb.Where(func(r reportdb.Row) bool { return r["scope"] == "dc/DC1" }),
+			reportdb.OrderByDesc("window_start"), reportdb.Limit(1))
+		if err != nil || len(rows) == 0 {
+			log.Fatalf("no SLA rows: %v", err)
+		}
+		rate := rows[0]["drop_rate"].(float64)
+		fmt.Printf("%-22s drop_rate=%.2e p99=%v\n", label, rate, rows[0]["p99"])
+		return rate
+	}
+
+	fmt.Println("== phase 1: normal operations ==")
+	baseline := measure("baseline")
+
+	// The incident: bit flips in one Spine's fabric module.
+	spine := tb.Top.DCs[0].Spines[5]
+	tb.Net.SetRandomDrop(spine, 0.015, true)
+	fmt.Println("\n== phase 2: incident (invisible in switch counters) ==")
+	incident := measure("during incident")
+	if incident < baseline*5 {
+		fmt.Println("(spike not yet visible; production would watch more windows)")
+	}
+	for _, a := range tb.Alerts() {
+		fmt.Println("ALERT:", a.String())
+	}
+
+	// Localize: pull affected pairs out of Pingmesh data, traceroute them.
+	fmt.Println("\n== phase 3: localization (Pingmesh + TCP traceroute) ==")
+	pairs := affectedPairs(tb)
+	fmt.Printf("selected %d affected server pairs from Pingmesh data\n", len(pairs))
+	loc := &silentdrop.Localizer{
+		Net:          tb.Net,
+		ProbesPerHop: 600,
+		Rand:         rand.New(rand.NewPCG(7, 9)),
+	}
+	suspects := loc.Localize(pairs)
+	if len(suspects) == 0 {
+		log.Fatal("localization found nothing")
+	}
+	top := suspects[0]
+	fmt.Printf("suspect: %s (per-hop loss ~%.1f%%, implicated by %d pairs) — injected: %s\n",
+		tb.Top.Switch(top.Switch).Name, top.Loss*100, top.Pairs, tb.Top.Switch(spine).Name)
+
+	// Mitigate through the repair service: isolate from live traffic.
+	fmt.Println("\n== phase 4: mitigation ==")
+	rs := tb.NewRepairService(20)
+	if err := rs.Execute(autopilot.RepairAction{
+		Kind: autopilot.RepairIsolate, Device: tb.Top.Switch(top.Switch).Name,
+		Reason: "silent random packet drops (pingmesh+traceroute)",
+	}); err != nil {
+		log.Fatal(err)
+	}
+	recovered := measure("after isolation")
+	if recovered < incident/3 {
+		fmt.Println("recovery confirmed: drop rate back at baseline")
+	}
+
+	// A reload does not fix hardware; RMA does.
+	fmt.Println("\n== phase 5: repair ==")
+	tb.Net.ReloadSwitch(spine)
+	fmt.Printf("after reload: still faulty = %v (bit flips need RMA)\n", tb.Net.SwitchFaulty(spine))
+	if err := rs.Execute(autopilot.RepairAction{
+		Kind: autopilot.RepairRMA, Device: tb.Top.Switch(spine).Name,
+		Reason: "fabric module bit flips",
+	}); err != nil {
+		log.Fatal(err)
+	}
+	tb.Net.UnisolateSwitch(spine)
+	fmt.Printf("after RMA: faulty = %v; switch back in rotation\n", tb.Net.SwitchFaulty(spine))
+}
+
+// affectedPairs samples cross-podset pairs and keeps those whose measured
+// retransmit rate is elevated — what the on-call pulls from Pingmesh.
+func affectedPairs(tb *pingmesh.SimTestbed) []silentdrop.Pair {
+	rng := rand.New(rand.NewPCG(3, 4))
+	servers := tb.Top.DCs[0].Servers()
+	var out []silentdrop.Pair
+	for tries := 0; len(out) < 6 && tries < 400; tries++ {
+		src := servers[rng.IntN(len(servers))]
+		dst := servers[rng.IntN(len(servers))]
+		if src == dst || tb.Top.SamePodset(src, dst) {
+			continue
+		}
+		port := uint16(34000 + tries)
+		retx := 0
+		const n = 300
+		for i := 0; i < n; i++ {
+			res := tb.Net.Probe(netsim.ProbeSpec{Src: src, Dst: dst, SrcPort: port, DstPort: 8765}, rng)
+			if res.Err == "" && res.Attempts > 1 {
+				retx++
+			}
+		}
+		if float64(retx)/n > 0.005 {
+			out = append(out, silentdrop.Pair{Src: src, Dst: dst, SrcPort: port, DstPort: 8765})
+		}
+	}
+	return out
+}

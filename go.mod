@@ -1,0 +1,3 @@
+module pingmesh
+
+go 1.22

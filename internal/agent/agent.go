@@ -1,0 +1,363 @@
+// Package agent implements the Pingmesh Agent (§3.4): the shared service
+// that runs on every server. Its job is deliberately simple — download the
+// pinglist from the Pingmesh Controller, probe the peers in it, and upload
+// the results — but it must be fail-closed and nearly free, because a bug
+// in code running on every server can take the whole fleet down.
+//
+// Safety rails mirrored from the paper, hard-coded here exactly as they
+// are hard-coded in the production agent:
+//
+//   - the probe interval per peer never goes below MinProbeInterval;
+//   - probe payloads never exceed MaxPayload;
+//   - after MaxFetchFailures consecutive controller failures, or when the
+//     controller is up but has no pinglist, the agent removes all peers
+//     and stops probing (it keeps answering probes from others);
+//   - upload failures are retried a bounded number of times and then the
+//     in-memory data is discarded, so memory stays bounded;
+//   - results are also written to a size-capped local log.
+package agent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"pingmesh/internal/metrics"
+	"pingmesh/internal/pinglist"
+	"pingmesh/internal/probe"
+	"pingmesh/internal/simclock"
+)
+
+// Hard safety limits (§3.4.2). These are constants, not configuration, by
+// design: they bound the worst-case traffic the fleet can generate even if
+// a controller bug hands out an insane pinglist.
+const (
+	// MinProbeInterval is the minimum interval between two probes of the
+	// same source-destination pair.
+	MinProbeInterval = 10 * time.Second
+	// MaxPayload is the maximum probe payload length.
+	MaxPayload = 64 * 1024
+	// MaxFetchFailures is how many consecutive controller-fetch failures
+	// the agent tolerates before failing closed.
+	MaxFetchFailures = 3
+)
+
+// Target is one probing destination resolved from a pinglist peer.
+type Target struct {
+	Addr       netip.Addr
+	Port       uint16
+	Class      probe.Class
+	Proto      probe.Proto
+	QoS        probe.QoS
+	PayloadLen int
+}
+
+// Outcome is what a Prober measures for one probe.
+type Outcome struct {
+	ConnectRTT time.Duration
+	PayloadRTT time.Duration
+	SrcPort    uint16
+}
+
+// Prober performs one probe against a target. Implementations exist for
+// the real network (netlib-backed) and for the simulator.
+type Prober interface {
+	Probe(ctx context.Context, t Target) (Outcome, error)
+}
+
+// Uploader receives encoded record batches (the DSA ingestion point; in
+// production this is Cosmos behind a VIP).
+type Uploader interface {
+	Upload(ctx context.Context, batch []byte) error
+}
+
+// Fetcher fetches pinglists; *controller.Client implements it.
+type Fetcher interface {
+	Fetch(ctx context.Context, server string) (*pinglist.File, error)
+}
+
+// Config configures an Agent.
+type Config struct {
+	// ServerName is this server's name, used to fetch its pinglist.
+	ServerName string
+	// SourceAddr is this server's IP, stamped into records.
+	SourceAddr netip.Addr
+	// Controller fetches pinglists.
+	Controller Fetcher
+	// Prober executes probes.
+	Prober Prober
+	// Uploader receives result batches. May be nil (records then only go
+	// to the in-memory buffer / local log).
+	Uploader Uploader
+	// Clock defaults to wall time.
+	Clock simclock.Clock
+
+	// FetchInterval is how often the agent polls the controller for a new
+	// pinglist. Default 5m.
+	FetchInterval time.Duration
+	// UploadInterval is how often buffered records are uploaded. Default 1m.
+	UploadInterval time.Duration
+	// UploadThreshold uploads early once this many records are buffered.
+	// Default 4096.
+	UploadThreshold int
+	// UploadRetries bounds upload retry attempts before data is discarded.
+	// Default 3.
+	UploadRetries int
+	// MaxBufferedRecords bounds agent memory; oldest records are dropped
+	// beyond it. Default 65536.
+	MaxBufferedRecords int
+	// MaxConcurrentProbes bounds in-flight probes. Default 8.
+	MaxConcurrentProbes int
+	// LocalLog, if non-nil, additionally receives every record (§3.4.2:
+	// the agent writes latency data to size-capped local log files).
+	LocalLog *LocalLog
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if out.ServerName == "" {
+		return out, errors.New("agent: ServerName required")
+	}
+	if !out.SourceAddr.IsValid() {
+		return out, errors.New("agent: SourceAddr required")
+	}
+	if out.Controller == nil {
+		return out, errors.New("agent: Controller required")
+	}
+	if out.Prober == nil {
+		return out, errors.New("agent: Prober required")
+	}
+	if out.Clock == nil {
+		out.Clock = simclock.NewReal()
+	}
+	if out.FetchInterval <= 0 {
+		out.FetchInterval = 5 * time.Minute
+	}
+	if out.UploadInterval <= 0 {
+		out.UploadInterval = time.Minute
+	}
+	if out.UploadThreshold <= 0 {
+		out.UploadThreshold = 4096
+	}
+	if out.UploadRetries <= 0 {
+		out.UploadRetries = 3
+	}
+	if out.MaxBufferedRecords <= 0 {
+		out.MaxBufferedRecords = 65536
+	}
+	if out.MaxConcurrentProbes <= 0 {
+		out.MaxConcurrentProbes = 8
+	}
+	return out, nil
+}
+
+// Agent is one server's Pingmesh Agent.
+type Agent struct {
+	cfg   Config
+	clock simclock.Clock
+	reg   *metrics.Registry
+
+	mu            sync.Mutex
+	peers         []peerState
+	version       string
+	fetchFailures int
+	failedClosed  bool
+	buffer        []probe.Record
+	dropped       int64 // records discarded to respect the memory bound
+
+	peersChanged chan struct{} // kicks the scheduler
+	uploadKick   chan struct{} // kicks the uploader on buffer-threshold
+}
+
+type peerState struct {
+	target Target
+	every  time.Duration
+	next   time.Time
+}
+
+// New validates the configuration and returns an idle agent; call Run to
+// start it.
+func New(cfg Config) (*Agent, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{
+		cfg:          c,
+		clock:        c.Clock,
+		reg:          metrics.NewRegistry(),
+		peersChanged: make(chan struct{}, 1),
+		uploadKick:   make(chan struct{}, 1),
+	}, nil
+}
+
+// Metrics returns the agent's perf counters (collected by the Autopilot
+// Perfcounter Aggregator in §3.5): per-class RTT histograms, probe and
+// drop counters, peer gauge.
+func (a *Agent) Metrics() *metrics.Registry { return a.reg }
+
+// PeerCount reports how many peers the agent currently probes.
+func (a *Agent) PeerCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.peers)
+}
+
+// FailedClosed reports whether the agent has stopped probing because the
+// controller is unreachable or pinglist-less.
+func (a *Agent) FailedClosed() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.failedClosed
+}
+
+// Version returns the pinglist version currently applied.
+func (a *Agent) Version() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.version
+}
+
+// BufferedRecords returns a copy of the not-yet-uploaded records. Intended
+// for tests and for in-process pipelines that bypass the uploader.
+func (a *Agent) BufferedRecords() []probe.Record {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]probe.Record(nil), a.buffer...)
+}
+
+// applyPinglist converts a fetched file into peer state, enforcing the
+// hard safety limits.
+func (a *Agent) applyPinglist(f *pinglist.File) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	now := a.clock.Now()
+	peers := make([]peerState, 0, len(f.Peers))
+	for i := range f.Peers {
+		p := &f.Peers[i]
+		addr, err := netip.ParseAddr(p.Addr)
+		if err != nil {
+			return fmt.Errorf("agent: peer %d: %w", i, err)
+		}
+		cls, _ := p.ParsedClass()
+		proto, _ := p.ParsedProto()
+		qos, _ := p.ParsedQoS()
+		every := p.Interval()
+		if every < MinProbeInterval {
+			every = MinProbeInterval // hard floor regardless of controller
+		}
+		payload := p.PayloadLen
+		if payload > MaxPayload {
+			payload = MaxPayload // hard cap regardless of controller
+		}
+		peers = append(peers, peerState{
+			target: Target{
+				Addr:       addr,
+				Port:       p.Port,
+				Class:      cls,
+				Proto:      proto,
+				QoS:        qos,
+				PayloadLen: payload,
+			},
+			every: every,
+			// Spread initial probes across the interval so a fleet-wide
+			// pinglist rollout does not synchronize probe bursts.
+			next: now.Add(time.Duration(i) * every / time.Duration(len(f.Peers))),
+		})
+	}
+	a.mu.Lock()
+	a.peers = peers
+	a.version = f.Version
+	a.failedClosed = false
+	a.fetchFailures = 0
+	a.mu.Unlock()
+	a.reg.Gauge("agent.peers").Set(int64(len(peers)))
+	a.kick()
+	return nil
+}
+
+// failClosed removes all peers and stops probing (§3.4.2). The agent keeps
+// responding to probes from other servers; only its own probing stops.
+func (a *Agent) failClosed(reason string) {
+	a.mu.Lock()
+	already := a.failedClosed
+	a.peers = nil
+	a.failedClosed = true
+	a.mu.Unlock()
+	if !already {
+		a.reg.Counter("agent.fail_closed").Inc()
+		a.reg.Gauge("agent.peers").Set(0)
+		_ = reason
+	}
+	a.kick()
+}
+
+func (a *Agent) kick() {
+	select {
+	case a.peersChanged <- struct{}{}:
+	default:
+	}
+}
+
+// record stores one result, enforcing the memory bound, mirroring to the
+// local log, and updating perf counters.
+func (a *Agent) record(r probe.Record) {
+	a.mu.Lock()
+	if len(a.buffer) >= a.cfg.MaxBufferedRecords {
+		// Drop oldest: bounded memory beats complete data (§3.4.2).
+		copy(a.buffer, a.buffer[1:])
+		a.buffer = a.buffer[:len(a.buffer)-1]
+		a.dropped++
+		a.reg.Counter("agent.records_dropped").Inc()
+	}
+	a.buffer = append(a.buffer, r)
+	n := len(a.buffer)
+	a.mu.Unlock()
+
+	if a.cfg.LocalLog != nil {
+		a.cfg.LocalLog.Write(&r)
+	}
+
+	a.reg.Counter("agent.probes_total").Inc()
+	if !r.Success() {
+		a.reg.Counter("agent.probes_failed").Inc()
+		return
+	}
+	a.reg.Counter("agent.probes_ok").Inc()
+	a.reg.Histogram("agent.rtt." + r.Class.String()).Observe(r.RTT)
+	if r.PayloadRTT > 0 {
+		a.reg.Histogram("agent.rtt_payload." + r.Class.String()).Observe(r.PayloadRTT)
+	}
+	// Count the SYN-retransmit latency signatures the drop-rate heuristic
+	// uses (§4.2): ~3s means one drop, ~9s means correlated drops.
+	switch {
+	case r.RTT >= 2500*time.Millisecond && r.RTT < 6*time.Second:
+		a.reg.Counter("agent.rtt_3s").Inc()
+	case r.RTT >= 6*time.Second && r.RTT < 15*time.Second:
+		a.reg.Counter("agent.rtt_9s").Inc()
+	}
+	if n >= a.cfg.UploadThreshold && a.cfg.Uploader != nil {
+		a.kickUpload()
+	}
+}
+
+// DropRate computes the agent's local packet drop estimate from its
+// counters, using the paper's heuristic.
+func (a *Agent) DropRate() float64 {
+	snap := a.reg.Snapshot()
+	ok := snap.Counters["agent.probes_ok"]
+	if ok == 0 {
+		return 0
+	}
+	return float64(snap.Counters["agent.rtt_3s"]+snap.Counters["agent.rtt_9s"]) / float64(ok)
+}
+
+// sortPeersLocked re-sorts peers by next probe time. Called under mu.
+func (a *Agent) sortPeersLocked() {
+	sort.Slice(a.peers, func(i, j int) bool { return a.peers[i].next.Before(a.peers[j].next) })
+}

@@ -1,0 +1,106 @@
+package agent
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"pingmesh/internal/probe"
+)
+
+// LocalLog writes probe records to size-capped CSV files on local disk
+// (§3.4.2). When the active file exceeds MaxBytes it is rotated to a
+// single ".1" file, so disk usage is bounded at ~2*MaxBytes.
+type LocalLog struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	f        *os.File
+	size     int64
+}
+
+// NewLocalLog opens (or creates) the log at path with the given size cap.
+func NewLocalLog(path string, maxBytes int64) (*LocalLog, error) {
+	if maxBytes <= 0 {
+		maxBytes = 8 << 20
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("agent: local log dir: %w", err)
+	}
+	l := &LocalLog{path: path, maxBytes: maxBytes}
+	if err := l.open(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *LocalLog) open() error {
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("agent: open local log: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("agent: stat local log: %w", err)
+	}
+	l.f = f
+	l.size = st.Size()
+	if l.size == 0 {
+		n, err := f.WriteString(probe.CSVHeader + "\n")
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("agent: write log header: %w", err)
+		}
+		l.size += int64(n)
+	}
+	return nil
+}
+
+// Write appends one record, rotating if the cap is exceeded. Errors are
+// swallowed after marking the log dead: local logging must never take the
+// agent down.
+func (l *LocalLog) Write(r *probe.Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return
+	}
+	line := append(r.AppendCSV(nil), '\n')
+	if l.size+int64(len(line)) > l.maxBytes {
+		if err := l.rotateLocked(); err != nil {
+			l.f.Close()
+			l.f = nil
+			return
+		}
+	}
+	n, err := l.f.Write(line)
+	if err != nil {
+		l.f.Close()
+		l.f = nil
+		return
+	}
+	l.size += int64(n)
+}
+
+func (l *LocalLog) rotateLocked() error {
+	l.f.Close()
+	l.f = nil
+	if err := os.Rename(l.path, l.path+".1"); err != nil {
+		return err
+	}
+	return l.open()
+}
+
+// Close flushes and closes the log file.
+func (l *LocalLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -1,0 +1,210 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"pingmesh/internal/controller"
+	"pingmesh/internal/probe"
+)
+
+// Run starts the agent's three loops — pinglist fetching, probe
+// scheduling, and result uploading — and blocks until ctx is cancelled.
+func (a *Agent) Run(ctx context.Context) error {
+	done := make(chan struct{})
+	defer close(done)
+
+	go a.fetchLoop(ctx)
+	go a.uploadLoop(ctx)
+	a.scheduleLoop(ctx)
+	// Final upload attempt so short-lived runs don't lose data.
+	a.flush(context.Background())
+	return ctx.Err()
+}
+
+// fetchLoop polls the controller. The agent pulls; the controller never
+// pushes (§3.3.2).
+func (a *Agent) fetchLoop(ctx context.Context) {
+	a.fetchOnce(ctx)
+	ticker := a.clock.NewTicker(a.cfg.FetchInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			a.fetchOnce(ctx)
+		}
+	}
+}
+
+func (a *Agent) fetchOnce(ctx context.Context) {
+	f, err := a.cfg.Controller.Fetch(ctx, a.cfg.ServerName)
+	if err != nil {
+		var noPL *controller.ErrNoPinglist
+		if errors.As(err, &noPL) {
+			// Controller is up but has no pinglist: the fleet-wide stop
+			// signal. Fail closed immediately (§3.4.2).
+			a.reg.Counter("agent.fetch_no_pinglist").Inc()
+			a.failClosed("no pinglist")
+			return
+		}
+		a.reg.Counter("agent.fetch_errors").Inc()
+		a.mu.Lock()
+		a.fetchFailures++
+		failures := a.fetchFailures
+		a.mu.Unlock()
+		if failures >= MaxFetchFailures {
+			a.failClosed("controller unreachable")
+		}
+		return
+	}
+	a.reg.Counter("agent.fetches_ok").Inc()
+	a.mu.Lock()
+	a.fetchFailures = 0
+	sameVersion := a.version == f.Version && !a.failedClosed
+	a.mu.Unlock()
+	if sameVersion {
+		return // unchanged pinglist: nothing to apply
+	}
+	if err := a.applyPinglist(f); err != nil {
+		a.reg.Counter("agent.pinglist_invalid").Inc()
+	}
+}
+
+// scheduleLoop runs probes at each peer's cadence, bounded by the
+// concurrency limit. A single goroutine owns the schedule; probe execution
+// fans out to short-lived workers.
+func (a *Agent) scheduleLoop(ctx context.Context) {
+	sem := make(chan struct{}, a.cfg.MaxConcurrentProbes)
+	for {
+		a.mu.Lock()
+		a.sortPeersLocked()
+		var wait time.Duration
+		var due *peerState
+		if len(a.peers) == 0 {
+			wait = time.Hour // idle until peersChanged
+		} else {
+			now := a.clock.Now()
+			first := &a.peers[0]
+			if first.next.After(now) {
+				wait = first.next.Sub(now)
+			} else {
+				due = &peerState{target: first.target} // copy for the worker
+				first.next = now.Add(first.every)
+			}
+		}
+		a.mu.Unlock()
+
+		if due != nil {
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			go func(t Target) {
+				defer func() { <-sem }()
+				a.probeOne(ctx, t)
+			}(due.target)
+			continue
+		}
+
+		timer := a.clock.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return
+		case <-a.peersChanged:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// probeOne executes a single probe and records the outcome.
+func (a *Agent) probeOne(ctx context.Context, t Target) {
+	start := a.clock.Now()
+	out, err := a.cfg.Prober.Probe(ctx, t)
+	rec := probe.Record{
+		Start:      start,
+		Src:        a.cfg.SourceAddr,
+		SrcPort:    out.SrcPort,
+		Dst:        t.Addr,
+		DstPort:    t.Port,
+		Class:      t.Class,
+		Proto:      t.Proto,
+		QoS:        t.QoS,
+		PayloadLen: t.PayloadLen,
+		RTT:        out.ConnectRTT,
+		PayloadRTT: out.PayloadRTT,
+	}
+	if err != nil {
+		rec.Err = truncateErr(err)
+	}
+	a.record(rec)
+}
+
+func truncateErr(err error) string {
+	s := err.Error()
+	if len(s) > 120 {
+		s = s[:120]
+	}
+	return s
+}
+
+func (a *Agent) kickUpload() {
+	select {
+	case a.uploadKick <- struct{}{}:
+	default:
+	}
+}
+
+// uploadLoop periodically ships the buffer to the uploader; a full buffer
+// triggers an early ship.
+func (a *Agent) uploadLoop(ctx context.Context) {
+	ticker := a.clock.NewTicker(a.cfg.UploadInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		case <-a.uploadKick:
+		}
+		a.flush(ctx)
+	}
+}
+
+// flush uploads everything buffered. On persistent failure the batch is
+// discarded: bounded memory wins over completeness (§3.4.2); the local log
+// still has the data.
+func (a *Agent) flush(ctx context.Context) {
+	if a.cfg.Uploader == nil {
+		// No uploader configured: records stay buffered for in-process
+		// consumers; record() already enforces the memory bound.
+		return
+	}
+	a.mu.Lock()
+	batch := a.buffer
+	a.buffer = nil
+	a.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	data := probe.EncodeBatch(batch)
+	for attempt := 0; attempt < a.cfg.UploadRetries; attempt++ {
+		if err := a.cfg.Uploader.Upload(ctx, data); err == nil {
+			a.reg.Counter("agent.uploads_ok").Inc()
+			a.reg.Counter("agent.uploaded_records").Add(int64(len(batch)))
+			return
+		}
+		a.reg.Counter("agent.upload_errors").Inc()
+		if ctx.Err() != nil {
+			break
+		}
+		a.clock.Sleep(time.Second << attempt)
+	}
+	a.reg.Counter("agent.uploads_discarded").Inc()
+	a.reg.Counter("agent.discarded_records").Add(int64(len(batch)))
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Thresholds define when an SLA scope is declared to have a network
+// problem. The paper's production values: drop rate above 10⁻³ or P99
+// latency above 5ms — both far beyond normal — fire an alert (§4.3).
+type Thresholds struct {
+	MaxDropRate float64
+	MaxP99      time.Duration
+	// MinProbes suppresses alerts from scopes with too few probes to
+	// estimate a rate (a single 3s RTT among ten probes is not a 10%
+	// drop rate).
+	MinProbes uint64
+}
+
+// DefaultThresholds returns the paper's production thresholds.
+func DefaultThresholds() Thresholds {
+	return Thresholds{MaxDropRate: 1e-3, MaxP99: 5 * time.Millisecond, MinProbes: 100}
+}
+
+// Alert is one SLA violation.
+type Alert struct {
+	Scope    string
+	At       time.Time
+	DropRate float64
+	P99      time.Duration
+	Reason   string
+}
+
+// String renders the alert for logs and reports.
+func (a *Alert) String() string {
+	return fmt.Sprintf("[%s] %s: %s (drop=%.2g p99=%v)",
+		a.At.UTC().Format(time.RFC3339), a.Scope, a.Reason, a.DropRate, a.P99)
+}
+
+// Check evaluates one scope's stats against the thresholds, returning nil
+// when the scope is within SLA.
+func Check(scope string, st *LatencyStats, th Thresholds, at time.Time) *Alert {
+	if st.Success() < th.MinProbes {
+		return nil
+	}
+	drop := st.DropRate()
+	p99 := st.Percentile(0.99)
+	switch {
+	case th.MaxDropRate > 0 && drop > th.MaxDropRate:
+		return &Alert{Scope: scope, At: at, DropRate: drop, P99: p99,
+			Reason: fmt.Sprintf("packet drop rate %.2g exceeds %.2g", drop, th.MaxDropRate)}
+	case th.MaxP99 > 0 && p99 > th.MaxP99:
+		return &Alert{Scope: scope, At: at, DropRate: drop, P99: p99,
+			Reason: fmt.Sprintf("P99 latency %v exceeds %v", p99, th.MaxP99)}
+	}
+	return nil
+}
+
+// CheckAll evaluates a whole grouped result set and returns the alerts,
+// ordered by scope for stable output.
+func CheckAll(groups map[string]*LatencyStats, th Thresholds, at time.Time) []Alert {
+	var out []Alert
+	for _, scope := range sortedKeys(groups) {
+		if a := Check(scope, groups[scope], th, at); a != nil {
+			out = append(out, *a)
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[string]*LatencyStats) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

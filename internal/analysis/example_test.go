@@ -1,0 +1,55 @@
+package analysis_test
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"pingmesh/internal/analysis"
+	"pingmesh/internal/probe"
+)
+
+// The drop-rate heuristic in action: RTTs carrying SYN-retransmit
+// signatures count as drops, failed probes are excluded from the
+// denominator (§4.2).
+func ExampleLatencyStats_DropRate() {
+	st := analysis.NewLatencyStats()
+	add := func(rtt time.Duration, errStr string) {
+		r := probe.Record{
+			Src: netip.MustParseAddr("10.0.0.1"),
+			Dst: netip.MustParseAddr("10.0.1.1"),
+			RTT: rtt,
+			Err: errStr,
+		}
+		st.Add(&r)
+	}
+	for i := 0; i < 9997; i++ {
+		add(300*time.Microsecond, "")
+	}
+	add(3*time.Second, "")     // one drop: first SYN lost
+	add(9*time.Second, "")     // correlated double loss: still one drop
+	add(0, "host unreachable") // failure: excluded entirely
+
+	fmt.Printf("drop rate %.1e over %d successful probes\n", st.DropRate(), st.Success())
+	// Output:
+	// drop rate 2.0e-04 over 9999 successful probes
+}
+
+// SLA violation checking with the paper's production thresholds (§4.3).
+func ExampleCheck() {
+	st := analysis.NewLatencyStats()
+	for i := 0; i < 1000; i++ {
+		r := probe.Record{
+			Src: netip.MustParseAddr("10.0.0.1"),
+			Dst: netip.MustParseAddr("10.0.1.1"),
+			RTT: 8 * time.Millisecond, // far beyond the 5ms P99 threshold
+		}
+		st.Add(&r)
+	}
+	at := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	if a := analysis.Check("dc/DC1", st, analysis.DefaultThresholds(), at); a != nil {
+		fmt.Println(a.Reason)
+	}
+	// Output:
+	// P99 latency 8ms exceeds 5ms
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"pingmesh/internal/probe"
+	"pingmesh/internal/topology"
+)
+
+// PodRef identifies a pod for grouping and heatmaps.
+type PodRef struct {
+	DC, Podset, Pod int
+}
+
+// String encodes the ref as "d<dc>.s<podset>.p<pod>".
+func (p PodRef) String() string {
+	return fmt.Sprintf("d%d.s%d.p%d", p.DC, p.Podset, p.Pod)
+}
+
+// ParsePodRef decodes the String form.
+func ParsePodRef(s string) (PodRef, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 3 || !strings.HasPrefix(parts[0], "d") ||
+		!strings.HasPrefix(parts[1], "s") || !strings.HasPrefix(parts[2], "p") {
+		return PodRef{}, fmt.Errorf("analysis: bad pod ref %q", s)
+	}
+	dc, err1 := strconv.Atoi(parts[0][1:])
+	ps, err2 := strconv.Atoi(parts[1][1:])
+	pod, err3 := strconv.Atoi(parts[2][1:])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return PodRef{}, fmt.Errorf("analysis: bad pod ref %q", s)
+	}
+	return PodRef{DC: dc, Podset: ps, Pod: pod}, nil
+}
+
+// Keyer maps probe records to SLA scope keys by resolving their addresses
+// against the topology. Records whose source is unknown to the topology
+// (e.g. VIP targets) yield ok=false.
+type Keyer struct {
+	Top *topology.Topology
+}
+
+func (k *Keyer) server(a netip.Addr) (*topology.Server, bool) {
+	id, ok := k.Top.ServerByAddr(a)
+	if !ok {
+		return nil, false
+	}
+	return k.Top.Server(id), true
+}
+
+// SrcServer keys by source server name (per-server SLA).
+func (k *Keyer) SrcServer(r *probe.Record) (string, bool) {
+	s, ok := k.server(r.Src)
+	if !ok {
+		return "", false
+	}
+	return s.Name, true
+}
+
+// SrcPod keys by source pod (per-pod SLA).
+func (k *Keyer) SrcPod(r *probe.Record) (string, bool) {
+	s, ok := k.server(r.Src)
+	if !ok {
+		return "", false
+	}
+	return PodRef{DC: s.DC, Podset: s.Podset, Pod: s.Pod}.String(), true
+}
+
+// SrcPodset keys by source podset.
+func (k *Keyer) SrcPodset(r *probe.Record) (string, bool) {
+	s, ok := k.server(r.Src)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("d%d.s%d", s.DC, s.Podset), true
+}
+
+// SrcDC keys by source data center name (per-DC SLA).
+func (k *Keyer) SrcDC(r *probe.Record) (string, bool) {
+	s, ok := k.server(r.Src)
+	if !ok {
+		return "", false
+	}
+	return k.Top.DCs[s.DC].Name, true
+}
+
+// PodPair keys by (source pod, destination pod): the grouping behind the
+// visualization heatmaps of §6.3. Both endpoints must resolve.
+func (k *Keyer) PodPair(r *probe.Record) (string, bool) {
+	src, ok := k.server(r.Src)
+	if !ok {
+		return "", false
+	}
+	dst, ok := k.server(r.Dst)
+	if !ok {
+		return "", false
+	}
+	a := PodRef{DC: src.DC, Podset: src.Podset, Pod: src.Pod}
+	b := PodRef{DC: dst.DC, Podset: dst.Podset, Pod: dst.Pod}
+	return a.String() + "|" + b.String(), true
+}
+
+// SplitPodPair decodes a PodPair key.
+func SplitPodPair(key string) (src, dst PodRef, err error) {
+	parts := strings.Split(key, "|")
+	if len(parts) != 2 {
+		return PodRef{}, PodRef{}, fmt.Errorf("analysis: bad pod pair %q", key)
+	}
+	if src, err = ParsePodRef(parts[0]); err != nil {
+		return
+	}
+	dst, err = ParsePodRef(parts[1])
+	return
+}
+
+// DCPair keys by (source DC, destination DC) name pair: the grouping of
+// the inter-DC processing pipeline (§6.2). Same-DC records resolve too,
+// so callers filter by class when they want WAN-only data.
+func (k *Keyer) DCPair(r *probe.Record) (string, bool) {
+	src, ok := k.server(r.Src)
+	if !ok {
+		return "", false
+	}
+	dst, ok := k.server(r.Dst)
+	if !ok {
+		return "", false
+	}
+	return k.Top.DCs[src.DC].Name + "->" + k.Top.DCs[dst.DC].Name, true
+}
+
+// ServerPair keys by (src addr, dst addr): the grouping black-hole
+// detection reasons over.
+func (k *Keyer) ServerPair(r *probe.Record) (string, bool) {
+	return r.Src.String() + "|" + r.Dst.String(), true
+}
+
+// Service is a named set of servers; its SLA is computed from the probes
+// those servers send (§4.3: network SLA is tracked per service by mapping
+// the service to the servers it uses).
+type Service struct {
+	Name    string
+	members map[netip.Addr]struct{}
+}
+
+// NewService builds a service over member addresses.
+func NewService(name string, members []netip.Addr) *Service {
+	m := make(map[netip.Addr]struct{}, len(members))
+	for _, a := range members {
+		m[a] = struct{}{}
+	}
+	return &Service{Name: name, members: m}
+}
+
+// ServiceFromServers builds a service from topology server IDs.
+func ServiceFromServers(name string, top *topology.Topology, ids []topology.ServerID) *Service {
+	addrs := make([]netip.Addr, 0, len(ids))
+	for _, id := range ids {
+		addrs = append(addrs, top.Server(id).Addr)
+	}
+	return NewService(name, addrs)
+}
+
+// Size returns the number of member servers.
+func (s *Service) Size() int { return len(s.members) }
+
+// Contains reports whether the record was produced by a member server.
+func (s *Service) Contains(r *probe.Record) bool {
+	_, ok := s.members[r.Src]
+	return ok
+}

@@ -1,0 +1,135 @@
+// Package analysis implements the latency data analysis of the Pingmesh
+// DSA pipeline (§3.5, §4): latency distributions and percentile summaries,
+// the SYN-retransmit drop-rate heuristic, network SLA computation at
+// server/pod/podset/DC/service scopes, and threshold-based SLA violation
+// alerting.
+package analysis
+
+import (
+	"time"
+
+	"pingmesh/internal/metrics"
+	"pingmesh/internal/probe"
+)
+
+// The TCP connect RTT embeds SYN retransmission timeouts: ~3s means the
+// first SYN (or its SYN-ACK) was dropped once, ~9s means two correlated
+// drops (§4.2). These bands classify a measured RTT.
+const (
+	rtt3sLow  = 2500 * time.Millisecond
+	rtt3sHigh = 6 * time.Second
+	rtt9sHigh = 15 * time.Second
+)
+
+// DropSignature returns 1 if the RTT carries the one-retransmit (~3s)
+// signature, 2 for the two-retransmit (~9s) signature, 0 otherwise.
+func DropSignature(rtt time.Duration) int {
+	switch {
+	case rtt >= rtt3sLow && rtt < rtt3sHigh:
+		return 1
+	case rtt >= rtt3sHigh && rtt < rtt9sHigh:
+		return 2
+	}
+	return 0
+}
+
+// LatencyStats aggregates probe records: the standard Pingmesh aggregator
+// used by every SCOPE job. It is not safe for concurrent use; SCOPE
+// workers each own one and Merge.
+type LatencyStats struct {
+	rtt     *metrics.Histogram // successful connect RTTs (incl. retransmit-inflated)
+	payload *metrics.Histogram // successful payload echo RTTs
+	total   uint64
+	success uint64
+	failed  uint64
+	rtt3s   uint64 // probes with the one-drop signature
+	rtt9s   uint64 // probes with the correlated-drop signature
+}
+
+// NewLatencyStats returns an empty aggregator.
+func NewLatencyStats() *LatencyStats {
+	return &LatencyStats{
+		rtt:     metrics.NewLatencyHistogram(),
+		payload: metrics.NewLatencyHistogram(),
+	}
+}
+
+// Add folds one record in.
+func (s *LatencyStats) Add(r *probe.Record) {
+	s.total++
+	if !r.Success() {
+		s.failed++
+		return
+	}
+	s.success++
+	s.rtt.Observe(r.RTT)
+	if r.PayloadRTT > 0 {
+		s.payload.Observe(r.PayloadRTT)
+	}
+	switch DropSignature(r.RTT) {
+	case 1:
+		s.rtt3s++
+	case 2:
+		s.rtt9s++
+	}
+}
+
+// Merge folds another aggregator in.
+func (s *LatencyStats) Merge(o *LatencyStats) {
+	s.rtt.Merge(o.rtt)
+	s.payload.Merge(o.payload)
+	s.total += o.total
+	s.success += o.success
+	s.failed += o.failed
+	s.rtt3s += o.rtt3s
+	s.rtt9s += o.rtt9s
+}
+
+// Total returns the number of records aggregated.
+func (s *LatencyStats) Total() uint64 { return s.total }
+
+// Success returns the number of successful probes.
+func (s *LatencyStats) Success() uint64 { return s.success }
+
+// Failed returns the number of failed probes.
+func (s *LatencyStats) Failed() uint64 { return s.failed }
+
+// FailureRate returns failed/total (reachability, distinct from the packet
+// drop rate — failures include down hosts, which the drop heuristic
+// deliberately excludes).
+func (s *LatencyStats) FailureRate() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return float64(s.failed) / float64(s.total)
+}
+
+// DropRate estimates the packet drop rate with the paper's heuristic:
+//
+//	(probes with 3s RTT + probes with 9s RTT) / total successful probes.
+//
+// Failed probes are excluded from the denominator because a failed connect
+// cannot be distinguished from a dead receiver; a 9s connection counts one
+// drop, not two, because successive drops within a connection are strongly
+// correlated (§4.2).
+func (s *LatencyStats) DropRate() float64 {
+	if s.success == 0 {
+		return 0
+	}
+	return float64(s.rtt3s+s.rtt9s) / float64(s.success)
+}
+
+// Percentile returns the q-quantile of successful connect RTTs.
+func (s *LatencyStats) Percentile(q float64) time.Duration { return s.rtt.Percentile(q) }
+
+// Summary returns the percentile summary of successful connect RTTs.
+func (s *LatencyStats) Summary() metrics.Summary { return s.rtt.Summarize() }
+
+// PayloadSummary returns the percentile summary of payload echo RTTs.
+func (s *LatencyStats) PayloadSummary() metrics.Summary { return s.payload.Summarize() }
+
+// CDF returns the empirical CDF of successful connect RTTs.
+func (s *LatencyStats) CDF() []metrics.CDFPoint { return s.rtt.CDF() }
+
+// PayloadCDF returns the empirical CDF of payload RTTs.
+func (s *LatencyStats) PayloadCDF() []metrics.CDFPoint { return s.payload.CDF() }

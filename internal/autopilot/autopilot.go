@@ -1,0 +1,195 @@
+// Package autopilot reimplements the slice of Microsoft's Autopilot data
+// center management stack (§2.3) that Pingmesh is built into: a Device
+// Manager holding device health state, a Watchdog Service that monitors
+// components and reports failures, a Repair Service that executes repair
+// actions under a rate budget (the ≤20 switch reloads per day of §5.1), a
+// Deployment Service that rolls shared services out across servers, and a
+// Perfcounter Aggregator that collects component counters every five
+// minutes — the fast reporting path that complements Cosmos/SCOPE (§3.5).
+package autopilot
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pingmesh/internal/simclock"
+)
+
+// DeviceState is the Device Manager's view of one device.
+type DeviceState int
+
+// Device states, in escalation order.
+const (
+	Healthy DeviceState = iota
+	Probation
+	Failed
+)
+
+// String names the state.
+func (s DeviceState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Probation:
+		return "probation"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// DeviceManager tracks device health. Unknown devices are Healthy.
+type DeviceManager struct {
+	mu      sync.Mutex
+	states  map[string]DeviceState
+	history map[string]int // consecutive failure reports
+}
+
+// NewDeviceManager returns an empty Device Manager.
+func NewDeviceManager() *DeviceManager {
+	return &DeviceManager{states: map[string]DeviceState{}, history: map[string]int{}}
+}
+
+// State returns the device's current state.
+func (dm *DeviceManager) State(device string) DeviceState {
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	return dm.states[device]
+}
+
+// ReportFailure escalates a device: the first report moves it to
+// Probation, the second consecutive one to Failed.
+func (dm *DeviceManager) ReportFailure(device string) DeviceState {
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	dm.history[device]++
+	if dm.history[device] >= 2 {
+		dm.states[device] = Failed
+	} else {
+		dm.states[device] = Probation
+	}
+	return dm.states[device]
+}
+
+// ReportHealthy clears a device back to Healthy.
+func (dm *DeviceManager) ReportHealthy(device string) {
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	dm.states[device] = Healthy
+	dm.history[device] = 0
+}
+
+// Devices returns every device in a non-Healthy state.
+func (dm *DeviceManager) Devices() map[string]DeviceState {
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	out := make(map[string]DeviceState)
+	for d, s := range dm.states {
+		if s != Healthy {
+			out[d] = s
+		}
+	}
+	return out
+}
+
+// Watchdog is one health check (§3.5: every Pingmesh component has
+// watchdogs — are pinglists generated, is resource usage within budget, is
+// data reported in time).
+type Watchdog struct {
+	// Name of the check.
+	Name string
+	// Device the check covers, reported to the Device Manager on failure.
+	Device string
+	// Check returns nil when healthy.
+	Check func() error
+}
+
+// WatchdogService runs registered watchdogs periodically.
+type WatchdogService struct {
+	clock    simclock.Clock
+	interval time.Duration
+	dm       *DeviceManager
+
+	mu        sync.Mutex
+	watchdogs []Watchdog
+	lastErr   map[string]error
+	stop      chan struct{}
+	stopOnce  sync.Once
+}
+
+// NewWatchdogService creates a service reporting into dm. A zero interval
+// defaults to 1 minute.
+func NewWatchdogService(clock simclock.Clock, interval time.Duration, dm *DeviceManager) *WatchdogService {
+	if clock == nil {
+		clock = simclock.NewReal()
+	}
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	return &WatchdogService{
+		clock:    clock,
+		interval: interval,
+		dm:       dm,
+		lastErr:  map[string]error{},
+		stop:     make(chan struct{}),
+	}
+}
+
+// Register adds a watchdog.
+func (ws *WatchdogService) Register(w Watchdog) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	ws.watchdogs = append(ws.watchdogs, w)
+}
+
+// RunOnce evaluates every watchdog immediately.
+func (ws *WatchdogService) RunOnce() {
+	ws.mu.Lock()
+	dogs := append([]Watchdog(nil), ws.watchdogs...)
+	ws.mu.Unlock()
+	for _, w := range dogs {
+		err := w.Check()
+		ws.mu.Lock()
+		ws.lastErr[w.Name] = err
+		ws.mu.Unlock()
+		if ws.dm != nil && w.Device != "" {
+			if err != nil {
+				ws.dm.ReportFailure(w.Device)
+			} else {
+				ws.dm.ReportHealthy(w.Device)
+			}
+		}
+	}
+}
+
+// Start runs the watchdogs on the service interval until Stop.
+func (ws *WatchdogService) Start() {
+	go func() {
+		ticker := ws.clock.NewTicker(ws.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ws.stop:
+				return
+			case <-ticker.C:
+				ws.RunOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts periodic runs.
+func (ws *WatchdogService) Stop() { ws.stopOnce.Do(func() { close(ws.stop) }) }
+
+// Status returns the last error per watchdog name (nil means healthy).
+func (ws *WatchdogService) Status() map[string]error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	out := make(map[string]error, len(ws.lastErr))
+	for k, v := range ws.lastErr {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+package autopilot
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pingmesh/internal/metrics"
+	"pingmesh/internal/simclock"
+)
+
+var t0 = time.Date(2026, 7, 1, 6, 0, 0, 0, time.UTC)
+
+func TestDeviceManagerEscalation(t *testing.T) {
+	dm := NewDeviceManager()
+	if dm.State("tor1") != Healthy {
+		t.Fatal("unknown device not healthy")
+	}
+	if s := dm.ReportFailure("tor1"); s != Probation {
+		t.Fatalf("first failure -> %v", s)
+	}
+	if s := dm.ReportFailure("tor1"); s != Failed {
+		t.Fatalf("second failure -> %v", s)
+	}
+	bad := dm.Devices()
+	if bad["tor1"] != Failed || len(bad) != 1 {
+		t.Fatalf("Devices = %v", bad)
+	}
+	dm.ReportHealthy("tor1")
+	if dm.State("tor1") != Healthy {
+		t.Fatal("recovery not recorded")
+	}
+	// After recovery the escalation counter resets.
+	if s := dm.ReportFailure("tor1"); s != Probation {
+		t.Fatalf("failure after recovery -> %v", s)
+	}
+}
+
+func TestDeviceStateString(t *testing.T) {
+	if Healthy.String() != "healthy" || Probation.String() != "probation" || Failed.String() != "failed" {
+		t.Fatal("state names wrong")
+	}
+	if DeviceState(7).String() != "state(7)" {
+		t.Fatal("unknown state name")
+	}
+}
+
+func TestWatchdogServiceReportsToDM(t *testing.T) {
+	dm := NewDeviceManager()
+	ws := NewWatchdogService(simclock.NewSim(t0), time.Minute, dm)
+	var healthy bool
+	ws.Register(Watchdog{
+		Name:   "pinglists-generated",
+		Device: "controller-1",
+		Check: func() error {
+			if healthy {
+				return nil
+			}
+			return errors.New("no pinglists")
+		},
+	})
+	ws.RunOnce()
+	if dm.State("controller-1") != Probation {
+		t.Fatalf("state = %v after one failure", dm.State("controller-1"))
+	}
+	if ws.Status()["pinglists-generated"] == nil {
+		t.Fatal("status missing failure")
+	}
+	healthy = true
+	ws.RunOnce()
+	if dm.State("controller-1") != Healthy {
+		t.Fatal("recovery not propagated")
+	}
+	if ws.Status()["pinglists-generated"] != nil {
+		t.Fatal("status not cleared")
+	}
+}
+
+func TestWatchdogServicePeriodic(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	ws := NewWatchdogService(clock, time.Minute, nil)
+	var mu sync.Mutex
+	runs := 0
+	ws.Register(Watchdog{Name: "tick", Check: func() error {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		return nil
+	}})
+	ws.Start()
+	defer ws.Stop()
+	waitFor(t, func() bool { return clock.PendingTimers() >= 1 })
+	for i := 1; i <= 3; i++ {
+		clock.Advance(time.Minute)
+		waitFor(t, func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return runs >= i
+		})
+	}
+	ws.Stop()
+	ws.Stop() // idempotent
+}
+
+func TestRepairServiceBudget(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	var executed []RepairAction
+	rs := NewRepairService(clock, 3, func(a RepairAction) error {
+		executed = append(executed, a)
+		return nil
+	})
+	for i := 0; i < 3; i++ {
+		if err := rs.Execute(RepairAction{Kind: RepairReload, Device: fmt.Sprintf("tor%d", i)}); err != nil {
+			t.Fatalf("repair %d: %v", i, err)
+		}
+	}
+	if rs.BudgetRemaining() != 0 {
+		t.Fatalf("BudgetRemaining = %d", rs.BudgetRemaining())
+	}
+	err := rs.Execute(RepairAction{Kind: RepairReload, Device: "tor9"})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("over-budget repair: %v", err)
+	}
+	if len(executed) != 3 {
+		t.Fatalf("executed %d repairs", len(executed))
+	}
+	// Next day the budget resets.
+	clock.Advance(24 * time.Hour)
+	if rs.BudgetRemaining() != 3 {
+		t.Fatalf("budget after day roll = %d", rs.BudgetRemaining())
+	}
+	if err := rs.Execute(RepairAction{Kind: RepairReload, Device: "tor9"}); err != nil {
+		t.Fatalf("repair after reset: %v", err)
+	}
+	if h := rs.History(); len(h) != 4 || h[3].Action.Device != "tor9" {
+		t.Fatalf("history = %v", h)
+	}
+}
+
+func TestRepairServiceExecutorError(t *testing.T) {
+	rs := NewRepairService(simclock.NewSim(t0), 5, func(a RepairAction) error {
+		return errors.New("switch did not come back")
+	})
+	if err := rs.Execute(RepairAction{Kind: RepairReload, Device: "tor0"}); err == nil {
+		t.Fatal("executor error swallowed")
+	}
+	if h := rs.History(); len(h) != 1 || h[0].Err == nil {
+		t.Fatal("failed repair not in history")
+	}
+	// Failures still consume budget (the reboot happened).
+	if rs.BudgetRemaining() != 4 {
+		t.Fatalf("BudgetRemaining = %d", rs.BudgetRemaining())
+	}
+}
+
+func TestRepairServiceDefaultBudgetIs20(t *testing.T) {
+	rs := NewRepairService(simclock.NewSim(t0), 0, nil)
+	if rs.BudgetRemaining() != 20 {
+		t.Fatalf("default budget = %d, want 20 (the paper's cap)", rs.BudgetRemaining())
+	}
+}
+
+func TestDeploymentService(t *testing.T) {
+	ds := &DeploymentService{BatchSize: 4}
+	var mu sync.Mutex
+	started := map[string]bool{}
+	servers := make([]string, 10)
+	for i := range servers {
+		servers[i] = fmt.Sprintf("srv%02d", i)
+	}
+	deployed, err := ds.Deploy(servers, func(s string) error {
+		mu.Lock()
+		started[s] = true
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deployed) != 10 || len(started) != 10 {
+		t.Fatalf("deployed %d, started %d", len(deployed), len(started))
+	}
+}
+
+func TestDeploymentStopsOnFailure(t *testing.T) {
+	ds := &DeploymentService{BatchSize: 2}
+	var mu sync.Mutex
+	attempts := 0
+	servers := []string{"a", "b", "c", "d", "e", "f"}
+	deployed, err := ds.Deploy(servers, func(s string) error {
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		if s == "c" {
+			return errors.New("disk full")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("failed rollout reported success")
+	}
+	// Batches of 2: {a,b} ok, {c,d} fails -> e,f never attempted.
+	if attempts > 4 {
+		t.Fatalf("%d attempts; rollout did not stop at failing batch", attempts)
+	}
+	if len(deployed) != 2 {
+		t.Fatalf("deployed = %v", deployed)
+	}
+}
+
+func TestPACollectsSeries(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	pa := NewPA(clock, 5*time.Minute)
+	reg := metrics.NewRegistry()
+	reg.Counter("probes").Add(10)
+	reg.Gauge("peers").Set(2500)
+	reg.Histogram("rtt").Observe(400 * time.Microsecond)
+	pa.Register("srv1", reg.Snapshot)
+
+	pa.Collect()
+	clock.Advance(5 * time.Minute)
+	reg.Counter("probes").Add(5)
+	pa.Collect()
+
+	series := pa.Series("srv1/counter/probes")
+	if len(series) != 2 {
+		t.Fatalf("%d points", len(series))
+	}
+	if series[0].Value != 10 || series[1].Value != 15 {
+		t.Fatalf("values = %v", series)
+	}
+	if p, ok := pa.Latest("srv1/gauge/peers"); !ok || p.Value != 2500 {
+		t.Fatalf("Latest gauge = %v %v", p, ok)
+	}
+	if p, ok := pa.Latest("srv1/p99/rtt"); !ok || p.Value <= 0 {
+		t.Fatalf("Latest p99 = %v %v", p, ok)
+	}
+	if len(pa.Keys()) < 4 {
+		t.Fatalf("Keys = %v", pa.Keys())
+	}
+	if _, ok := pa.Latest("nope"); ok {
+		t.Fatal("Latest on missing key")
+	}
+}
+
+func TestPAPeriodicAndUnregister(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	pa := NewPA(clock, 5*time.Minute)
+	reg := metrics.NewRegistry()
+	reg.Counter("c").Add(1)
+	pa.Register("s", reg.Snapshot)
+	pa.Start()
+	defer pa.Stop()
+	waitFor(t, func() bool { return clock.PendingTimers() >= 1 })
+	for i := 1; i <= 3; i++ {
+		clock.Advance(5 * time.Minute)
+		waitFor(t, func() bool { return len(pa.Series("s/counter/c")) >= i })
+	}
+	pa.Unregister("s")
+	n := len(pa.Series("s/counter/c"))
+	clock.Advance(10 * time.Minute)
+	time.Sleep(10 * time.Millisecond)
+	if len(pa.Series("s/counter/c")) != n {
+		t.Fatal("unregistered source still collected")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}

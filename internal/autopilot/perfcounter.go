@@ -1,0 +1,150 @@
+package autopilot
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"pingmesh/internal/metrics"
+	"pingmesh/internal/simclock"
+)
+
+// PA is the Perfcounter Aggregator: it collects perf-counter snapshots
+// from registered sources every interval (5 minutes in production — the
+// fast path that beats the 20-minute Cosmos/SCOPE latency, §3.5) and keeps
+// them as time series for dashboards and alerts.
+type PA struct {
+	clock    simclock.Clock
+	interval time.Duration
+	maxPts   int
+
+	mu         sync.Mutex
+	collectors map[string]func() metrics.Snapshot
+	series     map[string][]Point // "source/kind/name" -> points
+	stop       chan struct{}
+	stopOnce   sync.Once
+}
+
+// Point is one collected sample.
+type Point struct {
+	At    time.Time
+	Value float64
+}
+
+// NewPA creates an aggregator. A zero interval defaults to 5 minutes.
+func NewPA(clock simclock.Clock, interval time.Duration) *PA {
+	if clock == nil {
+		clock = simclock.NewReal()
+	}
+	if interval <= 0 {
+		interval = 5 * time.Minute
+	}
+	return &PA{
+		clock:      clock,
+		interval:   interval,
+		maxPts:     8192,
+		collectors: map[string]func() metrics.Snapshot{},
+		series:     map[string][]Point{},
+		stop:       make(chan struct{}),
+	}
+}
+
+// Register adds a counter source (typically an agent's or controller's
+// metrics registry snapshot function) under a source name.
+func (pa *PA) Register(source string, collect func() metrics.Snapshot) {
+	pa.mu.Lock()
+	defer pa.mu.Unlock()
+	pa.collectors[source] = collect
+}
+
+// Unregister removes a source.
+func (pa *PA) Unregister(source string) {
+	pa.mu.Lock()
+	defer pa.mu.Unlock()
+	delete(pa.collectors, source)
+}
+
+// Collect samples every source immediately.
+func (pa *PA) Collect() {
+	pa.mu.Lock()
+	collectors := make(map[string]func() metrics.Snapshot, len(pa.collectors))
+	for k, v := range pa.collectors {
+		collectors[k] = v
+	}
+	pa.mu.Unlock()
+
+	now := pa.clock.Now()
+	for source, fn := range collectors {
+		snap := fn()
+		pa.mu.Lock()
+		for name, v := range snap.Counters {
+			pa.appendLocked(source+"/counter/"+name, Point{now, float64(v)})
+		}
+		for name, v := range snap.Gauges {
+			pa.appendLocked(source+"/gauge/"+name, Point{now, float64(v)})
+		}
+		for name, s := range snap.Histograms {
+			pa.appendLocked(source+"/p50/"+name, Point{now, float64(s.P50) / 1e6})
+			pa.appendLocked(source+"/p99/"+name, Point{now, float64(s.P99) / 1e6})
+		}
+		pa.mu.Unlock()
+	}
+}
+
+func (pa *PA) appendLocked(key string, p Point) {
+	s := append(pa.series[key], p)
+	if len(s) > pa.maxPts {
+		s = s[len(s)-pa.maxPts:]
+	}
+	pa.series[key] = s
+}
+
+// Start collects on the interval until Stop.
+func (pa *PA) Start() {
+	go func() {
+		ticker := pa.clock.NewTicker(pa.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-pa.stop:
+				return
+			case <-ticker.C:
+				pa.Collect()
+			}
+		}
+	}()
+}
+
+// Stop halts periodic collection.
+func (pa *PA) Stop() { pa.stopOnce.Do(func() { close(pa.stop) }) }
+
+// Series returns the samples for "source/kind/name" (kind: counter, gauge,
+// p50, p99; histogram values are milliseconds).
+func (pa *PA) Series(key string) []Point {
+	pa.mu.Lock()
+	defer pa.mu.Unlock()
+	return append([]Point(nil), pa.series[key]...)
+}
+
+// Latest returns the most recent sample for a key.
+func (pa *PA) Latest(key string) (Point, bool) {
+	pa.mu.Lock()
+	defer pa.mu.Unlock()
+	s := pa.series[key]
+	if len(s) == 0 {
+		return Point{}, false
+	}
+	return s[len(s)-1], true
+}
+
+// Keys lists collected series keys, sorted.
+func (pa *PA) Keys() []string {
+	pa.mu.Lock()
+	defer pa.mu.Unlock()
+	var out []string
+	for k := range pa.series {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

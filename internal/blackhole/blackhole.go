@@ -1,0 +1,240 @@
+// Package blackhole implements the ToR black-hole detection algorithm of
+// §5.1. A switch with packet black-holes deterministically drops packets
+// matching particular header patterns while looking perfectly healthy in
+// its own counters, so detection must come from Pingmesh data: if many
+// servers under one ToR show the black-hole symptom (they persistently
+// cannot reach particular peers that everyone else reaches fine), the ToR
+// is scored as a candidate; candidates above a threshold are reloaded
+// through the repair service, capped at a daily budget. If every ToR in a
+// podset shows the symptom, the problem is above the ToRs (Leaf/Spine)
+// and is escalated to engineers instead.
+package blackhole
+
+import (
+	"net/netip"
+	"sort"
+	"strings"
+
+	"pingmesh/internal/analysis"
+	"pingmesh/internal/autopilot"
+	"pingmesh/internal/topology"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// MinPairProbes is the minimum number of probes a server pair needs
+	// before it can be judged (default 4).
+	MinPairProbes uint64
+	// PairFailureRate is the failure-rate threshold above which a pair
+	// shows the black-hole symptom (default 0.5; type-1 black-holes fail
+	// 100%, type-2 fail the fraction of port space the corrupt entry
+	// covers).
+	PairFailureRate float64
+	// ScoreThreshold is the fraction of a ToR's servers that must show the
+	// symptom to make the ToR a candidate (default 0.5).
+	ScoreThreshold float64
+	// VictimPairFraction is the fraction of a server's judged pairs that
+	// must fail before the server counts as a black-hole victim. This is
+	// what localizes the fault: servers under a black-holed ToR see a
+	// large fraction of their pairs die, while a remote server typically
+	// has only one pair crossing the bad ToR (default 0.25).
+	VictimPairFraction float64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MinPairProbes == 0 {
+		out.MinPairProbes = 4
+	}
+	if out.PairFailureRate <= 0 {
+		out.PairFailureRate = 0.5
+	}
+	if out.ScoreThreshold <= 0 {
+		out.ScoreThreshold = 0.5
+	}
+	if out.VictimPairFraction <= 0 {
+		out.VictimPairFraction = 0.25
+	}
+	return out
+}
+
+// PodsetRef identifies a podset escalated to engineers.
+type PodsetRef struct {
+	DC, Podset int
+}
+
+// Detection is the detector's output.
+type Detection struct {
+	// Candidates are ToRs to reload, highest score first.
+	Candidates []Candidate
+	// Escalations are podsets where every ToR shows the symptom: the
+	// fault is at the Leaf or Spine layer, beyond what a ToR reload fixes.
+	Escalations []PodsetRef
+	// Scores holds the black-hole score of every ToR (victims/servers).
+	Scores map[topology.SwitchID]float64
+}
+
+// Candidate is one ToR flagged for repair.
+type Candidate struct {
+	ToR   topology.SwitchID
+	Score float64
+}
+
+// Detect runs the algorithm over server-pair grouped stats (the output of
+// a SCOPE job keyed by Keyer.ServerPair).
+func Detect(top *topology.Topology, pairs map[string]*analysis.LatencyStats, cfg Config) Detection {
+	c := cfg.withDefaults()
+
+	// Server liveness: a server that answered at least one probe from
+	// anyone is alive; pairs towards dead servers are not black-hole
+	// evidence (the host may simply be down).
+	aliveDst := map[netip.Addr]bool{}
+	aliveSrc := map[netip.Addr]bool{}
+	for key, st := range pairs {
+		src, dst, ok := splitPair(key)
+		if !ok || st.Success() == 0 {
+			continue
+		}
+		aliveSrc[src] = true
+		aliveDst[dst] = true
+	}
+
+	// Per server: how many of its pairs were judged, and how many showed
+	// the symptom (persistent failure between two alive endpoints).
+	judged := map[topology.ServerID]int{}
+	symptomatic := map[topology.ServerID]int{}
+	for key, st := range pairs {
+		if st.Total() < c.MinPairProbes {
+			continue
+		}
+		src, dst, ok := splitPair(key)
+		if !ok {
+			continue
+		}
+		if !aliveSrc[src] && !aliveDst[src] {
+			continue // source itself dead: not network evidence
+		}
+		if !aliveDst[dst] && !aliveSrc[dst] {
+			continue // destination dead: could be a host failure
+		}
+		srcID, okS := top.ServerByAddr(src)
+		dstID, okD := top.ServerByAddr(dst)
+		sym := st.FailureRate() >= c.PairFailureRate
+		if okS {
+			judged[srcID]++
+			if sym {
+				symptomatic[srcID]++
+			}
+		}
+		if okD {
+			judged[dstID]++
+			if sym {
+				symptomatic[dstID]++
+			}
+		}
+	}
+	// A server is a victim when a noticeable fraction of its pairs fail.
+	victims := map[topology.ServerID]bool{}
+	for id, n := range judged {
+		if n > 0 && float64(symptomatic[id])/float64(n) >= c.VictimPairFraction {
+			victims[id] = true
+		}
+	}
+
+	det := Detection{Scores: map[topology.SwitchID]float64{}}
+	type psKey struct{ dc, ps int }
+	torsOf := map[psKey][]topology.SwitchID{}
+	candidateSet := map[topology.SwitchID]bool{}
+
+	for di := range top.DCs {
+		for psi := range top.DCs[di].Podsets {
+			ps := &top.DCs[di].Podsets[psi]
+			for qi := range ps.Pods {
+				pod := &ps.Pods[qi]
+				nVictims := 0
+				for _, sid := range pod.Servers {
+					if victims[sid] {
+						nVictims++
+					}
+				}
+				score := float64(nVictims) / float64(len(pod.Servers))
+				det.Scores[pod.ToR] = score
+				torsOf[psKey{di, psi}] = append(torsOf[psKey{di, psi}], pod.ToR)
+				if score >= c.ScoreThreshold {
+					candidateSet[pod.ToR] = true
+				}
+			}
+		}
+	}
+
+	// Podset rule: if only part of a podset's ToRs show the symptom,
+	// reload them; if all do, escalate the podset (§5.1).
+	for key, tors := range torsOf {
+		flagged := 0
+		for _, tor := range tors {
+			if candidateSet[tor] {
+				flagged++
+			}
+		}
+		if flagged == 0 {
+			continue
+		}
+		if flagged == len(tors) && len(tors) > 1 {
+			det.Escalations = append(det.Escalations, PodsetRef{DC: key.dc, Podset: key.ps})
+			continue
+		}
+		for _, tor := range tors {
+			if candidateSet[tor] {
+				det.Candidates = append(det.Candidates, Candidate{ToR: tor, Score: det.Scores[tor]})
+			}
+		}
+	}
+	sort.Slice(det.Candidates, func(i, j int) bool {
+		if det.Candidates[i].Score != det.Candidates[j].Score {
+			return det.Candidates[i].Score > det.Candidates[j].Score
+		}
+		return det.Candidates[i].ToR < det.Candidates[j].ToR
+	})
+	sort.Slice(det.Escalations, func(i, j int) bool {
+		if det.Escalations[i].DC != det.Escalations[j].DC {
+			return det.Escalations[i].DC < det.Escalations[j].DC
+		}
+		return det.Escalations[i].Podset < det.Escalations[j].Podset
+	})
+	return det
+}
+
+func splitPair(key string) (src, dst netip.Addr, ok bool) {
+	i := strings.IndexByte(key, '|')
+	if i < 0 {
+		return netip.Addr{}, netip.Addr{}, false
+	}
+	var err error
+	if src, err = netip.ParseAddr(key[:i]); err != nil {
+		return netip.Addr{}, netip.Addr{}, false
+	}
+	if dst, err = netip.ParseAddr(key[i+1:]); err != nil {
+		return netip.Addr{}, netip.Addr{}, false
+	}
+	return src, dst, true
+}
+
+// Repair reloads candidate ToRs through the repair service until the daily
+// budget runs out, and reports how many reloads were issued. Remaining
+// candidates will be re-detected on the next run (§5.1 limits reloads to
+// 20 switches per day).
+func Repair(det Detection, top *topology.Topology, rs *autopilot.RepairService) int {
+	reloaded := 0
+	for _, cand := range det.Candidates {
+		err := rs.Execute(autopilot.RepairAction{
+			Kind:   autopilot.RepairReload,
+			Device: top.Switch(cand.ToR).Name,
+			Reason: "pingmesh black-hole detection",
+		})
+		if err != nil {
+			break // budget exhausted or executor failure: stop for today
+		}
+		reloaded++
+	}
+	return reloaded
+}

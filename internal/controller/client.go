@@ -1,0 +1,76 @@
+package controller
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"pingmesh/internal/pinglist"
+)
+
+// Client fetches pinglists from a Pingmesh Controller (usually through the
+// SLB VIP). Agents poll with it; the controller never pushes.
+type Client struct {
+	// BaseURL is the controller endpoint, e.g. "http://10.255.0.1:8080".
+	BaseURL string
+	// HTTPClient optionally overrides the transport. Defaults to a client
+	// with a 10s timeout.
+	HTTPClient *http.Client
+}
+
+// defaultClient disables keep-alives: agents poll the controller rarely
+// (minutes apart), so holding idle connections through the VIP would only
+// pin agents to one replica and delay replica drain.
+var defaultClient = &http.Client{
+	Timeout:   10 * time.Second,
+	Transport: &http.Transport{DisableKeepAlives: true},
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return defaultClient
+}
+
+// ErrNoPinglist is returned when the controller is reachable but has no
+// pinglist for the server. Agents treat this as the fail-closed signal:
+// remove all peers and stop probing (§3.4.2).
+type ErrNoPinglist struct{ Server string }
+
+func (e *ErrNoPinglist) Error() string {
+	return fmt.Sprintf("controller: no pinglist available for %s", e.Server)
+}
+
+// Fetch downloads and validates the pinglist for a server.
+func (c *Client) Fetch(ctx context.Context, server string) (*pinglist.File, error) {
+	u := fmt.Sprintf("%s/pinglist/%s", c.BaseURL, url.PathEscape(server))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("controller: build request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("controller: fetch pinglist: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil, &ErrNoPinglist{Server: server}
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("controller: fetch pinglist: status %d", resp.StatusCode)
+	}
+	f, err := pinglist.Read(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,145 @@
+// Package controller implements the Pingmesh Controller (§3.3): it runs
+// the Pingmesh Generator over the network graph to produce a pinglist file
+// for every server and serves the files through a simple RESTful web API.
+// The controller is stateless — every replica generates the identical file
+// set from the same topology and configuration — so replicas scale out
+// behind an SLB VIP and any of them can answer any agent.
+package controller
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pingmesh/internal/core"
+	"pingmesh/internal/metrics"
+	"pingmesh/internal/pinglist"
+	"pingmesh/internal/simclock"
+	"pingmesh/internal/topology"
+)
+
+// Controller generates and serves pinglists.
+type Controller struct {
+	cfg   core.GeneratorConfig
+	clock simclock.Clock
+	reg   *metrics.Registry
+
+	state atomic.Pointer[state] // current generation
+	gen   atomic.Uint64         // version counter
+}
+
+// state is one immutable generation of pinglist files.
+type state struct {
+	version string
+	files   map[string][]byte // server name -> marshaled XML
+}
+
+// New builds a controller and runs the first generation. clock may be nil
+// for wall time.
+func New(top *topology.Topology, cfg core.GeneratorConfig, clock simclock.Clock) (*Controller, error) {
+	if clock == nil {
+		clock = simclock.NewReal()
+	}
+	c := &Controller{cfg: cfg, clock: clock, reg: metrics.NewRegistry()}
+	if err := c.UpdateTopology(top); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// UpdateTopology regenerates every pinglist from a new network graph and
+// atomically publishes the new generation (§6.2: the controller updates
+// pinglists whenever topology or configuration changes).
+func (c *Controller) UpdateTopology(top *topology.Topology) error {
+	version := fmt.Sprintf("gen-%d", c.gen.Add(1))
+	start := c.clock.Now()
+	lists, err := core.Generate(top, c.cfg, version, start)
+	if err != nil {
+		return fmt.Errorf("controller: %w", err)
+	}
+	files := make(map[string][]byte, len(lists))
+	for id, f := range lists {
+		data, err := pinglist.Marshal(f)
+		if err != nil {
+			return fmt.Errorf("controller: marshal pinglist for %s: %w", f.Server, err)
+		}
+		files[top.Server(id).Name] = data
+	}
+	c.state.Store(&state{version: version, files: files})
+	c.reg.Counter("controller.generations").Inc()
+	c.reg.Gauge("controller.pinglists").Set(int64(len(files)))
+	c.reg.Gauge("controller.last_generation_ms").Set(int64(c.clock.Since(start) / time.Millisecond))
+	return nil
+}
+
+// Clear removes every pinglist while keeping the web service up. Agents
+// that poll and find no pinglist fail closed and stop probing — the
+// paper's emergency stop for the whole fleet (§3.4.2).
+func (c *Controller) Clear() {
+	c.state.Store(&state{version: "cleared", files: map[string][]byte{}})
+	c.reg.Gauge("controller.pinglists").Set(0)
+}
+
+// Version returns the current generation identifier.
+func (c *Controller) Version() string { return c.state.Load().version }
+
+// PinglistCount reports how many pinglists the current generation holds
+// (watchdog: are pinglists generated correctly?).
+func (c *Controller) PinglistCount() int { return len(c.state.Load().files) }
+
+// Metrics returns the controller's perf-counter registry.
+func (c *Controller) Metrics() *metrics.Registry { return c.reg }
+
+// SaveToDir writes every pinglist file to a directory, one XML file per
+// server (the paper stores generated files on SSD before serving them).
+func (c *Controller) SaveToDir(dir string) error {
+	st := c.state.Load()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("controller: %w", err)
+	}
+	for server, data := range st.files {
+		path := filepath.Join(dir, server+".xml")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return fmt.Errorf("controller: write %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// Handler returns the RESTful web API:
+//
+//	GET /pinglist/{server}  the server's pinglist XML (404 if unknown)
+//	GET /version            current generation id
+//	GET /healthz            liveness for the SLB health prober
+func (c *Controller) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/pinglist/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		server := strings.TrimPrefix(r.URL.Path, "/pinglist/")
+		st := c.state.Load()
+		data, ok := st.files[server]
+		if !ok {
+			c.reg.Counter("controller.pinglist_misses").Inc()
+			http.NotFound(w, r)
+			return
+		}
+		c.reg.Counter("controller.pinglist_serves").Inc()
+		w.Header().Set("Content-Type", "application/xml")
+		w.Header().Set("X-Pingmesh-Version", st.version)
+		w.Write(data)
+	})
+	mux.HandleFunc("/version", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, c.Version())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}

@@ -1,0 +1,104 @@
+package controller
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"pingmesh/internal/core"
+	"pingmesh/internal/probe"
+	"pingmesh/internal/simclock"
+	"pingmesh/internal/topology"
+)
+
+// TestConcurrentFetchDuringRegeneration hammers the pinglist endpoint
+// while topology updates regenerate the file set; every response must be a
+// complete, valid pinglist of either the old or new generation (the atomic
+// swap must never expose a half-built state).
+func TestConcurrentFetchDuringRegeneration(t *testing.T) {
+	top := topology.SmallTestbed()
+	c, err := New(top, core.DefaultGeneratorConfig(), simclock.NewSim(time.Unix(1750000000, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	client := &Client{BaseURL: srv.URL}
+	name := top.Server(0).Name
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f, err := client.Fetch(context.Background(), name)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(f.Peers) == 0 || f.Validate() != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if err := c.UpdateTopology(top); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("fetch during regeneration: %v", err)
+	}
+	if c.Version() != "gen-51" {
+		t.Fatalf("version = %s after 50 updates", c.Version())
+	}
+}
+
+// TestInterDCPeersServed verifies the controller serves inter-DC entries
+// for the selected servers of a multi-DC fleet.
+func TestInterDCPeersServed(t *testing.T) {
+	top := topology.SmallTestbed() // two DCs
+	c, err := New(top, core.DefaultGeneratorConfig(), simclock.NewSim(time.Unix(1750000000, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	client := &Client{BaseURL: srv.URL}
+
+	interDC := 0
+	for _, s := range top.Servers() {
+		f, err := client.Fetch(context.Background(), s.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range f.Peers {
+			if p.Class == probe.InterDC.String() {
+				interDC++
+				// Inter-DC targets must resolve to a server in the other DC.
+				id, ok := top.ServerByAddrString(p.Addr)
+				if !ok || top.Server(id).DC == s.DC {
+					t.Fatalf("bad inter-DC peer %s for %s", p.Addr, s.Name)
+				}
+			}
+		}
+	}
+	if interDC == 0 {
+		t.Fatal("no inter-DC peers served for a two-DC fleet")
+	}
+}

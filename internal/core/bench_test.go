@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"pingmesh/internal/topology"
+)
+
+func BenchmarkGenerateMidSizeDC(b *testing.B) {
+	top, err := topology.Build(topology.Spec{DCs: []topology.DCSpec{
+		{Name: "DC1", Podsets: 5, PodsPerPodset: 20, ServersPerPod: 20, LeavesPerPodset: 4, Spines: 16},
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultGeneratorConfig()
+	now := time.Unix(1751328000, 0).UTC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(top, cfg, "bench", now); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(top.NumServers()), "servers")
+}
+
+func BenchmarkGenerateSingleServer(b *testing.B) {
+	top, err := topology.Build(topology.Spec{DCs: []topology.DCSpec{
+		{Name: "BIG", Podsets: 50, PodsPerPodset: 50, ServersPerPod: 1, LeavesPerPodset: 2, Spines: 8},
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultGeneratorConfig()
+	now := time.Unix(1751328000, 0).UTC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lists, err := GenerateSubset(top, cfg, "bench", now, []topology.ServerID{0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(lists[0].Peers) < 2000 {
+			b.Fatal("fan-out too small")
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"pingmesh/internal/core"
+	"pingmesh/internal/topology"
+)
+
+// The three levels of complete graphs in one server's pinglist (§3.3.1):
+// every pod mate, one rank-paired server per other rack in the DC, and —
+// for selected servers — peers in every other data center.
+func ExampleGenerate() {
+	top, err := topology.Build(topology.Spec{DCs: []topology.DCSpec{
+		{Name: "DC1", Podsets: 2, PodsPerPodset: 3, ServersPerPod: 4, LeavesPerPodset: 2, Spines: 4},
+		{Name: "DC2", Podsets: 2, PodsPerPodset: 3, ServersPerPod: 4, LeavesPerPodset: 2, Spines: 4},
+	}})
+	if err != nil {
+		panic(err)
+	}
+	lists, err := core.Generate(top, core.DefaultGeneratorConfig(), "v1",
+		time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		panic(err)
+	}
+	// Server 0 sits in rack 0 and is a selected inter-DC prober.
+	byClass := map[string]int{}
+	for _, p := range lists[0].Peers {
+		byClass[p.Class]++
+	}
+	fmt.Printf("intra-pod peers: %d (pod mates)\n", byClass["intra-pod"])
+	fmt.Printf("intra-dc peers:  %d (one per other rack)\n", byClass["intra-dc"])
+	fmt.Printf("inter-dc peers:  %d (selected servers in DC2)\n", byClass["inter-dc"])
+	// Output:
+	// intra-pod peers: 3 (pod mates)
+	// intra-dc peers:  5 (one per other rack)
+	// inter-dc peers:  4 (selected servers in DC2)
+}

@@ -1,0 +1,57 @@
+package cosmos
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkAppend(b *testing.B) {
+	s, err := NewStore(3, Config{ExtentSize: 4 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]byte, 4096)
+	b.SetBytes(int64(len(batch)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append("bench", batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadExtent(b *testing.B) {
+	s, err := NewStore(3, Config{ExtentSize: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]byte, 4096)
+	for i := 0; i < 512; i++ {
+		if err := s.Append("bench", batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	n := s.NumExtents("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ReadExtent("bench", i%n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamsPrefix(b *testing.B) {
+	s, err := NewStore(1, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for d := 0; d < 60; d++ {
+		for dc := 0; dc < 5; dc++ {
+			s.Append(fmt.Sprintf("pingmesh/2026-06-%02d/dc%d", d+1, dc), []byte("x"))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Streams("pingmesh/2026-06-15/")
+	}
+}

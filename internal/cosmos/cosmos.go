@@ -1,0 +1,294 @@
+// Package cosmos reimplements, at testbed scale, the slice of Microsoft's
+// Cosmos store Pingmesh depends on (§2.3): append-only streams split into
+// extents, each extent replicated across several storage nodes for
+// availability. Agents append latency-record batches; SCOPE jobs read the
+// extents back in parallel. The front end is a plain method API here; in
+// production it sits behind a load-balanced VIP, which the slb package
+// models separately.
+//
+// Consistency note: a write is acknowledged when at least one replica
+// accepts it; a replica that is down during a write misses that copy
+// permanently (this store has no repair/re-replication). Readers fail over
+// to the first healthy replica, so prolonged node outages can surface
+// shorter-but-consistent prefixes. Production Cosmos repairs replicas in
+// the background; Pingmesh tolerates missing latency records by design, so
+// the simplification does not change system behaviour.
+package cosmos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Config tunes a store.
+type Config struct {
+	// ExtentSize is the byte threshold at which the current extent of a
+	// stream is sealed and a new one opened. Default 1 MiB.
+	ExtentSize int
+	// Replicas is how many nodes hold each extent. Default 3, capped at
+	// the node count.
+	Replicas int
+}
+
+// Store is an in-process Cosmos cluster.
+type Store struct {
+	cfg   Config
+	mu    sync.RWMutex
+	nodes []*node
+	strms map[string]*stream
+	next  uint64 // extent id counter
+	rr    int    // round-robin cursor for replica placement
+}
+
+type node struct {
+	id      int
+	mu      sync.RWMutex
+	extents map[uint64][]byte
+	down    bool
+}
+
+type extent struct {
+	id       uint64
+	size     int
+	sealed   bool
+	replicas []int // node ids
+}
+
+type stream struct {
+	extents []*extent
+}
+
+// NewStore creates a store with numNodes storage nodes.
+func NewStore(numNodes int, cfg Config) (*Store, error) {
+	if numNodes <= 0 {
+		return nil, fmt.Errorf("cosmos: need at least one node")
+	}
+	if cfg.ExtentSize <= 0 {
+		cfg.ExtentSize = 1 << 20
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.Replicas > numNodes {
+		cfg.Replicas = numNodes
+	}
+	s := &Store{cfg: cfg, strms: make(map[string]*stream)}
+	for i := 0; i < numNodes; i++ {
+		s.nodes = append(s.nodes, &node{id: i, extents: make(map[uint64][]byte)})
+	}
+	return s, nil
+}
+
+// Append appends data to the stream, creating the stream if needed. Files
+// in Cosmos are append-only; there is no overwrite.
+func (s *Store) Append(name string, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	st, ok := s.strms[name]
+	if !ok {
+		st = &stream{}
+		s.strms[name] = st
+	}
+	var ext *extent
+	if n := len(st.extents); n > 0 && !st.extents[n-1].sealed {
+		ext = st.extents[n-1]
+	} else {
+		var err error
+		ext, err = s.newExtentLocked()
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		st.extents = append(st.extents, ext)
+	}
+	replicas := replicaNodes(s.nodes, ext.replicas)
+	ext.size += len(data)
+	if ext.size >= s.cfg.ExtentSize {
+		ext.sealed = true
+	}
+	id := ext.id
+	s.mu.Unlock()
+
+	wrote := 0
+	for _, n := range replicas {
+		if n.append(id, data) {
+			wrote++
+		}
+	}
+	if wrote == 0 {
+		return fmt.Errorf("cosmos: all %d replicas of extent %d unavailable", len(replicas), id)
+	}
+	return nil
+}
+
+// newExtentLocked allocates an extent on Replicas distinct healthy nodes.
+func (s *Store) newExtentLocked() (*extent, error) {
+	var healthy []int
+	for _, n := range s.nodes {
+		if !n.isDown() {
+			healthy = append(healthy, n.id)
+		}
+	}
+	if len(healthy) == 0 {
+		return nil, fmt.Errorf("cosmos: no healthy nodes")
+	}
+	want := s.cfg.Replicas
+	if want > len(healthy) {
+		want = len(healthy)
+	}
+	var replicas []int
+	for i := 0; i < want; i++ {
+		replicas = append(replicas, healthy[(s.rr+i)%len(healthy)])
+	}
+	s.rr++
+	s.next++
+	return &extent{id: s.next, replicas: replicas}, nil
+}
+
+func replicaNodes(nodes []*node, ids []int) []*node {
+	out := make([]*node, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, nodes[id])
+	}
+	return out
+}
+
+func (n *node) append(id uint64, data []byte) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return false
+	}
+	n.extents[id] = append(n.extents[id], data...)
+	return true
+}
+
+func (n *node) read(id uint64) ([]byte, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.down {
+		return nil, false
+	}
+	data, ok := n.extents[id]
+	return data, ok
+}
+
+func (n *node) isDown() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.down
+}
+
+// SetNodeDown marks a storage node down (or back up). Reads and writes
+// fail over to surviving replicas.
+func (s *Store) SetNodeDown(id int, down bool) error {
+	if id < 0 || id >= len(s.nodes) {
+		return fmt.Errorf("cosmos: no node %d", id)
+	}
+	n := s.nodes[id]
+	n.mu.Lock()
+	n.down = down
+	n.mu.Unlock()
+	return nil
+}
+
+// NumExtents reports how many extents a stream has.
+func (s *Store) NumExtents(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.strms[name]
+	if !ok {
+		return 0
+	}
+	return len(st.extents)
+}
+
+// ReadExtent returns the contents of the i-th extent of a stream, served
+// from the first healthy replica.
+func (s *Store) ReadExtent(name string, i int) ([]byte, error) {
+	s.mu.RLock()
+	st, ok := s.strms[name]
+	if !ok || i < 0 || i >= len(st.extents) {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("cosmos: stream %q has no extent %d", name, i)
+	}
+	ext := st.extents[i]
+	replicas := replicaNodes(s.nodes, ext.replicas)
+	s.mu.RUnlock()
+	for _, n := range replicas {
+		if data, ok := n.read(ext.id); ok {
+			return data, nil
+		}
+	}
+	return nil, fmt.Errorf("cosmos: extent %d of %q unavailable on all replicas", i, name)
+}
+
+// Read concatenates every extent of a stream.
+func (s *Store) Read(name string) ([]byte, error) {
+	n := s.NumExtents(name)
+	var out []byte
+	for i := 0; i < n; i++ {
+		data, err := s.ReadExtent(name, i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+// Streams lists stream names, sorted. With a prefix, only matching streams
+// are returned (streams are named like "pingmesh/<date>/<dc>", so prefix
+// queries select a processing window).
+func (s *Store) Streams(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for name := range s.strms {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeleteStream removes a stream and its extents from every node (retention:
+// the paper keeps two months of Pingmesh data, then data is aged out).
+func (s *Store) DeleteStream(name string) {
+	s.mu.Lock()
+	st, ok := s.strms[name]
+	if ok {
+		delete(s.strms, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	for _, ext := range st.extents {
+		for _, nid := range ext.replicas {
+			n := s.nodes[nid]
+			n.mu.Lock()
+			delete(n.extents, ext.id)
+			n.mu.Unlock()
+		}
+	}
+}
+
+// TotalBytes reports the logical (pre-replication) size of a stream.
+func (s *Store) TotalBytes(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.strms[name]
+	if !ok {
+		return 0
+	}
+	total := 0
+	for _, e := range st.extents {
+		total += e.size
+	}
+	return total
+}

@@ -1,0 +1,360 @@
+// Package dsa assembles Pingmesh's Data Storage and Analysis pipeline
+// (§3.5): agents upload latency records to Cosmos; recurring SCOPE jobs at
+// three cadences aggregate them; results land in the report database from
+// which visualization, reports and alerts are produced.
+//
+//   - 10-minute jobs (near-real-time): per-DC and per-service network SLA
+//     plus threshold alerting (§4.3).
+//   - 1-hour jobs: pod-pair heatmaps with pattern classification (§6.3)
+//     and per-pod SLA.
+//   - 1-day jobs: per-class drop rates (Table 1) and black-hole detection
+//     input (§5.1), handed to a detection callback.
+package dsa
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pingmesh/internal/analysis"
+	"pingmesh/internal/blackhole"
+	"pingmesh/internal/cosmos"
+	"pingmesh/internal/probe"
+	"pingmesh/internal/reportdb"
+	"pingmesh/internal/scope"
+	"pingmesh/internal/simclock"
+	"pingmesh/internal/topology"
+	"pingmesh/internal/viz"
+)
+
+// Config assembles a pipeline.
+type Config struct {
+	Store *cosmos.Store
+	Top   *topology.Topology
+	// StreamPrefix selects the agent upload streams. Default "pingmesh".
+	StreamPrefix string
+	// Clock defaults to wall time.
+	Clock simclock.Clock
+	// Thresholds for SLA alerting; zero value means DefaultThresholds.
+	Thresholds analysis.Thresholds
+	// Services whose SLA is tracked individually.
+	Services []*analysis.Service
+	// BlackholeConfig tunes daily black-hole detection.
+	BlackholeConfig blackhole.Config
+	// OnDetection, if set, receives the daily black-hole detection result
+	// (the hook the auto-repair loop attaches to).
+	OnDetection func(blackhole.Detection)
+	// HeatmapMinProbes is the per-cell probe floor for heatmaps. Default 5.
+	HeatmapMinProbes uint64
+	// Retention is how long daily record streams are kept before the daily
+	// job ages them out. The paper keeps two months of Pingmesh data
+	// (§4.3). Default 60 days.
+	Retention time.Duration
+}
+
+// Report database tables the pipeline writes.
+const (
+	TableSLA        = "sla"        // scope-level SLA rows
+	TableAlerts     = "alerts"     // fired SLA violations
+	TablePatterns   = "patterns"   // heatmap pattern classifications
+	TableDropRates  = "drop_rates" // per-DC per-class drop rates
+	TableBlackholes = "blackholes" // black-hole candidates
+)
+
+// Pipeline is a running DSA instance.
+type Pipeline struct {
+	cfg    Config
+	engine *scope.Engine
+	jm     *scope.JobManager
+	db     *reportdb.DB
+	keyer  *analysis.Keyer
+
+	mu     sync.Mutex
+	alerts []analysis.Alert
+}
+
+// New builds a pipeline and creates its tables.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.Store == nil || cfg.Top == nil {
+		return nil, fmt.Errorf("dsa: store and topology required")
+	}
+	if cfg.StreamPrefix == "" {
+		cfg.StreamPrefix = "pingmesh"
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.NewReal()
+	}
+	if cfg.Thresholds == (analysis.Thresholds{}) {
+		cfg.Thresholds = analysis.DefaultThresholds()
+	}
+	if cfg.HeatmapMinProbes == 0 {
+		cfg.HeatmapMinProbes = 5
+	}
+	if cfg.Retention <= 0 {
+		cfg.Retention = 60 * 24 * time.Hour
+	}
+	p := &Pipeline{
+		cfg:    cfg,
+		engine: &scope.Engine{},
+		jm:     scope.NewJobManager(cfg.Clock),
+		db:     reportdb.New(),
+		keyer:  &analysis.Keyer{Top: cfg.Top},
+	}
+	for _, t := range []struct {
+		name string
+		cols []string
+	}{
+		{TableSLA, []string{"scope", "window_start", "window_end", "probes", "p50", "p99", "drop_rate", "failure_rate"}},
+		{TableAlerts, []string{"scope", "at", "reason", "drop_rate", "p99"}},
+		{TablePatterns, []string{"dc", "window_start", "pattern", "podset"}},
+		{TableDropRates, []string{"dc", "class", "window_start", "probes", "drop_rate"}},
+		{TableBlackholes, []string{"tor", "score", "window_start"}},
+	} {
+		if err := p.db.CreateTable(t.name, t.cols...); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// DB exposes the report database for dashboards and tests.
+func (p *Pipeline) DB() *reportdb.DB { return p.db }
+
+// JobMetrics exposes the job manager's watchdog counters.
+func (p *Pipeline) JobMetrics() map[string]int64 {
+	return p.jm.Metrics().Snapshot().Counters
+}
+
+// Alerts returns every alert fired so far, oldest first.
+func (p *Pipeline) Alerts() []analysis.Alert {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]analysis.Alert(nil), p.alerts...)
+}
+
+// Start schedules the three recurring jobs. Call Stop to cancel.
+func (p *Pipeline) Start() {
+	p.jm.Schedule("10min", scope.Every10Min, p.RunTenMinute)
+	p.jm.Schedule("1hour", scope.Every1Hour, p.RunHourly)
+	p.jm.Schedule("1day", scope.Every1Day, p.RunDaily)
+}
+
+// Stop cancels the recurring jobs.
+func (p *Pipeline) Stop() { p.jm.StopAll() }
+
+func (p *Pipeline) source() scope.Source {
+	return scope.Source{Store: p.cfg.Store, StreamPrefix: p.cfg.StreamPrefix}
+}
+
+// RunTenMinute computes near-real-time SLA per DC and per service over the
+// window and fires threshold alerts.
+func (p *Pipeline) RunTenMinute(from, to time.Time) error {
+	res, err := p.engine.Run(scope.Job{
+		Name:   "sla-dc",
+		Source: p.source(),
+		From:   from, To: to,
+		// The paper's headline SLA metric is the intra-DC TCP SYN RTT
+		// without payload.
+		Where: func(r *probe.Record) bool { return r.Class != probe.InterDC && r.PayloadLen == 0 },
+		Key:   p.keyer.SrcDC,
+	})
+	if err != nil {
+		return err
+	}
+	for scopeName, st := range res.Groups {
+		p.insertSLA("dc/"+scopeName, from, to, st)
+	}
+	p.fireAlerts(prefixGroups("dc/", res.Groups), to)
+
+	// The inter-DC pipeline (§6.2: a separate processing pipeline was
+	// added when Pingmesh was extended across data centers).
+	interDC, err := p.engine.Run(scope.Job{
+		Name:   "sla-interdc",
+		Source: p.source(),
+		From:   from, To: to,
+		Where: func(r *probe.Record) bool { return r.Class == probe.InterDC },
+		Key:   p.keyer.DCPair,
+	})
+	if err != nil {
+		return err
+	}
+	for scopeName, st := range interDC.Groups {
+		p.insertSLA("interdc/"+scopeName, from, to, st)
+	}
+
+	for _, svc := range p.cfg.Services {
+		svcRes, err := p.engine.Run(scope.Job{
+			Name:   "sla-service-" + svc.Name,
+			Source: p.source(),
+			From:   from, To: to,
+			Where: func(r *probe.Record) bool {
+				return r.Class != probe.InterDC && r.PayloadLen == 0 && svc.Contains(r)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		st := svcRes.Get("")
+		p.insertSLA("service/"+svc.Name, from, to, st)
+		p.fireAlerts(map[string]*analysis.LatencyStats{"service/" + svc.Name: st}, to)
+	}
+	return nil
+}
+
+// RunHourly computes pod-level SLA and the pod-pair heatmap with pattern
+// classification for every DC.
+func (p *Pipeline) RunHourly(from, to time.Time) error {
+	res, err := p.engine.Run(scope.Job{
+		Name:   "pod-pairs",
+		Source: p.source(),
+		From:   from, To: to,
+		Where: func(r *probe.Record) bool { return r.Class != probe.InterDC && r.PayloadLen == 0 },
+		Key:   p.keyer.PodPair,
+	})
+	if err != nil {
+		return err
+	}
+	for di := range p.cfg.Top.DCs {
+		h := viz.BuildHeatmap(p.cfg.Top, di, res.Groups, p.cfg.HeatmapMinProbes)
+		cls := h.Classify()
+		if err := p.db.Insert(TablePatterns, reportdb.Row{
+			"dc":           p.cfg.Top.DCs[di].Name,
+			"window_start": from,
+			"pattern":      cls.Pattern.String(),
+			"podset":       cls.Podset,
+		}); err != nil {
+			return err
+		}
+	}
+
+	podRes, err := p.engine.Run(scope.Job{
+		Name:   "sla-pod",
+		Source: p.source(),
+		From:   from, To: to,
+		Where: func(r *probe.Record) bool { return r.Class != probe.InterDC && r.PayloadLen == 0 },
+		Key:   p.keyer.SrcPod,
+	})
+	if err != nil {
+		return err
+	}
+	for scopeName, st := range podRes.Groups {
+		p.insertSLA("pod/"+scopeName, from, to, st)
+	}
+	return nil
+}
+
+// RunDaily computes per-DC per-class drop rates (the Table 1 rows) and
+// runs black-hole detection over server-pair stats.
+func (p *Pipeline) RunDaily(from, to time.Time) error {
+	for _, class := range []probe.Class{probe.IntraPod, probe.IntraDC, probe.InterDC} {
+		class := class
+		res, err := p.engine.Run(scope.Job{
+			Name:   "drop-" + class.String(),
+			Source: p.source(),
+			From:   from, To: to,
+			Where: func(r *probe.Record) bool { return r.Class == class && r.PayloadLen == 0 },
+			Key:   p.keyer.SrcDC,
+		})
+		if err != nil {
+			return err
+		}
+		for dc, st := range res.Groups {
+			if err := p.db.Insert(TableDropRates, reportdb.Row{
+				"dc":           dc,
+				"class":        class.String(),
+				"window_start": from,
+				"probes":       int64(st.Total()),
+				"drop_rate":    st.DropRate(),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	pairRes, err := p.engine.Run(scope.Job{
+		Name:   "server-pairs",
+		Source: p.source(),
+		From:   from, To: to,
+		Key: p.keyer.ServerPair,
+	})
+	if err != nil {
+		return err
+	}
+	det := blackhole.Detect(p.cfg.Top, pairRes.Groups, p.cfg.BlackholeConfig)
+	for _, cand := range det.Candidates {
+		if err := p.db.Insert(TableBlackholes, reportdb.Row{
+			"tor":          p.cfg.Top.Switch(cand.ToR).Name,
+			"score":        cand.Score,
+			"window_start": from,
+		}); err != nil {
+			return err
+		}
+	}
+	if p.cfg.OnDetection != nil {
+		p.cfg.OnDetection(det)
+	}
+
+	p.ageOut(to)
+	return nil
+}
+
+// ageOut deletes daily streams older than the retention window. Stream
+// names end in a YYYY-MM-DD day (cosmos.DailyStream); undated streams are
+// left alone.
+func (p *Pipeline) ageOut(now time.Time) {
+	cutoff := now.Add(-p.cfg.Retention)
+	for _, name := range p.cfg.Store.Streams(p.cfg.StreamPrefix) {
+		if len(name) < len("2006-01-02") {
+			continue
+		}
+		day, err := time.Parse("2006-01-02", name[len(name)-len("2006-01-02"):])
+		if err != nil {
+			continue
+		}
+		// A day's stream is complete at day+24h; it expires once that
+		// endpoint falls behind the cutoff.
+		if day.Add(24 * time.Hour).Before(cutoff) {
+			p.cfg.Store.DeleteStream(name)
+		}
+	}
+}
+
+func (p *Pipeline) insertSLA(scopeName string, from, to time.Time, st *analysis.LatencyStats) {
+	p.db.Insert(TableSLA, reportdb.Row{
+		"scope":        scopeName,
+		"window_start": from,
+		"window_end":   to,
+		"probes":       int64(st.Total()),
+		"p50":          st.Percentile(0.50),
+		"p99":          st.Percentile(0.99),
+		"drop_rate":    st.DropRate(),
+		"failure_rate": st.FailureRate(),
+	})
+}
+
+func (p *Pipeline) fireAlerts(groups map[string]*analysis.LatencyStats, at time.Time) {
+	alerts := analysis.CheckAll(groups, p.cfg.Thresholds, at)
+	if len(alerts) == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.alerts = append(p.alerts, alerts...)
+	p.mu.Unlock()
+	for _, a := range alerts {
+		p.db.Insert(TableAlerts, reportdb.Row{
+			"scope":     a.Scope,
+			"at":        a.At,
+			"reason":    a.Reason,
+			"drop_rate": a.DropRate,
+			"p99":       a.P99,
+		})
+	}
+}
+
+func prefixGroups(prefix string, groups map[string]*analysis.LatencyStats) map[string]*analysis.LatencyStats {
+	out := make(map[string]*analysis.LatencyStats, len(groups))
+	for k, v := range groups {
+		out[prefix+k] = v
+	}
+	return out
+}

@@ -1,0 +1,323 @@
+package dsa
+
+import (
+	"testing"
+	"time"
+
+	"pingmesh/internal/analysis"
+	"pingmesh/internal/blackhole"
+	"pingmesh/internal/core"
+	"pingmesh/internal/cosmos"
+	"pingmesh/internal/fleet"
+	"pingmesh/internal/netsim"
+	"pingmesh/internal/probe"
+	"pingmesh/internal/reportdb"
+	"pingmesh/internal/simclock"
+	"pingmesh/internal/topology"
+)
+
+var t0 = time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+
+// rig builds a simulated deployment and pushes one hour of probes through
+// Cosmos, returning the loaded pipeline pieces.
+type rig struct {
+	top   *topology.Topology
+	net   *netsim.Network
+	store *cosmos.Store
+	pipe  *Pipeline
+}
+
+func buildRig(t *testing.T, mutate func(*netsim.Network), cfgMutate func(*Config)) *rig {
+	t.Helper()
+	top, err := topology.Build(topology.Spec{DCs: []topology.DCSpec{
+		{Name: "DC1", Podsets: 2, PodsPerPodset: 3, ServersPerPod: 3, LeavesPerPodset: 2, Spines: 4},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := netsim.New(top, netsim.Config{Profiles: []netsim.Profile{netsim.DC1Profile()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutate != nil {
+		mutate(n)
+	}
+	store, err := cosmos.NewStore(3, cosmos.Config{ExtentSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists, err := core.Generate(top, core.DefaultGeneratorConfig(), "v1", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &fleet.Runner{Net: n, Lists: lists, Seed: 9}
+	err = runner.Run(t0, t0.Add(time.Hour), func(src topology.ServerID, recs []probe.Record) {
+		if err := store.Append("pingmesh/2026-07-01", probe.EncodeBatch(recs)); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Store: store, Top: top, Clock: simclock.NewSim(t0)}
+	if cfgMutate != nil {
+		cfgMutate(&cfg)
+	}
+	pipe, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{top: top, net: n, store: store, pipe: pipe}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted empty config")
+	}
+}
+
+func TestTenMinuteJobWritesSLA(t *testing.T) {
+	r := buildRig(t, nil, nil)
+	if err := r.pipe.RunTenMinute(t0, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := r.pipe.DB().Query(TableSLA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("sla rows = %d, want 1 (one DC)", len(rows))
+	}
+	row := rows[0]
+	if row["scope"] != "dc/DC1" {
+		t.Fatalf("scope = %v", row["scope"])
+	}
+	p50 := row["p50"].(time.Duration)
+	if p50 < 100*time.Microsecond || p50 > 2*time.Millisecond {
+		t.Fatalf("p50 = %v, implausible", p50)
+	}
+	if row["probes"].(int64) == 0 {
+		t.Fatal("no probes counted")
+	}
+	// Healthy network: no alerts.
+	if alerts := r.pipe.Alerts(); len(alerts) != 0 {
+		t.Fatalf("alerts on healthy network: %v", alerts)
+	}
+}
+
+func TestServiceSLAAndAlerting(t *testing.T) {
+	var svc *analysis.Service
+	r := buildRig(t, func(n *netsim.Network) {
+		// Degrade podset 1 so the service using it breaks SLA.
+		n.SetPodsetDegraded(0, 1, netsim.Degradation{ExtraLatencyMean: 10 * time.Millisecond})
+	}, nil)
+	_ = svc
+	// Rebuild the pipeline with a service over podset 1's servers.
+	ids := r.top.DCs[0].Podsets[1].Servers()
+	service := analysis.ServiceFromServers("search", r.top, ids)
+	pipe, err := New(Config{Store: r.store, Top: r.top, Clock: simclock.NewSim(t0), Services: []*analysis.Service{service}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.RunTenMinute(t0, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := pipe.DB().Query(TableSLA, reportdb.Where(func(row reportdb.Row) bool {
+		return row["scope"] == "service/search"
+	}))
+	if len(rows) != 1 {
+		t.Fatalf("service sla rows = %d", len(rows))
+	}
+	// The degraded podset pushes the service P99 over 5ms: an alert fires.
+	found := false
+	for _, a := range pipe.Alerts() {
+		if a.Scope == "service/search" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no alert for degraded service; alerts=%v", pipe.Alerts())
+	}
+}
+
+func TestHourlyJobClassifiesPatterns(t *testing.T) {
+	r := buildRig(t, func(n *netsim.Network) {
+		n.SetTierDegraded(0, topology.TierSpine, netsim.Degradation{ExtraLatencyMean: 10 * time.Millisecond})
+	}, nil)
+	if err := r.pipe.RunHourly(t0, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := r.pipe.DB().Query(TablePatterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("pattern rows = %d", len(rows))
+	}
+	if rows[0]["pattern"] != "spine-failure" {
+		t.Fatalf("pattern = %v, want spine-failure", rows[0]["pattern"])
+	}
+	// Pod SLA rows exist for all 4 pods.
+	slaRows, _ := r.pipe.DB().Query(TableSLA)
+	if len(slaRows) != 6 {
+		t.Fatalf("pod sla rows = %d, want 6", len(slaRows))
+	}
+}
+
+func TestDailyJobDropRatesAndBlackholes(t *testing.T) {
+	var detected []blackhole.Detection
+	r := buildRig(t, func(n *netsim.Network) {
+		n.AddBlackhole(n.Topology().ToRs(0)[1], netsim.Blackhole{MatchFraction: 0.4})
+	}, func(cfg *Config) {
+		cfg.BlackholeConfig = blackhole.Config{VictimPairFraction: 0.3}
+		cfg.OnDetection = func(d blackhole.Detection) { detected = append(detected, d) }
+	})
+	if err := r.pipe.RunDaily(t0, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	drops, _ := r.pipe.DB().Query(TableDropRates)
+	if len(drops) < 2 {
+		t.Fatalf("drop rate rows = %d, want intra-pod and intra-dc", len(drops))
+	}
+	bh, _ := r.pipe.DB().Query(TableBlackholes)
+	if len(bh) == 0 {
+		t.Fatal("black-hole candidate not recorded")
+	}
+	if len(detected) != 1 || len(detected[0].Candidates) == 0 {
+		t.Fatalf("detection callback = %v", detected)
+	}
+	wantToR := r.top.Switch(r.top.ToRs(0)[1]).Name
+	if bh[0]["tor"] != wantToR {
+		t.Fatalf("candidate = %v, want %v", bh[0]["tor"], wantToR)
+	}
+}
+
+func TestScheduledPipelineRunsOnSimClock(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	r := buildRig(t, nil, func(cfg *Config) { cfg.Clock = clock })
+	r.pipe.Start()
+	defer r.pipe.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if clock.PendingTimers() >= 3 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Advance one hour in 10-minute steps: six 10-min runs + one hourly.
+	// Wait for each run to land before advancing again so the buffered
+	// ticker never drops a tick while a job is still executing.
+	for i := 0; i < 6; i++ {
+		clock.Advance(10 * time.Minute)
+		stepDeadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(stepDeadline) {
+			if r.pipe.JobMetrics()["scope.job.10min.runs"] >= int64(i+1) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		m := r.pipe.JobMetrics()
+		if m["scope.job.10min.runs"] >= 6 && m["scope.job.1hour.runs"] >= 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m := r.pipe.JobMetrics()
+	if m["scope.job.10min.runs"] < 6 {
+		t.Fatalf("10min runs = %d", m["scope.job.10min.runs"])
+	}
+	if m["scope.job.1hour.runs"] < 1 {
+		t.Fatalf("1hour runs = %d", m["scope.job.1hour.runs"])
+	}
+	if m["scope.job.10min.errors"] > 0 || m["scope.job.1hour.errors"] > 0 {
+		t.Fatalf("job errors: %v", m)
+	}
+	// SLA rows accumulated across windows.
+	if r.pipe.DB().Count(TableSLA) == 0 {
+		t.Fatal("no SLA rows from scheduled runs")
+	}
+}
+
+func TestInterDCPipeline(t *testing.T) {
+	// A two-DC fleet: the 10-minute job also feeds the separate inter-DC
+	// pipeline (§6.2), producing per-DC-pair SLA rows with WAN-scale
+	// latency.
+	top, err := topology.Build(topology.Spec{DCs: []topology.DCSpec{
+		{Name: "DC1", Podsets: 2, PodsPerPodset: 2, ServersPerPod: 3, LeavesPerPodset: 2, Spines: 4},
+		{Name: "DC2", Podsets: 2, PodsPerPodset: 2, ServersPerPod: 3, LeavesPerPodset: 2, Spines: 4},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := netsim.New(top, netsim.Config{Profiles: []netsim.Profile{netsim.DC1Profile(), netsim.DC2Profile()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := cosmos.NewStore(3, cosmos.Config{ExtentSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists, err := core.Generate(top, core.DefaultGeneratorConfig(), "v1", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &fleet.Runner{Net: n, Lists: lists, Seed: 10}
+	err = runner.Run(t0, t0.Add(time.Hour), func(src topology.ServerID, recs []probe.Record) {
+		if err := store.Append("pingmesh/2026-07-01", probe.EncodeBatch(recs)); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := New(Config{Store: store, Top: top, Clock: simclock.NewSim(t0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.RunTenMinute(t0, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := pipe.DB().Query(TableSLA, reportdb.Where(func(r reportdb.Row) bool {
+		s, _ := r["scope"].(string)
+		return len(s) > 8 && s[:8] == "interdc/"
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both directions of the DC pair.
+	if len(rows) != 2 {
+		t.Fatalf("inter-DC rows = %d, want 2 (both directions)", len(rows))
+	}
+	for _, r := range rows {
+		p50 := r["p50"].(time.Duration)
+		if p50 < 20*time.Millisecond || p50 > 40*time.Millisecond {
+			t.Fatalf("inter-DC p50 = %v for %v, want WAN-scale ~24ms", p50, r["scope"])
+		}
+	}
+}
+
+func TestRetentionAgesOutOldStreams(t *testing.T) {
+	r := buildRig(t, nil, func(cfg *Config) { cfg.Retention = 10 * 24 * time.Hour })
+	// Plant an old stream and an undated one next to the fresh data.
+	if err := r.store.Append("pingmesh/2026-06-01", []byte("old data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.store.Append("pingmesh/manual-notes", []byte("keep me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.pipe.RunDaily(t0, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.store.Streams("pingmesh/2026-06-01"); len(got) != 0 {
+		t.Fatalf("expired stream survived: %v", got)
+	}
+	if got := r.store.Streams("pingmesh/2026-07-01"); len(got) != 1 {
+		t.Fatalf("in-retention stream deleted: %v", got)
+	}
+	if got := r.store.Streams("pingmesh/manual-notes"); len(got) != 1 {
+		t.Fatalf("undated stream deleted: %v", got)
+	}
+}

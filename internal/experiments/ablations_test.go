@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationECMP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation experiment")
+	}
+	r, err := AblationECMP(Options{Probes: 128_000, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh ports: every pair's probes spread across all 8 spines, so
+	// every pair sees a diluted but detectable elevated rate.
+	if r.FreshPortDetection < 0.9 {
+		t.Fatalf("fresh-port detection = %.2f, want ~1.0", r.FreshPortDetection)
+	}
+	// Fixed ports: only pairs whose single path crosses the lossy spine
+	// (~1/8) see anything.
+	if r.FixedPortDetection > 0.5 {
+		t.Fatalf("fixed-port detection = %.2f, want ~1/8", r.FixedPortDetection)
+	}
+	if r.FreshPortDetection <= r.FixedPortDetection {
+		t.Fatal("port variation did not improve coverage")
+	}
+	rep := r.Report()
+	if !strings.Contains(rep.String(), "fresh-port") {
+		t.Fatal("report broken")
+	}
+}
+
+func TestAblationDropHeuristic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation experiment")
+	}
+	r, err := AblationDropHeuristic(Options{Probes: 400_000, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper heuristic lands in the same decade as the injected loss.
+	if r.PaperHeuristic < r.TrueInjected/2 || r.PaperHeuristic > r.TrueInjected*20 {
+		t.Fatalf("paper heuristic %.2e vs injected %.2e", r.PaperHeuristic, r.TrueInjected)
+	}
+	// Counting 9s as two drops inflates the estimate.
+	if r.NineCountsTwo < r.PaperHeuristic {
+		t.Fatal("double-counting did not inflate")
+	}
+	// Treating failures as drops is dominated by the dead podset: orders
+	// of magnitude above the real loss.
+	if r.FailureRateAllProbes < r.PaperHeuristic*10 {
+		t.Fatalf("failure-rate estimator %.2e should dwarf heuristic %.2e (dead hosts)",
+			r.FailureRateAllProbes, r.PaperHeuristic)
+	}
+	rep := r.Report()
+	if !strings.Contains(rep.String(), "heuristic") {
+		t.Fatal("report broken")
+	}
+}
+
+func TestAblationSampling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation experiment")
+	}
+	r, err := AblationSampling(Options{Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	full := r.Rows[0] // 4/4 servers
+	one := r.Rows[2]  // 1/4 servers
+	if full.Detected < full.Seeded-1 {
+		t.Fatalf("full participation detected %d of %d", full.Detected, full.Seeded)
+	}
+	if one.Detected > full.Detected {
+		t.Fatalf("sampled participation (%d) outperformed full (%d)", one.Detected, full.Detected)
+	}
+	rep := r.Report()
+	if !strings.Contains(rep.String(), "servers per pod") {
+		t.Fatal("report broken")
+	}
+}
+
+func TestAblationGraphDesign(t *testing.T) {
+	r, err := AblationGraphDesign(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FlatGraphPeers != r.Servers-1 {
+		t.Fatalf("flat peers = %d", r.FlatGraphPeers)
+	}
+	// The 3-level design's fan-out is bounded by the rack count, far
+	// below n-1.
+	if r.ThreeLevelMax >= r.FlatGraphPeers/10 {
+		t.Fatalf("3-level fan-out %d not clearly below flat %d", r.ThreeLevelMax, r.FlatGraphPeers)
+	}
+	if r.ProbesPerSecFleetFlat <= r.ProbesPerSecFleet3L*10 {
+		t.Fatalf("flat fleet rate %.0f not clearly above 3-level %.0f",
+			r.ProbesPerSecFleetFlat, r.ProbesPerSecFleet3L)
+	}
+	rep := r.Report()
+	if !strings.Contains(rep.String(), "fan-out") {
+		t.Fatal("report broken")
+	}
+}

@@ -1,0 +1,188 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4–§6) against the simulated substrate. Each experiment
+// returns structured results plus a printable report comparing the paper's
+// numbers with the measured ones. Absolute values depend on the simulator
+// calibration; the assertions that matter — orderings, ratios, crossovers,
+// detection dynamics — are checked by the experiment tests and the
+// benchmark harness.
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"pingmesh/internal/analysis"
+	"pingmesh/internal/metrics"
+	"pingmesh/internal/netsim"
+	"pingmesh/internal/probe"
+	"pingmesh/internal/topology"
+)
+
+// Row is one line of a paper-vs-measured comparison.
+type Row struct {
+	Label    string
+	Paper    string
+	Measured string
+}
+
+// Report is a printable experiment result.
+type Report struct {
+	ID    string // e.g. "Figure 4(b)"
+	Title string
+	Rows  []Row
+	Notes []string
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	w := 12
+	for _, row := range r.Rows {
+		if len(row.Label) > w {
+			w = len(row.Label)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %-22s  %s\n", w, "metric", "paper", "measured")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-*s  %-22s  %s\n", w, row.Label, row.Paper, row.Measured)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Options scales an experiment run.
+type Options struct {
+	// Probes is the per-distribution probe budget. Experiments choose
+	// sensible defaults when zero; tails and drop rates sharpen with more.
+	Probes int
+	// Seed makes runs reproducible.
+	Seed uint64
+	// Workers bounds parallelism (default NumCPU).
+	Workers int
+}
+
+func (o Options) probes(def int) int {
+	if o.Probes > 0 {
+		return o.Probes
+	}
+	return def
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return 0x9127
+}
+
+// pairKind selects which locality class of server pairs to sample.
+type pairKind int
+
+const (
+	pairIntraPod    pairKind = iota
+	pairInterPod             // different pod, same DC (the paper's headline metric)
+	pairCrossPodset          // different podset: the path must cross the Spine tier
+)
+
+// samplePairs returns up to want (src,dst) pairs of the given kind within
+// one DC, spread deterministically across the fabric.
+func samplePairs(top *topology.Topology, dc int, kind pairKind, want int, seed uint64) [][2]topology.ServerID {
+	rng := rand.New(rand.NewPCG(seed, uint64(dc)+1))
+	servers := top.DCs[dc].Servers()
+	var out [][2]topology.ServerID
+	for len(out) < want {
+		src := servers[rng.IntN(len(servers))]
+		dst := servers[rng.IntN(len(servers))]
+		if src == dst {
+			continue
+		}
+		samePod := top.SamePod(src, dst)
+		switch kind {
+		case pairIntraPod:
+			if !samePod {
+				continue
+			}
+		case pairInterPod:
+			if samePod {
+				continue
+			}
+		case pairCrossPodset:
+			if top.SamePodset(src, dst) {
+				continue
+			}
+		}
+		out = append(out, [2]topology.ServerID{src, dst})
+	}
+	return out
+}
+
+// measureDist probes the pairs round-robin for a total of n probes and
+// aggregates stats, in parallel. Each probe uses a fresh source port so
+// ECMP paths vary; start stamps drive load profiles.
+func measureDist(net *netsim.Network, pairs [][2]topology.ServerID, n, payload int, start time.Time, seed uint64, workers int) *analysis.LatencyStats {
+	results := make([]*analysis.LatencyStats, workers)
+	var wg sync.WaitGroup
+	per := n / workers
+	top := net.Topology()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed+uint64(w)*7919, uint64(w)+13))
+			st := analysis.NewLatencyStats()
+			for i := 0; i < per; i++ {
+				p := pairs[(i*workers+w)%len(pairs)]
+				res := net.Probe(netsim.ProbeSpec{
+					Src: p[0], Dst: p[1],
+					SrcPort:    uint16(32768 + rng.IntN(28000)),
+					DstPort:    8765,
+					PayloadLen: payload,
+					Start:      start,
+				}, rng)
+				rec := probe.Record{
+					Src: top.Server(p[0]).Addr, Dst: top.Server(p[1]).Addr,
+					RTT: res.RTT, PayloadRTT: res.PayloadRTT, Err: res.Err,
+				}
+				st.Add(&rec)
+			}
+			results[w] = st
+		}(w)
+	}
+	wg.Wait()
+	total := analysis.NewLatencyStats()
+	for _, st := range results {
+		total.Merge(st)
+	}
+	return total
+}
+
+// fmtDur renders a duration with µs/ms precision like the paper quotes.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dus", d.Microseconds())
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+func fmtSummary(s metrics.Summary) string {
+	return fmt.Sprintf("P50=%s P99=%s P99.9=%s P99.99=%s",
+		fmtDur(s.P50), fmtDur(s.P99), fmtDur(s.P999), fmtDur(s.P9999))
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQoSMonitoring(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet experiment")
+	}
+	r, err := QoSMonitoring(Options{Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.High.Count == 0 || r.Low.Count == 0 {
+		t.Fatalf("missing probes: high=%d low=%d", r.High.Count, r.Low.Count)
+	}
+	// Low priority sees deeper queues under load: visibly slower at P90.
+	if r.Low.P90 <= r.High.P90 {
+		t.Fatalf("low-QoS P90 %v <= high-QoS P90 %v", r.Low.P90, r.High.P90)
+	}
+	rep := r.Report()
+	if !strings.Contains(rep.String(), "low-QoS") {
+		t.Fatal("report broken")
+	}
+}

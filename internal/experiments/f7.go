@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"pingmesh/internal/netsim"
+	"pingmesh/internal/silentdrop"
+	"pingmesh/internal/topology"
+)
+
+// Figure7Result replays the Spine silent-random-drop incident of §5.2:
+// a service's drop rate jumps from its 1e-4..1e-5 baseline to ~2e-3, the
+// localizer pins the faulty Spine via traceroute, isolation restores the
+// baseline, and the fault — being hardware — survives a reload and needs
+// RMA.
+type Figure7Result struct {
+	// Windows is the drop-rate time series across the incident, one point
+	// per 10-minute window.
+	Windows []WindowPoint
+	// SuspectName is the switch the localizer blamed.
+	SuspectName string
+	// Correct reports whether the blamed switch is the injected one.
+	Correct bool
+	// ReloadFixed reports whether a reload cleared the fault (the paper:
+	// it does not; bit flips in the fabric module need RMA).
+	ReloadFixed bool
+}
+
+// WindowPoint is one measurement window.
+type WindowPoint struct {
+	Window   int
+	Phase    string // "baseline", "incident", "isolated"
+	DropRate float64
+}
+
+// Figure7 runs the incident end to end.
+func Figure7(opts Options) (*Figure7Result, error) {
+	top, err := topology.Build(topology.Spec{DCs: []topology.DCSpec{
+		{Name: "DC1", Podsets: 3, PodsPerPodset: 4, ServersPerPod: 8, LeavesPerPodset: 4, Spines: 8},
+	}})
+	if err != nil {
+		return nil, err
+	}
+	net, err := netsim.New(top, netsim.Config{Profiles: []netsim.Profile{netsim.DC1Profile()}})
+	if err != nil {
+		return nil, err
+	}
+	perWindow := opts.probes(2_700_000) / 18
+	if perWindow < 20000 {
+		perWindow = 20000
+	}
+	pairs := samplePairs(top, 0, pairInterPod, 512, opts.seed())
+	start := time.Unix(1751328000, 0).UTC()
+	spine := top.DCs[0].Spines[3]
+
+	res := &Figure7Result{}
+	window := 0
+	measure := func(phase string, count int) {
+		for i := 0; i < count; i++ {
+			st := measureDist(net, pairs, perWindow, 0, start.Add(time.Duration(window)*10*time.Minute),
+				opts.seed()+uint64(window)*17, opts.workers())
+			res.Windows = append(res.Windows, WindowPoint{Window: window, Phase: phase, DropRate: st.DropRate()})
+			window++
+		}
+	}
+
+	// Baseline, then the Spine starts flipping bits in its fabric module.
+	measure("baseline", 6)
+	net.SetRandomDrop(spine, 0.015, true)
+	measure("incident", 6)
+
+	// Localize: pick the affected pairs (the ones whose drop estimate is
+	// elevated) and traceroute them.
+	affected := affectedPairs(net, pairs, opts.seed())
+	loc := &silentdrop.Localizer{
+		Net:          net,
+		ProbesPerHop: 600,
+		Rand:         rand.New(rand.NewPCG(opts.seed()+991, 7)),
+	}
+	suspects := loc.Localize(affected)
+	if len(suspects) > 0 {
+		res.SuspectName = top.Switch(suspects[0].Switch).Name
+		res.Correct = suspects[0].Switch == spine
+
+		// Mitigate: isolate from live traffic (§5.2).
+		net.IsolateSwitch(suspects[0].Switch)
+	}
+	measure("isolated", 6)
+
+	// A reload cannot fix hardware: the fault persists until RMA.
+	net.ReloadSwitch(spine)
+	res.ReloadFixed = !net.SwitchFaulty(spine)
+	net.ReplaceSwitch(spine)
+
+	return res, nil
+}
+
+// affectedPairs finds sample pairs whose five-tuples cross lossy fabric by
+// measuring quick per-pair drop estimates, mirroring how the on-call pulled
+// affected source-destination pairs out of Pingmesh data.
+func affectedPairs(net *netsim.Network, pairs [][2]topology.ServerID, seed uint64) []silentdrop.Pair {
+	rng := rand.New(rand.NewPCG(seed+5, 11))
+	var out []silentdrop.Pair
+	for _, p := range pairs {
+		if len(out) >= 8 {
+			break
+		}
+		port := uint16(34000 + rng.IntN(1000))
+		retx := 0
+		const n = 400
+		for i := 0; i < n; i++ {
+			res := net.Probe(netsim.ProbeSpec{Src: p[0], Dst: p[1], SrcPort: port, DstPort: 8765}, rng)
+			if res.Err == "" && res.Attempts > 1 {
+				retx++
+			}
+		}
+		// 1.5% loss per traversal gives ~3% per round trip through the
+		// lossy spine: an unmistakable per-pair signal.
+		if float64(retx)/n > 0.005 {
+			out = append(out, silentdrop.Pair{Src: p[0], Dst: p[1], SrcPort: port, DstPort: 8765})
+		}
+	}
+	return out
+}
+
+// Phase returns the mean drop rate of one phase.
+func (r *Figure7Result) Phase(name string) float64 {
+	var sum float64
+	var n int
+	for _, w := range r.Windows {
+		if w.Phase == name {
+			sum += w.DropRate
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Report renders the Figure 7 comparison.
+func (r *Figure7Result) Report() Report {
+	return Report{
+		ID:    "Figure 7",
+		Title: "Silent random packet drops of a Spine switch",
+		Rows: []Row{
+			{"baseline drop rate", "1e-4..1e-5", fmt.Sprintf("%.1e", r.Phase("baseline"))},
+			{"incident drop rate", "~2e-3", fmt.Sprintf("%.1e", r.Phase("incident"))},
+			{"after isolation", "back to baseline", fmt.Sprintf("%.1e", r.Phase("isolated"))},
+			{"localized switch", "one Spine (traceroute)", fmt.Sprintf("%s correct=%v", r.SuspectName, r.Correct)},
+			{"fixed by reload", "no (RMA required)", fmt.Sprintf("%v", r.ReloadFixed)},
+		},
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTransferRounds(t *testing.T) {
+	cases := []struct {
+		size, icw, want int
+	}{
+		{1460, 4, 1},      // one segment, one round
+		{1460 * 4, 4, 1},  // fills the initial window
+		{1460 * 5, 4, 2},  // spills into round two
+		{1460 * 5, 16, 1}, // but not with a bigger ICW
+		{256 << 10, 16, 4},
+		{256 << 10, 4, 6},
+		{0, 4, 0},
+	}
+	for _, c := range cases {
+		if got := transferRounds(c.size, c.icw); got != c.want {
+			t.Errorf("transferRounds(%d, %d) = %d, want %d", c.size, c.icw, got, c.want)
+		}
+	}
+}
+
+func TestLimitationICW(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distribution experiment")
+	}
+	r, err := LimitationICW(Options{Probes: 10_000, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pingmesh's view is unchanged (same fabric, ICW does not affect a
+	// SYN/SYN-ACK): within a few percent.
+	diff := r.PingmeshRTTBefore - r.PingmeshRTTAfter
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > r.PingmeshRTTBefore/10 {
+		t.Fatalf("Pingmesh RTT changed: %v vs %v", r.PingmeshRTTBefore, r.PingmeshRTTAfter)
+	}
+	// Users' sessions slowed by hundreds of milliseconds.
+	slowdown := r.SessionAfter - r.SessionBefore
+	if slowdown < 25*time.Millisecond {
+		t.Fatalf("session slowdown = %v, want >= one extra cross-DC round trip", slowdown)
+	}
+	rep := r.Report()
+	if !strings.Contains(rep.String(), "ICW") {
+		t.Fatal("report broken")
+	}
+}
+
+func TestScaleMath(t *testing.T) {
+	r, err := ScaleMath(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A record is on the order of 100 bytes; the projected daily volume
+	// lands in the paper's tens-of-terabytes band with >= 1 Gb/s upload.
+	if r.BytesPerRecord < 60 || r.BytesPerRecord > 200 {
+		t.Fatalf("bytes/record = %.0f", r.BytesPerRecord)
+	}
+	if r.TBPerDay < 10 || r.TBPerDay > 50 {
+		t.Fatalf("TB/day = %.1f, want the paper's ~24TB order", r.TBPerDay)
+	}
+	if r.UploadGbps < 1 {
+		t.Fatalf("upload = %.2f Gb/s, paper quotes >2", r.UploadGbps)
+	}
+	rep := r.Report()
+	if !strings.Contains(rep.String(), "24 TB") {
+		t.Fatal("report broken")
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"math/rand/v2"
+	"sync"
+
+	"pingmesh/internal/analysis"
+	"pingmesh/internal/netsim"
+	"pingmesh/internal/probe"
+	"pingmesh/internal/topology"
+)
+
+// probeRelationPairs simulates the Pingmesh probing relation — the
+// intra-pod complete graph plus the intra-DC rank pairing — with k probes
+// per directed pair, and aggregates per-pair stats keyed like the DSA's
+// server-pair job. It is the feed of black-hole detection.
+func probeRelationPairs(net *netsim.Network, k int, seed uint64, workers int) map[string]*analysis.LatencyStats {
+	return probeRelationPairsWithFilter(net, k, seed, workers, nil)
+}
+
+// probeRelationPairsWithFilter restricts participation to servers passing
+// the filter (both as sources and destinations) — the sampled-participation
+// ablation of §6.1. A nil filter means every server participates.
+func probeRelationPairsWithFilter(net *netsim.Network, k int, seed uint64, workers int, participates func(topology.ServerID) bool) map[string]*analysis.LatencyStats {
+	top := net.Topology()
+	servers := top.Servers()
+	if workers <= 0 {
+		workers = 1
+	}
+	if participates == nil {
+		participates = func(topology.ServerID) bool { return true }
+	}
+
+	partials := make([]map[string]*analysis.LatencyStats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed+uint64(w)*104729, uint64(w)^0xfeed))
+			out := map[string]*analysis.LatencyStats{}
+			addPair := func(src, dst topology.ServerID) {
+				key := top.Server(src).Addr.String() + "|" + top.Server(dst).Addr.String()
+				st, ok := out[key]
+				if !ok {
+					st = analysis.NewLatencyStats()
+					out[key] = st
+				}
+				for i := 0; i < k; i++ {
+					res := net.Probe(netsim.ProbeSpec{
+						Src: src, Dst: dst,
+						SrcPort: uint16(33000 + rng.IntN(20000)), DstPort: 8765,
+					}, rng)
+					rec := probe.Record{
+						Src: top.Server(src).Addr, Dst: top.Server(dst).Addr,
+						RTT: res.RTT, Err: res.Err,
+					}
+					st.Add(&rec)
+				}
+			}
+			for si := w; si < len(servers); si += workers {
+				s := &servers[si]
+				if !participates(s.ID) {
+					continue
+				}
+				for _, peer := range top.PodOf(s.ID).Servers {
+					if peer != s.ID && participates(peer) {
+						addPair(s.ID, peer)
+					}
+				}
+				for psi := range top.DCs[s.DC].Podsets {
+					for qi := range top.DCs[s.DC].Podsets[psi].Pods {
+						if psi == s.Podset && qi == s.Pod {
+							continue
+						}
+						pod := &top.DCs[s.DC].Podsets[psi].Pods[qi]
+						if s.Rank < len(pod.Servers) && participates(pod.Servers[s.Rank]) {
+							addPair(s.ID, pod.Servers[s.Rank])
+						}
+					}
+				}
+			}
+			partials[w] = out
+		}(w)
+	}
+	wg.Wait()
+
+	merged := partials[0]
+	for _, part := range partials[1:] {
+		for key, st := range part {
+			if cur, ok := merged[key]; ok {
+				cur.Merge(st)
+			} else {
+				merged[key] = st
+			}
+		}
+	}
+	return merged
+}

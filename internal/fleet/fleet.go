@@ -1,0 +1,226 @@
+// Package fleet drives a whole simulated Pingmesh deployment at
+// experiment speed: it takes the controller-generated pinglists and
+// executes every probe the fleet's agents would launch over a time window
+// against the network simulator, without paying for per-agent goroutines
+// and virtual-clock scheduling. The full agent stack (fetch loops, safety
+// rails, uploads) is exercised separately by the agent package and the
+// integration tests; the fleet runner is how day- and week-long
+// experiments finish in seconds.
+package fleet
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"time"
+
+	"pingmesh/internal/analysis"
+	"pingmesh/internal/netsim"
+	"pingmesh/internal/pinglist"
+	"pingmesh/internal/probe"
+	"pingmesh/internal/topology"
+)
+
+// Runner executes the probing schedule of a set of pinglists.
+type Runner struct {
+	// Net is the simulated network.
+	Net *netsim.Network
+	// Lists holds each server's pinglist (the controller's output).
+	Lists map[topology.ServerID]*pinglist.File
+	// Seed makes runs reproducible.
+	Seed uint64
+	// Workers bounds parallelism. Default NumCPU.
+	Workers int
+	// IntervalScale stretches every peer's probing interval; >1 thins the
+	// probe schedule for quick runs, <1 densifies it for tail resolution.
+	// Default 1.
+	IntervalScale float64
+}
+
+// Run simulates every probe scheduled in [from, to) and hands each
+// server's records to sink. sink is called once per (server, batch) from
+// multiple goroutines; it must be safe for concurrent use.
+func (r *Runner) Run(from, to time.Time, sink func(src topology.ServerID, recs []probe.Record)) error {
+	if r.Net == nil || len(r.Lists) == 0 {
+		return fmt.Errorf("fleet: runner needs a network and pinglists")
+	}
+	if !to.After(from) {
+		return fmt.Errorf("fleet: empty window [%v, %v)", from, to)
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	scale := r.IntervalScale
+	if scale <= 0 {
+		scale = 1
+	}
+
+	ids := make([]topology.ServerID, 0, len(r.Lists))
+	for id := range r.Lists {
+		ids = append(ids, id)
+	}
+	// Deterministic order for deterministic per-server seeds.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+
+	idCh := make(chan topology.ServerID)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for id := range idCh {
+				if err := r.runServer(id, from, to, scale, sink); err != nil && errs[w] == nil {
+					errs[w] = err
+				}
+			}
+		}(w)
+	}
+	for _, id := range ids {
+		idCh <- id
+	}
+	close(idCh)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runServer executes one server's schedule for the window.
+func (r *Runner) runServer(src topology.ServerID, from, to time.Time, scale float64, sink func(topology.ServerID, []probe.Record)) error {
+	top := r.Net.Topology()
+	list := r.Lists[src]
+	rng := rand.New(rand.NewPCG(r.Seed^uint64(src), uint64(src)*0x9e3779b97f4a7c15+1))
+	srcAddr := top.Server(src).Addr
+	port := uint16(32768 + rng.IntN(1000))
+
+	var batch []probe.Record
+	const flushAt = 4096
+	for pi := range list.Peers {
+		p := &list.Peers[pi]
+		dst, ok := top.ServerByAddrString(p.Addr)
+		if !ok {
+			continue // VIP targets have no simulated endpoint
+		}
+		cls, err := p.ParsedClass()
+		if err != nil {
+			return err
+		}
+		proto, _ := p.ParsedProto()
+		qos, _ := p.ParsedQoS()
+		every := time.Duration(float64(p.Interval()) * scale)
+		if every <= 0 {
+			every = time.Second
+		}
+		// Spread each peer's schedule with a stable phase so fleet-wide
+		// probes do not synchronize.
+		phase := time.Duration(rng.Int64N(int64(every)))
+		for t := from.Add(phase); t.Before(to); t = t.Add(every) {
+			// A new source port per probe (§3.4.1).
+			port++
+			if port < 32768 {
+				port = 32768
+			}
+			res := r.Net.Probe(netsim.ProbeSpec{
+				Src: src, Dst: dst,
+				SrcPort: port, DstPort: p.Port,
+				Proto: proto, QoS: qos,
+				PayloadLen: p.PayloadLen,
+				Start:      t,
+			}, rng)
+			rec := probe.Record{
+				Start:      t,
+				Src:        srcAddr,
+				SrcPort:    port,
+				Dst:        top.Server(dst).Addr,
+				DstPort:    p.Port,
+				Class:      cls,
+				Proto:      proto,
+				QoS:        qos,
+				PayloadLen: p.PayloadLen,
+				RTT:        res.RTT,
+				PayloadRTT: res.PayloadRTT,
+				Err:        res.Err,
+			}
+			// Servers in a downed podset do not probe at all (they are
+			// off); their outbound records must not exist, which is what
+			// produces the white rows of Figure 8(b).
+			if !r.Net.ServerUp(src) {
+				continue
+			}
+			batch = append(batch, rec)
+			if len(batch) >= flushAt {
+				sink(src, batch)
+				batch = nil
+			}
+		}
+	}
+	if len(batch) > 0 {
+		sink(src, batch)
+	}
+	return nil
+}
+
+// StatsCollector is a sink that aggregates records into LatencyStats
+// groups on the fly, so day-scale runs never materialize raw records.
+type StatsCollector struct {
+	key    func(*probe.Record) (string, bool)
+	mu     sync.Mutex
+	groups map[string]*analysis.LatencyStats
+}
+
+// NewStatsCollector builds a collector grouping by key; a nil key groups
+// everything under "".
+func NewStatsCollector(key func(*probe.Record) (string, bool)) *StatsCollector {
+	return &StatsCollector{key: key, groups: map[string]*analysis.LatencyStats{}}
+}
+
+// Sink is the fleet.Runner sink.
+func (c *StatsCollector) Sink(_ topology.ServerID, recs []probe.Record) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range recs {
+		k := ""
+		if c.key != nil {
+			var ok bool
+			k, ok = c.key(&recs[i])
+			if !ok {
+				continue
+			}
+		}
+		st, ok := c.groups[k]
+		if !ok {
+			st = analysis.NewLatencyStats()
+			c.groups[k] = st
+		}
+		st.Add(&recs[i])
+	}
+}
+
+// Groups returns the aggregates. The collector must not be used after.
+func (c *StatsCollector) Groups() map[string]*analysis.LatencyStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.groups
+}
+
+// NewRecordCollector returns a sink that appends every record to a shared
+// slice (for small runs and tests).
+func NewRecordCollector() (*[]probe.Record, func(topology.ServerID, []probe.Record)) {
+	var mu sync.Mutex
+	out := &[]probe.Record{}
+	return out, func(_ topology.ServerID, recs []probe.Record) {
+		mu.Lock()
+		*out = append(*out, recs...)
+		mu.Unlock()
+	}
+}

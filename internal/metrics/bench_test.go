@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewLatencyHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(200+i%2000) * time.Microsecond)
+	}
+}
+
+func BenchmarkHistogramPercentile(b *testing.B) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Observe(time.Duration(rng.Int63n(int64(10 * time.Millisecond))))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Percentile(0.99)
+	}
+}
+
+func BenchmarkHistogramMerge(b *testing.B) {
+	a := NewLatencyHistogram()
+	c := NewLatencyHistogram()
+	for i := 0; i < 10000; i++ {
+		a.Observe(time.Duration(i) * time.Microsecond)
+		c.Observe(time.Duration(i*2) * time.Microsecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Clone().Merge(c)
+	}
+}
+
+func BenchmarkHistogramSummarize(b *testing.B) {
+	h := NewLatencyHistogram()
+	for i := 0; i < 100000; i++ {
+		h.Observe(time.Duration(200+i%5000) * time.Microsecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Summarize()
+	}
+}
+
+func BenchmarkLockedHistogramObserve(b *testing.B) {
+	lh := NewLockedLatencyHistogram()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			lh.Observe(300 * time.Microsecond)
+		}
+	})
+}

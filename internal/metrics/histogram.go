@@ -1,0 +1,257 @@
+// Package metrics implements the measurement primitives Pingmesh agents and
+// the analysis pipeline share: exponential-bucket latency histograms with
+// percentile estimation, counters, gauges, and a registry whose snapshots
+// feed the Autopilot Perfcounter Aggregator pipeline.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Latency histograms must span everything Pingmesh observes: sub-100µs
+// intra-pod RTTs up to the 9s SYN-retransmit signature and failed-probe
+// timeouts around 21s. Buckets grow geometrically so relative error stays
+// bounded (~growth-1) across five orders of magnitude.
+const (
+	histMin    = time.Microsecond
+	histMax    = 120 * time.Second
+	histGrowth = 1.05
+)
+
+var latencyBounds = makeBounds(histMin, histMax, histGrowth)
+
+func makeBounds(min, max time.Duration, growth float64) []int64 {
+	var bounds []int64
+	b := float64(min)
+	for time.Duration(b) < max {
+		bounds = append(bounds, int64(b))
+		b *= growth
+	}
+	bounds = append(bounds, int64(max))
+	return bounds
+}
+
+// Histogram records duration observations in geometric buckets and answers
+// percentile queries with bounded relative error. The zero value is NOT
+// ready to use; call NewLatencyHistogram. Histogram is not safe for
+// concurrent use; callers that share one across goroutines must lock.
+type Histogram struct {
+	bounds []int64 // upper bound (ns) of each bucket, ascending
+	counts []uint64
+	count  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewLatencyHistogram returns a histogram spanning 1µs–120s, suitable for
+// every RTT Pingmesh can measure including SYN-retransmit inflated ones.
+func NewLatencyHistogram() *Histogram {
+	return &Histogram{
+		bounds: latencyBounds,
+		counts: make([]uint64, len(latencyBounds)+1),
+		min:    math.MaxInt64,
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= ns })
+	h.counts[i]++
+	h.count++
+	h.sum += ns
+	if ns < h.min {
+		h.min = ns
+	}
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum) }
+
+// Mean returns the mean observation, or 0 if the histogram is empty.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.count))
+}
+
+// Min returns the smallest observation, or 0 if the histogram is empty.
+func (h *Histogram) Min() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Max returns the largest observation, or 0 if the histogram is empty.
+func (h *Histogram) Max() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.max)
+}
+
+// Percentile returns an estimate of the q-quantile (q in [0,1]) by linear
+// interpolation inside the containing bucket. Results are clamped to the
+// observed [Min, Max] range. An empty histogram returns 0.
+func (h *Histogram) Percentile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			lo, hi := h.bucketRange(i)
+			frac := (rank - cum) / float64(c)
+			v := lo + int64(frac*float64(hi-lo))
+			return h.clamp(time.Duration(v))
+		}
+		cum = next
+	}
+	return h.Max()
+}
+
+func (h *Histogram) bucketRange(i int) (lo, hi int64) {
+	switch {
+	case i == 0:
+		return 0, h.bounds[0]
+	case i >= len(h.bounds):
+		return h.bounds[len(h.bounds)-1], h.max
+	default:
+		return h.bounds[i-1], h.bounds[i]
+	}
+}
+
+func (h *Histogram) clamp(d time.Duration) time.Duration {
+	if d < h.Min() {
+		return h.Min()
+	}
+	if d > h.Max() {
+		return h.Max()
+	}
+	return d
+}
+
+// Merge folds other into h. Both histograms must have been created by the
+// same constructor; Merge panics on mismatched bucket layouts.
+func (h *Histogram) Merge(other *Histogram) {
+	if len(h.counts) != len(other.counts) {
+		panic(fmt.Sprintf("metrics: merging histograms with %d and %d buckets", len(h.counts), len(other.counts)))
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.count > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Clone returns a deep copy of h.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	c.counts = append([]uint64(nil), h.counts...)
+	return &c
+}
+
+// Reset discards all observations.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.count, h.sum, h.max = 0, 0, 0
+	h.min = math.MaxInt64
+}
+
+// Summary is a compact percentile snapshot of a histogram: the network SLA
+// metrics Pingmesh tracks (§4 of the paper) plus tail percentiles used by
+// Figure 4(b).
+type Summary struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	P999  time.Duration
+	P9999 time.Duration
+	Max   time.Duration
+}
+
+// Summarize computes a Summary from h.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.count,
+		Mean:  h.Mean(),
+		P50:   h.Percentile(0.50),
+		P90:   h.Percentile(0.90),
+		P99:   h.Percentile(0.99),
+		P999:  h.Percentile(0.999),
+		P9999: h.Percentile(0.9999),
+		Max:   h.Max(),
+	}
+}
+
+// String renders the summary in a compact human-readable form.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d p50=%v p99=%v p99.9=%v p99.99=%v max=%v",
+		s.Count, s.P50, s.P99, s.P999, s.P9999, s.Max)
+}
+
+// CDF returns (value, cumulative-fraction) points for plotting the latency
+// distribution, one point per non-empty bucket.
+func (h *Histogram) CDF() []CDFPoint {
+	if h.count == 0 {
+		return nil
+	}
+	var pts []CDFPoint
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		_, hi := h.bucketRange(i)
+		pts = append(pts, CDFPoint{
+			Value:    h.clamp(time.Duration(hi)),
+			Fraction: float64(cum) / float64(h.count),
+		})
+	}
+	return pts
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    time.Duration
+	Fraction float64
+}

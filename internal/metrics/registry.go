@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta (delta must be >= 0).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// LockedHistogram wraps Histogram with a mutex so the agent's probing
+// goroutines and the perfcounter collector can share it.
+type LockedHistogram struct {
+	mu sync.Mutex
+	h  *Histogram
+}
+
+// NewLockedLatencyHistogram returns a concurrent latency histogram.
+func NewLockedLatencyHistogram() *LockedHistogram {
+	return &LockedHistogram{h: NewLatencyHistogram()}
+}
+
+// Observe records one duration.
+func (l *LockedHistogram) Observe(d time.Duration) {
+	l.mu.Lock()
+	l.h.Observe(d)
+	l.mu.Unlock()
+}
+
+// Snapshot returns a copy of the underlying histogram.
+func (l *LockedHistogram) Snapshot() *Histogram {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.Clone()
+}
+
+// SnapshotAndReset returns a copy and clears the live histogram, for
+// interval-based collection (the PA service collects every 5 minutes).
+func (l *LockedHistogram) SnapshotAndReset() *Histogram {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c := l.h.Clone()
+	l.h.Reset()
+	return c
+}
+
+// Registry holds named counters, gauges, and histograms for one component.
+// The Autopilot Perfcounter Aggregator collects Snapshot()s periodically.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*LockedHistogram
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*LockedHistogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it if needed.
+func (r *Registry) Histogram(name string) *LockedHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewLockedLatencyHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]Summary
+}
+
+// Snapshot captures all metrics.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]Summary, len(r.histograms)),
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range r.histograms {
+		s.Histograms[n] = h.Snapshot().Summarize()
+	}
+	return s
+}
+
+// Names returns the sorted names of all registered metrics, for stable
+// report output.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var names []string
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,276 @@
+// Package netlib is the light-weight network library Pingmesh agents probe
+// with (§3.4.1). The paper's agents deliberately avoid the network
+// libraries applications use, so latency attributed to "the network" can
+// be measured independently of application stacks; this package plays that
+// role here, built directly on the net package.
+//
+// Every probe opens a fresh TCP connection and therefore uses a new
+// ephemeral source port, re-rolling the ECMP hash so probes explore the
+// multipath fabric, and keeping the number of concurrent connections at
+// one per in-flight probe.
+//
+// The probe protocol: the client connects (the SYN/SYN-ACK handshake time
+// is the base RTT measurement), then optionally sends a 4-byte big-endian
+// payload length followed by that many bytes; the server echoes the
+// payload back and the client measures the echo round trip.
+package netlib
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// MaxPayload is the hard upper bound on probe payload size, mirrored from
+// the agent's hard-coded safety limit (§3.4.2).
+const MaxPayload = 64 * 1024
+
+// maxConcurrentConns bounds the echo server's accept fan-out so a
+// misbehaving prober cannot exhaust the host.
+const maxConcurrentConns = 512
+
+// Result is one real-network probe measurement.
+type Result struct {
+	// ConnectRTT is the TCP connection establishment time (SYN/SYN-ACK).
+	ConnectRTT time.Duration
+	// PayloadRTT is the payload echo round trip; 0 if no payload was sent.
+	PayloadRTT time.Duration
+	// SrcPort is the ephemeral source port the probe used — part of the
+	// record because black-hole analysis needs the full five-tuple.
+	SrcPort uint16
+}
+
+// TCPServer is the server half of the probe protocol.
+type TCPServer struct {
+	ln        net.Listener
+	sem       chan struct{}
+	wg        sync.WaitGroup
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewTCPServer starts an echo server on addr (e.g. "127.0.0.1:0").
+func NewTCPServer(addr string) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netlib: listen %s: %w", addr, err)
+	}
+	s := &TCPServer{
+		ln:   ln,
+		sem:  make(chan struct{}, maxConcurrentConns),
+		done: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *TCPServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Port returns the bound TCP port.
+func (s *TCPServer) Port() uint16 {
+	return uint16(s.ln.Addr().(*net.TCPAddr).Port)
+}
+
+// Close stops accepting and waits for in-flight echoes to finish. It is
+// idempotent.
+func (s *TCPServer) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.done)
+		err = s.ln.Close()
+		s.wg.Wait()
+	})
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			conn.Close() // overloaded: shed load rather than queue
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() { <-s.sem }()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn implements the echo protocol for one probe connection.
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return // SYN-only probe: client connected and closed
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxPayload {
+		return // refuse oversized payloads
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return
+	}
+	conn.Write(buf)
+}
+
+// TCPProber launches TCP probes.
+type TCPProber struct {
+	// Timeout bounds each phase (connect, payload echo) of a probe. The
+	// default of 25s is just above the OS's final SYN retransmission, so
+	// retransmit-inflated handshakes are measured rather than aborted.
+	Timeout time.Duration
+	// LocalAddr optionally pins the source address (not the port — ports
+	// must stay ephemeral).
+	LocalAddr net.Addr
+}
+
+func (p *TCPProber) timeout() time.Duration {
+	if p.Timeout > 0 {
+		return p.Timeout
+	}
+	return 25 * time.Second
+}
+
+// Probe connects to addr, optionally echoes payloadLen bytes, and returns
+// the timings. Each call uses a brand-new connection and source port.
+func (p *TCPProber) Probe(ctx context.Context, addr string, payloadLen int) (Result, error) {
+	if payloadLen < 0 || payloadLen > MaxPayload {
+		return Result{}, fmt.Errorf("netlib: payload %d out of range [0,%d]", payloadLen, MaxPayload)
+	}
+	d := net.Dialer{Timeout: p.timeout(), LocalAddr: p.LocalAddr}
+	start := time.Now()
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return Result{}, fmt.Errorf("netlib: connect %s: %w", addr, err)
+	}
+	res := Result{ConnectRTT: time.Since(start)}
+	if la, ok := conn.LocalAddr().(*net.TCPAddr); ok {
+		res.SrcPort = uint16(la.Port)
+	}
+	defer conn.Close()
+	if payloadLen == 0 {
+		return res, nil
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	} else {
+		conn.SetDeadline(time.Now().Add(p.timeout()))
+	}
+	msg := make([]byte, 4+payloadLen)
+	binary.BigEndian.PutUint32(msg, uint32(payloadLen))
+	for i := range msg[4:] {
+		msg[4+i] = byte(i)
+	}
+	echoStart := time.Now()
+	if _, err := conn.Write(msg); err != nil {
+		return res, fmt.Errorf("netlib: send payload: %w", err)
+	}
+	echo := make([]byte, payloadLen)
+	if _, err := io.ReadFull(conn, echo); err != nil {
+		return res, fmt.Errorf("netlib: read echo: %w", err)
+	}
+	res.PayloadRTT = time.Since(echoStart)
+	for i := range echo {
+		if echo[i] != byte(i) {
+			return res, fmt.Errorf("netlib: echo corrupted at byte %d", i)
+		}
+	}
+	return res, nil
+}
+
+// HTTPHandler returns the HTTP side of the probe protocol: GET /ping
+// returns 200 with an optional body of ?size= bytes.
+func HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ping", func(w http.ResponseWriter, r *http.Request) {
+		size := 0
+		if s := r.URL.Query().Get("size"); s != "" {
+			var err error
+			size, err = strconv.Atoi(s)
+			if err != nil || size < 0 || size > MaxPayload {
+				http.Error(w, "bad size", http.StatusBadRequest)
+				return
+			}
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(size))
+		buf := make([]byte, size)
+		w.Write(buf)
+	})
+	return mux
+}
+
+// HTTPProber launches HTTP probes. Keep-alives are disabled so every probe
+// is a fresh connection with a fresh source port, like the TCP prober.
+type HTTPProber struct {
+	Timeout time.Duration
+	once    sync.Once
+	client  *http.Client
+}
+
+func (p *HTTPProber) init() {
+	p.once.Do(func() {
+		t := &http.Transport{DisableKeepAlives: true}
+		timeout := p.Timeout
+		if timeout <= 0 {
+			timeout = 25 * time.Second
+		}
+		p.client = &http.Client{Transport: t, Timeout: timeout}
+	})
+}
+
+// Probe issues GET http://addr/ping?size=payloadLen and measures the full
+// request round trip. ConnectRTT and PayloadRTT both report the total
+// (HTTP probes measure user-perceived latency, not handshake latency).
+func (p *HTTPProber) Probe(ctx context.Context, addr string, payloadLen int) (Result, error) {
+	if payloadLen < 0 || payloadLen > MaxPayload {
+		return Result{}, fmt.Errorf("netlib: payload %d out of range [0,%d]", payloadLen, MaxPayload)
+	}
+	p.init()
+	url := fmt.Sprintf("http://%s/ping?size=%d", addr, payloadLen)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return Result{}, fmt.Errorf("netlib: build request: %w", err)
+	}
+	start := time.Now()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return Result{}, fmt.Errorf("netlib: http probe %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return Result{}, fmt.Errorf("netlib: read body: %w", err)
+	}
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		return Result{}, fmt.Errorf("netlib: http probe %s: status %d", addr, resp.StatusCode)
+	}
+	return Result{ConnectRTT: elapsed, PayloadRTT: elapsed}, nil
+}

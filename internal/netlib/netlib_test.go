@@ -1,0 +1,201 @@
+package netlib
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T) *TCPServer {
+	t.Helper()
+	s, err := NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewTCPServer: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestTCPProbeSYNOnly(t *testing.T) {
+	s := startServer(t)
+	p := &TCPProber{Timeout: 5 * time.Second}
+	res, err := p.Probe(context.Background(), s.Addr().String(), 0)
+	if err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	if res.ConnectRTT <= 0 {
+		t.Fatalf("ConnectRTT = %v", res.ConnectRTT)
+	}
+	if res.PayloadRTT != 0 {
+		t.Fatalf("PayloadRTT = %v for SYN-only probe", res.PayloadRTT)
+	}
+}
+
+func TestTCPProbeWithPayload(t *testing.T) {
+	s := startServer(t)
+	p := &TCPProber{Timeout: 5 * time.Second}
+	for _, size := range []int{1, 128, 1024, 16 * 1024} {
+		res, err := p.Probe(context.Background(), s.Addr().String(), size)
+		if err != nil {
+			t.Fatalf("Probe(%d): %v", size, err)
+		}
+		if res.PayloadRTT <= 0 {
+			t.Fatalf("Probe(%d): PayloadRTT = %v", size, res.PayloadRTT)
+		}
+	}
+}
+
+func TestTCPProbeMaxPayloadBoundary(t *testing.T) {
+	s := startServer(t)
+	p := &TCPProber{Timeout: 10 * time.Second}
+	if _, err := p.Probe(context.Background(), s.Addr().String(), MaxPayload); err != nil {
+		t.Fatalf("Probe(MaxPayload): %v", err)
+	}
+	if _, err := p.Probe(context.Background(), s.Addr().String(), MaxPayload+1); err == nil {
+		t.Fatal("Probe accepted payload above the hard cap")
+	}
+	if _, err := p.Probe(context.Background(), s.Addr().String(), -1); err == nil {
+		t.Fatal("Probe accepted negative payload")
+	}
+}
+
+func TestTCPProbeConnectionRefused(t *testing.T) {
+	p := &TCPProber{Timeout: 2 * time.Second}
+	if _, err := p.Probe(context.Background(), "127.0.0.1:1", 0); err == nil {
+		t.Fatal("Probe to closed port succeeded")
+	}
+}
+
+func TestTCPProbeContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := &TCPProber{Timeout: 2 * time.Second}
+	if _, err := p.Probe(ctx, "192.0.2.1:9", 0); err == nil {
+		t.Fatal("Probe with cancelled context succeeded")
+	}
+}
+
+func TestTCPProbeConcurrent(t *testing.T) {
+	s := startServer(t)
+	p := &TCPProber{Timeout: 5 * time.Second}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Probe(context.Background(), s.Addr().String(), 512); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent probe: %v", err)
+	}
+}
+
+func TestServerCloseStopsAccepting(t *testing.T) {
+	s, err := NewTCPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr().String()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	p := &TCPProber{Timeout: time.Second}
+	if _, err := p.Probe(context.Background(), addr, 0); err == nil {
+		t.Fatal("probe succeeded after Close")
+	}
+}
+
+func TestHTTPProbe(t *testing.T) {
+	srv := httptest.NewServer(HTTPHandler())
+	defer srv.Close()
+	p := &HTTPProber{Timeout: 5 * time.Second}
+	addr := srv.Listener.Addr().String()
+	res, err := p.Probe(context.Background(), addr, 1024)
+	if err != nil {
+		t.Fatalf("HTTP Probe: %v", err)
+	}
+	if res.ConnectRTT <= 0 || res.PayloadRTT != res.ConnectRTT {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	if _, err := p.Probe(context.Background(), addr, MaxPayload+1); err == nil {
+		t.Fatal("HTTP probe accepted oversized payload")
+	}
+}
+
+func TestHTTPHandlerRejectsBadSize(t *testing.T) {
+	srv := httptest.NewServer(HTTPHandler())
+	defer srv.Close()
+	p := &HTTPProber{Timeout: 5 * time.Second}
+	// Probe a path the handler rejects by driving size through the prober
+	// is covered above; exercise a raw bad query here.
+	resp, err := srv.Client().Get(srv.URL + "/ping?size=notanumber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	_ = p
+}
+
+func TestProbeUsesFreshSourcePorts(t *testing.T) {
+	// The prober must not reuse connections: two probes from the same
+	// prober should arrive on distinct remote ports nearly always.
+	s := startServer(t)
+	p := &TCPProber{Timeout: 5 * time.Second}
+	// There is no direct observation point without instrumenting the
+	// server; instead verify each Probe call dials fresh by confirming
+	// back-to-back probes both succeed with independent handshake timings.
+	r1, err1 := p.Probe(context.Background(), s.Addr().String(), 0)
+	r2, err2 := p.Probe(context.Background(), s.Addr().String(), 0)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("probes failed: %v %v", err1, err2)
+	}
+	if r1.ConnectRTT <= 0 || r2.ConnectRTT <= 0 {
+		t.Fatal("missing handshake timings")
+	}
+}
+
+func TestHTTPProbeNon200(t *testing.T) {
+	// A target that answers HTTP but not with 200 must count as a failed
+	// probe, not a latency sample.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "teapot", http.StatusTeapot)
+	}))
+	defer srv.Close()
+	p := &HTTPProber{Timeout: 2 * time.Second}
+	if _, err := p.Probe(context.Background(), srv.Listener.Addr().String(), 0); err == nil {
+		t.Fatal("non-200 response accepted")
+	}
+}
+
+func TestTCPServerIgnoresOversizedHeader(t *testing.T) {
+	// A client claiming a payload above the cap gets its connection
+	// dropped without an echo.
+	s := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hdr := []byte{0xff, 0xff, 0xff, 0xff} // ~4GB claim
+	if _, err := conn.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server echoed despite oversized claim")
+	}
+}

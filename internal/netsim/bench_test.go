@@ -1,0 +1,88 @@
+package netsim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"pingmesh/internal/topology"
+)
+
+func benchNetwork(b *testing.B) *Network {
+	b.Helper()
+	top, err := topology.Build(topology.Spec{DCs: []topology.DCSpec{
+		{Name: "DC1", Podsets: 3, PodsPerPodset: 5, ServersPerPod: 8, LeavesPerPodset: 4, Spines: 8},
+		{Name: "DC2", Podsets: 3, PodsPerPodset: 5, ServersPerPod: 8, LeavesPerPodset: 4, Spines: 8},
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := New(top, Config{Profiles: []Profile{DC1Profile(), DC2Profile()}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+func benchProbe(b *testing.B, src, dst topology.ServerID, payload int) {
+	n := benchNetwork(b)
+	rng := rand.New(rand.NewPCG(1, 2))
+	start := time.Unix(1751328000, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Probe(ProbeSpec{
+			Src: src, Dst: dst,
+			SrcPort: uint16(32768 + i%28000), DstPort: 8765,
+			PayloadLen: payload,
+			Start:      start,
+		}, rng)
+	}
+}
+
+func BenchmarkProbeIntraPod(b *testing.B) {
+	n := benchNetwork(b)
+	pod := n.Topology().PodOf(0)
+	benchProbe(b, pod.Servers[0], pod.Servers[1], 0)
+}
+
+func BenchmarkProbeCrossPodset(b *testing.B) {
+	n := benchNetwork(b)
+	top := n.Topology()
+	benchProbe(b, top.DCs[0].Podsets[0].Pods[0].Servers[0], top.DCs[0].Podsets[1].Pods[0].Servers[0], 0)
+}
+
+func BenchmarkProbeCrossDC(b *testing.B) {
+	n := benchNetwork(b)
+	top := n.Topology()
+	benchProbe(b, top.DCs[0].Podsets[0].Pods[0].Servers[0], top.DCs[1].Podsets[0].Pods[0].Servers[0], 0)
+}
+
+func BenchmarkProbeWithPayload(b *testing.B) {
+	n := benchNetwork(b)
+	top := n.Topology()
+	benchProbe(b, top.DCs[0].Podsets[0].Pods[0].Servers[0], top.DCs[0].Podsets[1].Pods[0].Servers[0], 1000)
+}
+
+func BenchmarkPathResolve(b *testing.B) {
+	n := benchNetwork(b)
+	top := n.Topology()
+	src := top.DCs[0].Podsets[0].Pods[0].Servers[0]
+	dst := top.DCs[0].Podsets[1].Pods[0].Servers[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.Path(src, dst, uint16(32768+i%28000), 8765)
+	}
+}
+
+func BenchmarkTraceProbe(b *testing.B) {
+	n := benchNetwork(b)
+	top := n.Topology()
+	src := top.DCs[0].Podsets[0].Pods[0].Servers[0]
+	dst := top.DCs[0].Podsets[1].Pods[0].Servers[0]
+	rng := rand.New(rand.NewPCG(3, 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.TraceProbe(ProbeSpec{Src: src, Dst: dst, SrcPort: 40000, DstPort: 8765}, 3, rng)
+	}
+}

@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"net/netip"
+
+	"pingmesh/internal/topology"
+)
+
+// hash5 hashes a five-tuple plus a per-ECMP-stage salt with FNV-1a. Every
+// ECMP stage of the fabric uses the same header fields but a different
+// salt, matching how successive switches hash independently.
+func hash5(src, dst netip.Addr, sport, dport uint16, salt uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ (salt * prime)
+	s4, d4 := src.As4(), dst.As4()
+	for _, b := range s4 {
+		h = (h ^ uint64(b)) * prime
+	}
+	for _, b := range d4 {
+		h = (h ^ uint64(b)) * prime
+	}
+	for _, b := range [...]byte{byte(sport >> 8), byte(sport), byte(dport >> 8), byte(dport)} {
+		h = (h ^ uint64(b)) * prime
+	}
+	return h
+}
+
+// pickECMP selects one non-isolated member deterministically from the hash.
+// It returns -1 if every member is isolated.
+func pickECMP(members []topology.SwitchID, ft *faultTable, h uint64) topology.SwitchID {
+	alive := 0
+	for _, m := range members {
+		if !ft.perSwitch[m].isolated {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return -1
+	}
+	k := int(h % uint64(alive))
+	for _, m := range members {
+		if ft.perSwitch[m].isolated {
+			continue
+		}
+		if k == 0 {
+			return m
+		}
+		k--
+	}
+	return -1 // unreachable
+}
+
+// route is a resolved probe path: the ordered switches a packet traverses
+// from src to dst, plus whether it crosses the inter-DC WAN.
+type route struct {
+	hops    [6]topology.SwitchID
+	n       int
+	crossDC bool
+	ok      bool
+}
+
+func (r *route) add(sw topology.SwitchID) {
+	if sw < 0 {
+		r.ok = false
+		return
+	}
+	r.hops[r.n] = sw
+	r.n++
+}
+
+// Hops returns the traversed switches in order.
+func (r *route) Hops() []topology.SwitchID { return r.hops[:r.n] }
+
+// resolve computes the ECMP path for a five-tuple against a fault table.
+func (n *Network) resolve(ft *faultTable, src, dst topology.ServerID, sport, dport uint16) route {
+	ss, ds := n.top.Server(src), n.top.Server(dst)
+	sa, da := ss.Addr, ds.Addr
+	r := route{ok: true}
+
+	srcToR := n.top.ToROf(src)
+	dstToR := n.top.ToROf(dst)
+	if ft.perSwitch[srcToR].isolated || ft.perSwitch[dstToR].isolated {
+		return route{}
+	}
+	// Same pod: one ToR hop.
+	if srcToR == dstToR {
+		r.add(srcToR)
+		return r
+	}
+	r.add(srcToR)
+	if ss.DC == ds.DC && ss.Podset == ds.Podset {
+		// Same podset: up to a Leaf and back down.
+		leaves := n.top.DCs[ss.DC].Podsets[ss.Podset].Leaves
+		r.add(pickECMP(leaves, ft, hash5(sa, da, sport, dport, 1)))
+		r.add(dstToR)
+		return r
+	}
+	// Cross-podset: climb through the source podset's Leaf tier.
+	r.add(pickECMP(n.top.DCs[ss.DC].Podsets[ss.Podset].Leaves, ft, hash5(sa, da, sport, dport, 1)))
+	if ss.DC == ds.DC {
+		r.add(pickECMP(n.top.DCs[ss.DC].Spines, ft, hash5(sa, da, sport, dport, 2)))
+	} else {
+		// Cross-DC: exit through a spine in each DC over the WAN.
+		r.crossDC = true
+		r.add(pickECMP(n.top.DCs[ss.DC].Spines, ft, hash5(sa, da, sport, dport, 2)))
+		r.add(pickECMP(n.top.DCs[ds.DC].Spines, ft, hash5(sa, da, sport, dport, 3)))
+	}
+	r.add(pickECMP(n.top.DCs[ds.DC].Podsets[ds.Podset].Leaves, ft, hash5(sa, da, sport, dport, 4)))
+	r.add(dstToR)
+	return r
+}
+
+// Path returns the switches a probe with this five-tuple traverses, in
+// order, and whether a route exists. It is the ground truth TCP traceroute
+// recovers hop by hop (§5.2).
+func (n *Network) Path(src, dst topology.ServerID, sport, dport uint16) ([]topology.SwitchID, bool) {
+	r := n.resolve(n.faults.Load(), src, dst, sport, dport)
+	if !r.ok {
+		return nil, false
+	}
+	return append([]topology.SwitchID(nil), r.Hops()...), true
+}

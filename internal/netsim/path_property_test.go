@@ -1,0 +1,95 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pingmesh/internal/topology"
+)
+
+// Property: for any five-tuple, the resolved path starts at the source
+// ToR, ends at the destination ToR, never repeats a switch, and respects
+// tier ordering (ToR, [Leaf, [Spine...] Leaf,] ToR).
+func TestPathStructureProperty(t *testing.T) {
+	n := testNetwork(t)
+	top := n.Topology()
+	servers := top.NumServers()
+	f := func(srcRaw, dstRaw uint16, sport, dport uint16) bool {
+		src := topology.ServerID(int(srcRaw) % servers)
+		dst := topology.ServerID(int(dstRaw) % servers)
+		if src == dst {
+			return true
+		}
+		hops, ok := n.Path(src, dst, sport, dport)
+		if !ok || len(hops) == 0 {
+			return false
+		}
+		if hops[0] != top.ToROf(src) || hops[len(hops)-1] != top.ToROf(dst) {
+			return false
+		}
+		seen := map[topology.SwitchID]bool{}
+		for _, h := range hops {
+			if seen[h] {
+				return false
+			}
+			seen[h] = true
+		}
+		// Tier sequence: must rise to at most spine then fall; encoded as
+		// ToR(0) Leaf(1) Spine(2).
+		tiers := make([]int, len(hops))
+		for i, h := range hops {
+			tiers[i] = int(top.Switch(h).Tier)
+		}
+		peak := 0
+		for i := 1; i < len(tiers); i++ {
+			if tiers[i] > tiers[i-1] {
+				if peak == 2 {
+					return false // rising again after the descent began
+				}
+			} else if tiers[i] < tiers[i-1] {
+				peak = 2
+			}
+		}
+		// Path length matches locality.
+		switch {
+		case top.SamePod(src, dst):
+			return len(hops) == 1
+		case top.SamePodset(src, dst):
+			return len(hops) == 3
+		case top.SameDC(src, dst):
+			return len(hops) == 5
+		default:
+			return len(hops) == 6
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ECMP is deterministic per tuple and roughly balanced across
+// the spine tier over many tuples.
+func TestECMPBalanceProperty(t *testing.T) {
+	n := testNetwork(t)
+	top := n.Topology()
+	src, dst := pairOfKind(top, "cross-podset")
+	counts := map[topology.SwitchID]int{}
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		hops, ok := n.Path(src, dst, uint16(30000+i), 8765)
+		if !ok {
+			t.Fatal("no path")
+		}
+		counts[hops[2]]++
+	}
+	spines := len(top.DCs[0].Spines)
+	expected := trials / spines
+	for sw, c := range counts {
+		if c < expected/2 || c > expected*2 {
+			t.Fatalf("spine %v got %d of %d trials, expected ~%d", sw, c, trials, expected)
+		}
+	}
+	if len(counts) != spines {
+		t.Fatalf("only %d of %d spines used", len(counts), spines)
+	}
+}

@@ -1,0 +1,228 @@
+// Package netsim simulates the data center network Pingmesh measures. It
+// substitutes for the production Clos fabric of the paper: probes are
+// evaluated against a per-DC latency/loss model plus injectable device
+// faults, reproducing the mechanisms behind the paper's observations —
+// ECMP five-tuple path selection, queuing bursts and OS scheduling stalls
+// that shape the latency tail, TCP SYN retransmissions that turn packet
+// drops into 3s/9s RTT signatures, TCAM black-holes, and switch silent
+// random packet drops.
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile is the behavioural model of one data center: where its latency
+// comes from and how often its devices drop packets. All drop
+// probabilities are per packet per traversal (a packet traverses each
+// device once per direction).
+type Profile struct {
+	// Name of the profile, for reports.
+	Name string
+
+	// HostBase is the per-host, per-direction latency of the kernel TCP/IP
+	// stack, driver, and NIC (§2.2 of the paper). A SYN/SYN-ACK round trip
+	// pays it four times (send+receive on each host).
+	HostBase time.Duration
+	// HostNoise is the mean of the exponential per-direction noise added by
+	// end-host processing.
+	HostNoise time.Duration
+	// SwitchBase is the per-traversal forwarding latency of a switch.
+	SwitchBase time.Duration
+	// QueueMean is the mean of the exponential queuing delay added per
+	// switch traversal under normal load.
+	QueueMean time.Duration
+	// BurstProb is the per-traversal probability that a packet hits a
+	// congested queue; the extra delay is exponential with mean BurstMean.
+	// This creates the ~millisecond P99 the paper reports.
+	BurstProb float64
+	BurstMean time.Duration
+	// BigBurstProb is the per-probe probability of a deep-buffer congestion
+	// episode (incast); extra delay is exponential with mean BigBurstMean.
+	// This creates the tens-of-milliseconds P99.9 of Figure 4(b).
+	BigBurstProb float64
+	BigBurstMean time.Duration
+	// StallProb is the per-probe probability of an end-host scheduling
+	// stall (the server OS is not a real-time OS, §4.1); the stall is
+	// StallMin plus an exponential with mean StallMean. This creates the
+	// sub-second P99.99 of Figure 4(b).
+	StallProb float64
+	StallMin  time.Duration
+	StallMean time.Duration
+
+	// HostDrop is the per-host per-direction packet drop probability (NIC
+	// receive buffer overflow, end-host stack).
+	HostDrop float64
+	// ToRDrop, LeafDrop and SpineDrop are per-traversal drop probabilities
+	// for each switch tier (switch buffer overflow, fiber FCS errors, ASIC
+	// deficits — §4.2).
+	ToRDrop  float64
+	LeafDrop float64
+	// SpineDrop is the per-traversal drop probability at the Spine tier.
+	SpineDrop float64
+	// RetryDropBoost is added to the drop probability of SYN retransmits:
+	// successive drops within a connection are correlated because
+	// congestion episodes persist (§4.2).
+	RetryDropBoost float64
+
+	// Load optionally modulates queue pressure over time: QueueMean,
+	// BurstProb and BigBurstProb are scaled by Load(t). nil means constant
+	// load 1.0. Used to reproduce the periodic P99 pattern of Figure 5.
+	Load func(t time.Time) float64
+
+	// AppEchoBase and AppEchoNoise model the user-space processing for
+	// payload probes: the receiving process wakes up and echoes the message
+	// back (§4.1, Figure 4(d)).
+	AppEchoBase  time.Duration
+	AppEchoNoise time.Duration
+	// HTTPOverhead is additional per-probe user-space overhead for HTTP
+	// probes versus raw TCP.
+	HTTPOverhead time.Duration
+}
+
+// validate rejects nonsensical profiles before they poison an experiment.
+func (p *Profile) validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("netsim: profile with empty name")
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"HostBase", p.HostBase}, {"HostNoise", p.HostNoise},
+		{"SwitchBase", p.SwitchBase}, {"QueueMean", p.QueueMean},
+		{"BurstMean", p.BurstMean}, {"BigBurstMean", p.BigBurstMean},
+		{"StallMin", p.StallMin}, {"StallMean", p.StallMean},
+		{"AppEchoBase", p.AppEchoBase}, {"AppEchoNoise", p.AppEchoNoise},
+		{"HTTPOverhead", p.HTTPOverhead},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("netsim: profile %s: negative %s", p.Name, d.name)
+		}
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"BurstProb", p.BurstProb}, {"BigBurstProb", p.BigBurstProb},
+		{"StallProb", p.StallProb}, {"HostDrop", p.HostDrop},
+		{"ToRDrop", p.ToRDrop}, {"LeafDrop", p.LeafDrop},
+		{"SpineDrop", p.SpineDrop}, {"RetryDropBoost", p.RetryDropBoost},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("netsim: profile %s: %s = %g outside [0,1]", p.Name, f.name, f.v)
+		}
+	}
+	return nil
+}
+
+func (p *Profile) load(t time.Time) float64 {
+	if p.Load == nil {
+		return 1
+	}
+	return p.Load(t)
+}
+
+// DC1Profile models the paper's DC1 (US West): throughput-intensive
+// distributed storage and MapReduce, ~90% CPU utilization, hundreds of
+// Mb/s sustained per server. Heavily loaded hosts produce long scheduling
+// stalls (P99.99 over a second) and sustained queuing.
+func DC1Profile() Profile {
+	return Profile{
+		Name:         "DC1",
+		HostBase:     48 * time.Microsecond,
+		HostNoise:    14 * time.Microsecond,
+		SwitchBase:   6 * time.Microsecond,
+		QueueMean:    5 * time.Microsecond,
+		BurstProb:    0.0030,
+		BurstMean:    500 * time.Microsecond,
+		BigBurstProb: 0.0016,
+		BigBurstMean: 12 * time.Millisecond,
+		StallProb:    1.8e-4,
+		StallMin:     150 * time.Millisecond,
+		StallMean:    900 * time.Millisecond,
+
+		HostDrop:       1.6e-6,
+		ToRDrop:        2.2e-6,
+		LeafDrop:       9.0e-6,
+		SpineDrop:      8.0e-6,
+		RetryDropBoost: 0.08,
+
+		AppEchoBase:  42 * time.Microsecond,
+		AppEchoNoise: 18 * time.Microsecond,
+		HTTPOverhead: 120 * time.Microsecond,
+	}
+}
+
+// DC2Profile models the paper's DC2 (US Central): an interactive Search
+// service with moderate CPU, low average throughput but bursty traffic and
+// high fan-in/fan-out. Its tail is shorter than DC1's (P99.9 ≈ 11ms,
+// P99.99 ≈ 106ms).
+func DC2Profile() Profile {
+	return Profile{
+		Name:         "DC2",
+		HostBase:     46 * time.Microsecond,
+		HostNoise:    12 * time.Microsecond,
+		SwitchBase:   6 * time.Microsecond,
+		QueueMean:    4 * time.Microsecond,
+		BurstProb:    0.0034, // bursty traffic: frequent short bursts
+		BurstMean:    420 * time.Microsecond,
+		BigBurstProb: 0.0014,
+		BigBurstMean: 6 * time.Millisecond,
+		StallProb:    1.2e-4,
+		StallMin:     30 * time.Millisecond,
+		StallMean:    80 * time.Millisecond,
+
+		HostDrop:       2.6e-6,
+		ToRDrop:        2.6e-6,
+		LeafDrop:       9.0e-6,
+		SpineDrop:      8.0e-6,
+		RetryDropBoost: 0.08,
+
+		AppEchoBase:  40 * time.Microsecond,
+		AppEchoNoise: 15 * time.Microsecond,
+		HTTPOverhead: 110 * time.Microsecond,
+	}
+}
+
+// DC3Profile models the paper's DC3 (US East): the lowest intra-pod drop
+// rate of Table 1.
+func DC3Profile() Profile {
+	p := DC2Profile()
+	p.Name = "DC3"
+	p.HostDrop = 1.2e-6
+	p.ToRDrop = 1.8e-6
+	p.LeafDrop = 5.2e-6
+	p.SpineDrop = 4.0e-6
+	return p
+}
+
+// DC4Profile models the paper's DC4 (Europe).
+func DC4Profile() Profile {
+	p := DC2Profile()
+	p.Name = "DC4"
+	p.HostDrop = 1.9e-6
+	p.ToRDrop = 2.4e-6
+	p.LeafDrop = 6.5e-6
+	p.SpineDrop = 5.5e-6
+	return p
+}
+
+// DC5Profile models the paper's DC5 (Asia): intra-pod and inter-pod drop
+// rates closest to each other (1.0e-5 vs 1.5e-5 in Table 1), i.e. a very
+// clean Leaf/Spine fabric.
+func DC5Profile() Profile {
+	p := DC2Profile()
+	p.Name = "DC5"
+	p.HostDrop = 1.2e-6
+	p.ToRDrop = 1.9e-6
+	p.LeafDrop = 0.8e-6
+	p.SpineDrop = 0.7e-6
+	return p
+}
+
+// DefaultProfiles returns the five Table 1 profiles in DC order.
+func DefaultProfiles() []Profile {
+	return []Profile{DC1Profile(), DC2Profile(), DC3Profile(), DC4Profile(), DC5Profile()}
+}

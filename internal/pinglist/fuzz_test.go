@@ -1,0 +1,31 @@
+package pinglist
+
+import (
+	"testing"
+)
+
+func FuzzUnmarshal(f *testing.F) {
+	data, _ := Marshal(sampleFile())
+	f.Add(data)
+	f.Add([]byte("<Pinglist/>"))
+	f.Add([]byte("not xml"))
+	f.Add([]byte(`<Pinglist server="x"><Peer addr="1.2.3.4" port="1" class="intra-pod" proto="tcp" qos="high" interval="10" payload="0"></Peer></Pinglist>`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pl, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Whatever unmarshals must be marshalable, and if it validates,
+		// the round trip must validate too.
+		out, err := Marshal(pl)
+		if err != nil {
+			t.Fatalf("marshal of parsed file failed: %v", err)
+		}
+		if pl.Validate() == nil {
+			again, err := Unmarshal(out)
+			if err != nil || again.Validate() != nil {
+				t.Fatalf("valid file did not round trip: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package pinglist
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleFile() *File {
+	return &File{
+		Server:    "DC1-ps00-pod00-s00",
+		Generated: time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC),
+		Version:   "v42",
+		Peers: []Peer{
+			{Addr: "10.0.0.2", Port: 8765, Class: "intra-pod", Proto: "tcp", QoS: "high", IntervalSec: 10},
+			{Addr: "10.0.1.2", Port: 8765, Class: "intra-dc", Proto: "tcp", QoS: "high", IntervalSec: 30, PayloadLen: 1024},
+			{Addr: "10.1.0.2", Port: 8080, Class: "inter-dc", Proto: "http", QoS: "low", IntervalSec: 60},
+		},
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	f := sampleFile()
+	data, err := Marshal(f)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.Server != f.Server || got.Version != f.Version || !got.Generated.Equal(f.Generated) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Peers) != len(f.Peers) {
+		t.Fatalf("peer count %d, want %d", len(got.Peers), len(f.Peers))
+	}
+	for i := range f.Peers {
+		if got.Peers[i] != f.Peers[i] {
+			t.Fatalf("peer %d mismatch: %+v vs %+v", i, got.Peers[i], f.Peers[i])
+		}
+	}
+}
+
+func TestReadFromStream(t *testing.T) {
+	f := sampleFile()
+	data, _ := Marshal(f)
+	got, err := Read(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Server != f.Server {
+		t.Fatalf("Server = %q", got.Server)
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := sampleFile().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutations := []func(*File){
+		func(f *File) { f.Server = "" },
+		func(f *File) { f.Peers[0].Addr = "notanip" },
+		func(f *File) { f.Peers[0].Port = 0 },
+		func(f *File) { f.Peers[0].Class = "weird" },
+		func(f *File) { f.Peers[0].Proto = "udp" },
+		func(f *File) { f.Peers[0].QoS = "medium" },
+		func(f *File) { f.Peers[0].IntervalSec = 0 },
+		func(f *File) { f.Peers[0].PayloadLen = -1 },
+	}
+	for i, mut := range mutations {
+		f := sampleFile()
+		mut(f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("mutation %d: Validate accepted invalid file", i)
+		}
+	}
+}
+
+func TestPeerParsedFields(t *testing.T) {
+	p := sampleFile().Peers[2]
+	cls, err := p.ParsedClass()
+	if err != nil || cls.String() != "inter-dc" {
+		t.Fatalf("ParsedClass: %v %v", cls, err)
+	}
+	proto, err := p.ParsedProto()
+	if err != nil || proto.String() != "http" {
+		t.Fatalf("ParsedProto: %v %v", proto, err)
+	}
+	qos, err := p.ParsedQoS()
+	if err != nil || qos.String() != "low" {
+		t.Fatalf("ParsedQoS: %v %v", qos, err)
+	}
+	if p.Interval() != 60*time.Second {
+		t.Fatalf("Interval = %v", p.Interval())
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("not xml at all")); err == nil {
+		t.Fatal("Unmarshal accepted garbage")
+	}
+}
+
+func TestMarshalIsValidXMLWithAttrs(t *testing.T) {
+	data, err := Marshal(sampleFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{"<Pinglist", `server="DC1-ps00-pod00-s00"`, `class="intra-pod"`, `payload="1024"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("marshal output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestGoldenWireFormat pins the exact XML bytes of a pinglist: the file is
+// the only coupling between controller and agents (§6.2), so its wire
+// format must not drift silently across refactors.
+func TestGoldenWireFormat(t *testing.T) {
+	f := &File{
+		Server:    "DC1-ps00-pod00-s00",
+		Generated: time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC),
+		Version:   "gen-7",
+		Peers: []Peer{
+			{Addr: "10.0.0.2", Port: 8765, Class: "intra-pod", Proto: "tcp", QoS: "high", IntervalSec: 10},
+			{Addr: "10.0.1.9", Port: 8765, Class: "intra-dc", Proto: "tcp", QoS: "low", IntervalSec: 30, PayloadLen: 1000},
+		},
+	}
+	golden := `<Pinglist server="DC1-ps00-pod00-s00" generated="2026-07-01T12:00:00Z" version="gen-7">
+  <Peer addr="10.0.0.2" port="8765" class="intra-pod" proto="tcp" qos="high" interval="10" payload="0"></Peer>
+  <Peer addr="10.0.1.9" port="8765" class="intra-dc" proto="tcp" qos="low" interval="30" payload="1000"></Peer>
+</Pinglist>
+`
+	got, err := Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != golden {
+		t.Fatalf("wire format drifted:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}

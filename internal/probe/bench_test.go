@@ -1,0 +1,53 @@
+package probe
+
+import (
+	"testing"
+)
+
+func BenchmarkAppendCSV(b *testing.B) {
+	r := sampleRecord()
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = r.AppendCSV(buf[:0])
+	}
+}
+
+func BenchmarkParseCSV(b *testing.B) {
+	r := sampleRecord()
+	line := r.MarshalCSV()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseCSV(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeBatch(b *testing.B) {
+	recs := make([]Record, 1024)
+	for i := range recs {
+		recs[i] = sampleRecord()
+	}
+	b.SetBytes(int64(len(EncodeBatch(recs))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeBatch(recs)
+	}
+}
+
+func BenchmarkDecodeBatch(b *testing.B) {
+	recs := make([]Record, 1024)
+	for i := range recs {
+		recs[i] = sampleRecord()
+	}
+	data := EncodeBatch(recs)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, errs := DecodeBatch(data)
+		if len(errs) != 0 || len(got) != len(recs) {
+			b.Fatal("decode failed")
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package probe
+
+import (
+	"testing"
+)
+
+// Native fuzz targets; `go test` exercises the seed corpus, and
+// `go test -fuzz=FuzzParseCSV ./internal/probe` digs deeper.
+
+func FuzzParseCSV(f *testing.F) {
+	r := sampleRecord()
+	f.Add(r.MarshalCSV())
+	f.Add("")
+	f.Add(CSVHeader)
+	f.Add("a,b,c,d,e,f,g,h,i,j,k,l")
+	f.Add("1,10.0.0.1,1,10.0.0.2,2,intra-pod,tcp,high,0,1,0,err")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseCSV(line)
+		if err != nil {
+			return
+		}
+		// Whatever parses must re-encode and re-parse to the same record.
+		again, err := ParseCSV(rec.MarshalCSV())
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if again != rec {
+			t.Fatalf("round trip diverged:\n%+v\n%+v", rec, again)
+		}
+	})
+}

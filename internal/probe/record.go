@@ -1,0 +1,261 @@
+// Package probe defines the latency measurement record that flows through
+// the whole Pingmesh pipeline — produced by agents, uploaded to Cosmos as
+// CSV, and consumed by SCOPE analysis jobs — together with the probe
+// classification vocabulary (ping class, protocol, QoS class).
+package probe
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Class says which of the three complete graphs a probe belongs to
+// (§3.3.1 of the paper).
+type Class int
+
+// Probe classes.
+const (
+	IntraPod Class = iota // servers under the same ToR
+	IntraDC               // ToR-level complete graph within a DC
+	InterDC               // DC-level complete graph
+)
+
+var classNames = [...]string{"intra-pod", "intra-dc", "inter-dc"}
+
+// String returns the wire name of the class.
+func (c Class) String() string {
+	if c < 0 || int(c) >= len(classNames) {
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// ParseClass parses the wire name of a class.
+func ParseClass(s string) (Class, error) {
+	for i, n := range classNames {
+		if n == s {
+			return Class(i), nil
+		}
+	}
+	return 0, fmt.Errorf("probe: unknown class %q", s)
+}
+
+// Proto is the probing protocol. Pingmesh uses TCP and HTTP because those
+// are what the applications use (§3.4.1).
+type Proto int
+
+// Probing protocols.
+const (
+	TCP Proto = iota
+	HTTP
+)
+
+// String returns the wire name of the protocol.
+func (p Proto) String() string {
+	if p == HTTP {
+		return "http"
+	}
+	return "tcp"
+}
+
+// ParseProto parses the wire name of a protocol.
+func ParseProto(s string) (Proto, error) {
+	switch s {
+	case "tcp":
+		return TCP, nil
+	case "http":
+		return HTTP, nil
+	}
+	return 0, fmt.Errorf("probe: unknown proto %q", s)
+}
+
+// QoS is the differentiated-service class of the probe (the QoS monitoring
+// extension in §6.2).
+type QoS int
+
+// QoS classes.
+const (
+	QoSHigh QoS = iota
+	QoSLow
+)
+
+// String returns the wire name of the QoS class.
+func (q QoS) String() string {
+	if q == QoSLow {
+		return "low"
+	}
+	return "high"
+}
+
+// ParseQoS parses the wire name of a QoS class.
+func ParseQoS(s string) (QoS, error) {
+	switch s {
+	case "high":
+		return QoSHigh, nil
+	case "low":
+		return QoSLow, nil
+	}
+	return 0, fmt.Errorf("probe: unknown qos %q", s)
+}
+
+// Record is one probe outcome. A Record with empty Err is a successful
+// probe; RTT then holds the TCP connection setup round-trip time (which may
+// embed SYN retransmit timeouts — the signal the drop-rate heuristic keys
+// on), and PayloadRTT the optional payload echo round trip (0 when the
+// probe carried no payload).
+type Record struct {
+	Start      time.Time
+	Src        netip.Addr
+	SrcPort    uint16
+	Dst        netip.Addr
+	DstPort    uint16
+	Class      Class
+	Proto      Proto
+	QoS        QoS
+	PayloadLen int
+	RTT        time.Duration
+	PayloadRTT time.Duration
+	Err        string // empty on success
+}
+
+// Success reports whether the probe completed.
+func (r *Record) Success() bool { return r.Err == "" }
+
+// CSVHeader is the first line of every latency data file uploaded to the
+// store.
+const CSVHeader = "start_unix_ns,src,sport,dst,dport,class,proto,qos,payload,rtt_ns,payload_rtt_ns,err"
+
+// AppendCSV appends the CSV encoding of r (without trailing newline) to b
+// and returns the extended slice.
+func (r *Record) AppendCSV(b []byte) []byte {
+	b = strconv.AppendInt(b, r.Start.UnixNano(), 10)
+	b = append(b, ',')
+	b = append(b, r.Src.String()...)
+	b = append(b, ',')
+	b = strconv.AppendUint(b, uint64(r.SrcPort), 10)
+	b = append(b, ',')
+	b = append(b, r.Dst.String()...)
+	b = append(b, ',')
+	b = strconv.AppendUint(b, uint64(r.DstPort), 10)
+	b = append(b, ',')
+	b = append(b, r.Class.String()...)
+	b = append(b, ',')
+	b = append(b, r.Proto.String()...)
+	b = append(b, ',')
+	b = append(b, r.QoS.String()...)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(r.PayloadLen), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(r.RTT), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(r.PayloadRTT), 10)
+	b = append(b, ',')
+	b = append(b, sanitizeErr(r.Err)...)
+	return b
+}
+
+// MarshalCSV returns the CSV encoding of r.
+func (r *Record) MarshalCSV() string { return string(r.AppendCSV(nil)) }
+
+func sanitizeErr(s string) string {
+	if strings.ContainsAny(s, ",\n\r") {
+		s = strings.Map(func(r rune) rune {
+			switch r {
+			case ',', '\n', '\r':
+				return ';'
+			}
+			return r
+		}, s)
+	}
+	return s
+}
+
+// ParseCSV parses one CSV line produced by AppendCSV.
+func ParseCSV(line string) (Record, error) {
+	var r Record
+	fields := strings.Split(line, ",")
+	if len(fields) != 12 {
+		return r, fmt.Errorf("probe: record has %d fields, want 12", len(fields))
+	}
+	startNS, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return r, fmt.Errorf("probe: bad start %q: %w", fields[0], err)
+	}
+	r.Start = time.Unix(0, startNS).UTC()
+	if r.Src, err = netip.ParseAddr(fields[1]); err != nil {
+		return r, fmt.Errorf("probe: bad src: %w", err)
+	}
+	sport, err := strconv.ParseUint(fields[2], 10, 16)
+	if err != nil {
+		return r, fmt.Errorf("probe: bad sport: %w", err)
+	}
+	r.SrcPort = uint16(sport)
+	if r.Dst, err = netip.ParseAddr(fields[3]); err != nil {
+		return r, fmt.Errorf("probe: bad dst: %w", err)
+	}
+	dport, err := strconv.ParseUint(fields[4], 10, 16)
+	if err != nil {
+		return r, fmt.Errorf("probe: bad dport: %w", err)
+	}
+	r.DstPort = uint16(dport)
+	if r.Class, err = ParseClass(fields[5]); err != nil {
+		return r, err
+	}
+	if r.Proto, err = ParseProto(fields[6]); err != nil {
+		return r, err
+	}
+	if r.QoS, err = ParseQoS(fields[7]); err != nil {
+		return r, err
+	}
+	payload, err := strconv.Atoi(fields[8])
+	if err != nil {
+		return r, fmt.Errorf("probe: bad payload: %w", err)
+	}
+	r.PayloadLen = payload
+	rtt, err := strconv.ParseInt(fields[9], 10, 64)
+	if err != nil {
+		return r, fmt.Errorf("probe: bad rtt: %w", err)
+	}
+	r.RTT = time.Duration(rtt)
+	prtt, err := strconv.ParseInt(fields[10], 10, 64)
+	if err != nil {
+		return r, fmt.Errorf("probe: bad payload rtt: %w", err)
+	}
+	r.PayloadRTT = time.Duration(prtt)
+	r.Err = fields[11]
+	return r, nil
+}
+
+// EncodeBatch encodes records as a CSV document with header.
+func EncodeBatch(recs []Record) []byte {
+	b := make([]byte, 0, 64+len(recs)*96)
+	b = append(b, CSVHeader...)
+	b = append(b, '\n')
+	for i := range recs {
+		b = recs[i].AppendCSV(b)
+		b = append(b, '\n')
+	}
+	return b
+}
+
+// DecodeBatch decodes a CSV document produced by EncodeBatch. Lines that
+// fail to parse are returned in errs by line number without aborting the
+// batch, mirroring how the analysis pipeline skips corrupt rows.
+func DecodeBatch(data []byte) (recs []Record, errs []error) {
+	lines := strings.Split(string(data), "\n")
+	for i, ln := range lines {
+		if ln == "" || ln == CSVHeader {
+			continue
+		}
+		r, err := ParseCSV(ln)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("line %d: %w", i+1, err))
+			continue
+		}
+		recs = append(recs, r)
+	}
+	return recs, errs
+}

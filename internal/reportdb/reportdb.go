@@ -1,0 +1,219 @@
+// Package reportdb is the small SQL-database stand-in at the end of the
+// DSA pipeline (§3.5): SCOPE job results land in tables here, and
+// visualization, reports, and alerts read them back. It supports typed
+// rows, predicate queries, ordering and limits — enough for dashboards,
+// nothing more.
+package reportdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Row is one table row: column name to value. Supported value types for
+// ordering are string, int, int64, float64, time.Time and time.Duration.
+type Row map[string]any
+
+// DB is an in-memory table store, safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+}
+
+type table struct {
+	cols map[string]bool
+	rows []Row
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{tables: make(map[string]*table)}
+}
+
+// CreateTable registers a table with a fixed column set. Creating an
+// existing table is an error.
+func (db *DB) CreateTable(name string, cols ...string) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("reportdb: table %q needs columns", name)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		return fmt.Errorf("reportdb: table %q exists", name)
+	}
+	t := &table{cols: make(map[string]bool, len(cols))}
+	for _, c := range cols {
+		t.cols[c] = true
+	}
+	db.tables[name] = t
+	return nil
+}
+
+// Tables lists table names, sorted.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []string
+	for name := range db.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert adds a row. Every key must be a declared column; missing columns
+// are allowed (NULL-ish).
+func (db *DB) Insert(name string, r Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return fmt.Errorf("reportdb: no table %q", name)
+	}
+	for col := range r {
+		if !t.cols[col] {
+			return fmt.Errorf("reportdb: table %q has no column %q", name, col)
+		}
+	}
+	cp := make(Row, len(r))
+	for k, v := range r {
+		cp[k] = v
+	}
+	t.rows = append(t.rows, cp)
+	return nil
+}
+
+// Count returns the number of rows in a table (0 for unknown tables).
+func (db *DB) Count(name string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return 0
+	}
+	return len(t.rows)
+}
+
+// Truncate removes all rows from a table.
+func (db *DB) Truncate(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return fmt.Errorf("reportdb: no table %q", name)
+	}
+	t.rows = nil
+	return nil
+}
+
+// QueryOpt modifies a query.
+type QueryOpt func(*query)
+
+type query struct {
+	where   func(Row) bool
+	orderBy string
+	desc    bool
+	limit   int
+}
+
+// Where filters rows by predicate.
+func Where(pred func(Row) bool) QueryOpt {
+	return func(q *query) { q.where = pred }
+}
+
+// OrderBy sorts rows by a column, ascending.
+func OrderBy(col string) QueryOpt {
+	return func(q *query) { q.orderBy = col; q.desc = false }
+}
+
+// OrderByDesc sorts rows by a column, descending.
+func OrderByDesc(col string) QueryOpt {
+	return func(q *query) { q.orderBy = col; q.desc = true }
+}
+
+// Limit caps the result size.
+func Limit(n int) QueryOpt {
+	return func(q *query) { q.limit = n }
+}
+
+// Query returns matching rows (copies; mutating them does not affect the
+// table).
+func (db *DB) Query(name string, opts ...QueryOpt) ([]Row, error) {
+	var q query
+	for _, opt := range opts {
+		opt(&q)
+	}
+	db.mu.RLock()
+	t, ok := db.tables[name]
+	if !ok {
+		db.mu.RUnlock()
+		return nil, fmt.Errorf("reportdb: no table %q", name)
+	}
+	var out []Row
+	for _, r := range t.rows {
+		if q.where != nil && !q.where(r) {
+			continue
+		}
+		cp := make(Row, len(r))
+		for k, v := range r {
+			cp[k] = v
+		}
+		out = append(out, cp)
+	}
+	db.mu.RUnlock()
+
+	if q.orderBy != "" {
+		col := q.orderBy
+		sort.SliceStable(out, func(i, j int) bool {
+			less := lessValues(out[i][col], out[j][col])
+			if q.desc {
+				return lessValues(out[j][col], out[i][col])
+			}
+			return less
+		})
+	}
+	if q.limit > 0 && len(out) > q.limit {
+		out = out[:q.limit]
+	}
+	return out, nil
+}
+
+// lessValues orders two cell values of the same dynamic type; nil sorts
+// first, mismatched or unknown types keep insertion order.
+func lessValues(a, b any) bool {
+	if a == nil {
+		return b != nil
+	}
+	if b == nil {
+		return false
+	}
+	switch av := a.(type) {
+	case string:
+		if bv, ok := b.(string); ok {
+			return av < bv
+		}
+	case int:
+		if bv, ok := b.(int); ok {
+			return av < bv
+		}
+	case int64:
+		if bv, ok := b.(int64); ok {
+			return av < bv
+		}
+	case float64:
+		if bv, ok := b.(float64); ok {
+			return av < bv
+		}
+	case time.Time:
+		if bv, ok := b.(time.Time); ok {
+			return av.Before(bv)
+		}
+	case time.Duration:
+		if bv, ok := b.(time.Duration); ok {
+			return av < bv
+		}
+	}
+	return false
+}

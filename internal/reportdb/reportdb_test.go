@@ -1,0 +1,209 @@
+package reportdb
+
+import (
+	"testing"
+	"time"
+)
+
+func seeded(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	if err := db.CreateTable("sla", "scope", "p99_us", "drop_rate", "at"); err != nil {
+		t.Fatal(err)
+	}
+	rows := []Row{
+		{"scope": "dc1", "p99_us": int64(1340), "drop_rate": 7.5e-5, "at": time.Unix(100, 0)},
+		{"scope": "dc2", "p99_us": int64(560), "drop_rate": 4.0e-5, "at": time.Unix(200, 0)},
+		{"scope": "dc3", "p99_us": int64(900), "drop_rate": 1.0e-5, "at": time.Unix(300, 0)},
+	}
+	for _, r := range rows {
+		if err := db.Insert("sla", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	db := New()
+	if err := db.CreateTable("t"); err == nil {
+		t.Fatal("table without columns created")
+	}
+	if err := db.CreateTable("t", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("t", "a"); err == nil {
+		t.Fatal("duplicate table created")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	db := seeded(t)
+	if err := db.Insert("nope", Row{"scope": "x"}); err == nil {
+		t.Fatal("insert into missing table succeeded")
+	}
+	if err := db.Insert("sla", Row{"bogus": 1}); err == nil {
+		t.Fatal("insert with unknown column succeeded")
+	}
+	// Partial rows are fine.
+	if err := db.Insert("sla", Row{"scope": "partial"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryAll(t *testing.T) {
+	db := seeded(t)
+	rows, err := db.Query("sla")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if _, err := db.Query("missing"); err == nil {
+		t.Fatal("query on missing table succeeded")
+	}
+}
+
+func TestQueryWhere(t *testing.T) {
+	db := seeded(t)
+	rows, _ := db.Query("sla", Where(func(r Row) bool { return r["drop_rate"].(float64) > 3e-5 }))
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+}
+
+func TestQueryOrderAndLimit(t *testing.T) {
+	db := seeded(t)
+	rows, _ := db.Query("sla", OrderBy("p99_us"), Limit(2))
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0]["scope"] != "dc2" || rows[1]["scope"] != "dc3" {
+		t.Fatalf("order wrong: %v %v", rows[0]["scope"], rows[1]["scope"])
+	}
+	desc, _ := db.Query("sla", OrderByDesc("drop_rate"), Limit(1))
+	if desc[0]["scope"] != "dc1" {
+		t.Fatalf("desc order wrong: %v", desc[0]["scope"])
+	}
+	byTime, _ := db.Query("sla", OrderByDesc("at"), Limit(1))
+	if byTime[0]["scope"] != "dc3" {
+		t.Fatalf("time order wrong: %v", byTime[0]["scope"])
+	}
+}
+
+func TestQueryReturnsCopies(t *testing.T) {
+	db := seeded(t)
+	rows, _ := db.Query("sla", OrderBy("scope"), Limit(1))
+	rows[0]["scope"] = "mutated"
+	again, _ := db.Query("sla", OrderBy("scope"), Limit(1))
+	if again[0]["scope"] == "mutated" {
+		t.Fatal("query rows alias table storage")
+	}
+}
+
+func TestInsertCopies(t *testing.T) {
+	db := New()
+	db.CreateTable("t", "a")
+	r := Row{"a": "original"}
+	db.Insert("t", r)
+	r["a"] = "mutated"
+	rows, _ := db.Query("t")
+	if rows[0]["a"] != "original" {
+		t.Fatal("insert aliased caller's row")
+	}
+}
+
+func TestCountAndTruncate(t *testing.T) {
+	db := seeded(t)
+	if db.Count("sla") != 3 {
+		t.Fatalf("Count = %d", db.Count("sla"))
+	}
+	if db.Count("missing") != 0 {
+		t.Fatal("Count on missing table nonzero")
+	}
+	if err := db.Truncate("sla"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("sla") != 0 {
+		t.Fatal("Truncate left rows")
+	}
+	if err := db.Truncate("missing"); err == nil {
+		t.Fatal("Truncate on missing table succeeded")
+	}
+}
+
+func TestTablesSorted(t *testing.T) {
+	db := New()
+	db.CreateTable("zeta", "a")
+	db.CreateTable("alpha", "a")
+	tabs := db.Tables()
+	if len(tabs) != 2 || tabs[0] != "alpha" || tabs[1] != "zeta" {
+		t.Fatalf("Tables = %v", tabs)
+	}
+}
+
+func TestOrderWithNilAndMixedTypes(t *testing.T) {
+	db := New()
+	db.CreateTable("t", "v")
+	db.Insert("t", Row{"v": int64(2)})
+	db.Insert("t", Row{})            // nil value sorts first
+	db.Insert("t", Row{"v": "text"}) // mismatched type keeps stable order
+	db.Insert("t", Row{"v": int64(1)})
+	rows, err := db.Query("t", OrderBy("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0]["v"] != nil {
+		t.Fatalf("nil did not sort first: %v", rows[0]["v"])
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+}
+
+func TestDurationOrdering(t *testing.T) {
+	db := New()
+	db.CreateTable("lat", "p99")
+	db.Insert("lat", Row{"p99": 5 * time.Millisecond})
+	db.Insert("lat", Row{"p99": 500 * time.Microsecond})
+	rows, _ := db.Query("lat", OrderBy("p99"))
+	if rows[0]["p99"].(time.Duration) != 500*time.Microsecond {
+		t.Fatal("duration ordering wrong")
+	}
+}
+
+func TestLimitZeroMeansUnbounded(t *testing.T) {
+	db := seeded(t)
+	rows, err := db.Query("sla", Limit(0))
+	if err != nil || len(rows) != 3 {
+		t.Fatalf("rows = %d, err = %v", len(rows), err)
+	}
+}
+
+func TestOrderByMissingColumnKeepsInsertionOrder(t *testing.T) {
+	db := seeded(t)
+	rows, err := db.Query("sla", OrderBy("no_such_column"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0]["scope"] != "dc1" || rows[2]["scope"] != "dc3" {
+		t.Fatalf("order changed on missing column: %v %v", rows[0]["scope"], rows[2]["scope"])
+	}
+}
+
+func TestIntAndFloatOrdering(t *testing.T) {
+	db := New()
+	db.CreateTable("t", "i", "f")
+	db.Insert("t", Row{"i": 3, "f": 3.5})
+	db.Insert("t", Row{"i": 1, "f": 1.5})
+	db.Insert("t", Row{"i": 2, "f": 2.5})
+	byInt, _ := db.Query("t", OrderBy("i"))
+	if byInt[0]["i"] != 1 || byInt[2]["i"] != 3 {
+		t.Fatalf("int order: %v", byInt)
+	}
+	byFloat, _ := db.Query("t", OrderByDesc("f"))
+	if byFloat[0]["f"] != 3.5 {
+		t.Fatalf("float order: %v", byFloat)
+	}
+}

@@ -1,0 +1,54 @@
+package scope
+
+import (
+	"testing"
+	"time"
+
+	"pingmesh/internal/cosmos"
+	"pingmesh/internal/probe"
+)
+
+func BenchmarkEngineRun(b *testing.B) {
+	store := seedStoreB(b, 50000)
+	e := &Engine{}
+	job := Job{
+		Name:   "bench",
+		Source: Source{Store: store, StreamPrefix: "pingmesh/"},
+		Key:    func(r *probe.Record) (string, bool) { return r.Src.String(), true },
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Records != 50000 {
+			b.Fatalf("records = %d", res.Records)
+		}
+	}
+	b.ReportMetric(50000, "records")
+}
+
+func seedStoreB(b *testing.B, n int) *cosmos.Store {
+	b.Helper()
+	store, err := cosmos.NewStore(3, cosmos.Config{ExtentSize: 128 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var batch []probe.Record
+	for i := 0; i < n; i++ {
+		batch = append(batch, mkRecord(i, 300*time.Microsecond, ""))
+		if len(batch) == 1000 {
+			if err := store.Append("pingmesh/bench", probe.EncodeBatch(batch)); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		if err := store.Append("pingmesh/bench", probe.EncodeBatch(batch)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return store
+}

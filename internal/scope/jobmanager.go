@@ -1,0 +1,95 @@
+package scope
+
+import (
+	"sync"
+	"time"
+
+	"pingmesh/internal/metrics"
+	"pingmesh/internal/simclock"
+)
+
+// The DSA pipeline runs recurring jobs at three cadences (§3.5): 10-minute
+// jobs are the near-real-time path, 1-hour and 1-day jobs handle SLA
+// tracking, black-hole detection, and drop analysis.
+const (
+	Every10Min = 10 * time.Minute
+	Every1Hour = time.Hour
+	Every1Day  = 24 * time.Hour
+)
+
+// JobManager submits recurring jobs automatically. Each scheduled job gets
+// its own goroutine and watchdog counters.
+type JobManager struct {
+	clock simclock.Clock
+	reg   *metrics.Registry
+
+	mu   sync.Mutex
+	jobs []*ScheduledJob
+}
+
+// NewJobManager returns a manager on the given clock (nil for wall time).
+func NewJobManager(clock simclock.Clock) *JobManager {
+	if clock == nil {
+		clock = simclock.NewReal()
+	}
+	return &JobManager{clock: clock, reg: metrics.NewRegistry()}
+}
+
+// Metrics exposes per-job run counters for the watchdogs (§3.5: all
+// Pingmesh components are watched; the job manager reports whether jobs
+// run and how long they take).
+func (m *JobManager) Metrics() *metrics.Registry { return m.reg }
+
+// ScheduledJob is one recurring submission.
+type ScheduledJob struct {
+	name  string
+	every time.Duration
+	stop  chan struct{}
+	once  sync.Once
+}
+
+// Name returns the job's name.
+func (s *ScheduledJob) Name() string { return s.name }
+
+// Stop cancels future runs.
+func (s *ScheduledJob) Stop() { s.once.Do(func() { close(s.stop) }) }
+
+// Schedule runs fn every interval. fn receives the window [from, to) it
+// should process: the interval that just ended. The first run happens one
+// interval after scheduling.
+func (m *JobManager) Schedule(name string, every time.Duration, fn func(from, to time.Time) error) *ScheduledJob {
+	job := &ScheduledJob{name: name, every: every, stop: make(chan struct{})}
+	m.mu.Lock()
+	m.jobs = append(m.jobs, job)
+	m.mu.Unlock()
+
+	go func() {
+		ticker := m.clock.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-job.stop:
+				return
+			case now := <-ticker.C:
+				start := m.clock.Now()
+				err := fn(now.Add(-every), now)
+				m.reg.Counter("scope.job." + name + ".runs").Inc()
+				if err != nil {
+					m.reg.Counter("scope.job." + name + ".errors").Inc()
+				}
+				m.reg.Gauge("scope.job." + name + ".last_ms").Set(int64(m.clock.Since(start) / time.Millisecond))
+			}
+		}
+	}()
+	return job
+}
+
+// StopAll cancels every scheduled job.
+func (m *JobManager) StopAll() {
+	m.mu.Lock()
+	jobs := append([]*ScheduledJob(nil), m.jobs...)
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.Stop()
+	}
+}

@@ -1,0 +1,172 @@
+// Package scope reimplements the slice of SCOPE (§2.3) Pingmesh's DSA
+// pipeline needs: declarative jobs over latency records stored in Cosmos,
+// executed in parallel across extents — the user describes extract/filter/
+// group semantics and the engine handles partitioning and parallelism —
+// plus a Job Manager that submits recurring jobs (10-minute, 1-hour,
+// 1-day) without user intervention (§3.5).
+package scope
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"pingmesh/internal/analysis"
+	"pingmesh/internal/cosmos"
+	"pingmesh/internal/probe"
+)
+
+// Source names the data a job reads: every extent of every stream whose
+// name starts with StreamPrefix.
+type Source struct {
+	Store        *cosmos.Store
+	StreamPrefix string
+}
+
+// Job is a declarative analysis over probe records, the moral equivalent
+// of a SELECT ... WHERE ... GROUP BY script.
+type Job struct {
+	// Name identifies the job in metrics and errors.
+	Name string
+	// Source is the input data.
+	Source Source
+	// From/To optionally bound the records by Start time: [From, To).
+	// Zero values leave the corresponding side unbounded.
+	From, To time.Time
+	// Where optionally filters records.
+	Where func(*probe.Record) bool
+	// Key groups records; records whose key resolves ok=false are skipped.
+	// A nil Key groups everything under "".
+	Key func(*probe.Record) (string, bool)
+}
+
+// Result is the output of one job run.
+type Result struct {
+	// Groups holds one aggregate per group key.
+	Groups map[string]*analysis.LatencyStats
+	// Records is how many records were aggregated (after filtering).
+	Records uint64
+	// Scanned is how many records were decoded.
+	Scanned uint64
+	// ParseErrors counts undecodable rows (skipped, not fatal — corrupt
+	// rows must not kill a fleet-wide job).
+	ParseErrors uint64
+}
+
+// Get returns the group's stats, or an empty aggregate if absent, so
+// report code can read without nil checks.
+func (r *Result) Get(key string) *analysis.LatencyStats {
+	if s, ok := r.Groups[key]; ok {
+		return s
+	}
+	return analysis.NewLatencyStats()
+}
+
+// Engine executes jobs.
+type Engine struct {
+	// Parallelism bounds concurrent extent processors. Default NumCPU.
+	Parallelism int
+}
+
+type task struct {
+	stream string
+	extent int
+}
+
+// Run executes one job across every extent of the source in parallel and
+// merges the per-worker aggregates.
+func (e *Engine) Run(job Job) (*Result, error) {
+	if job.Source.Store == nil {
+		return nil, fmt.Errorf("scope: job %q has no source store", job.Name)
+	}
+	par := e.Parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+
+	var tasks []task
+	for _, stream := range job.Source.Store.Streams(job.Source.StreamPrefix) {
+		for i := 0; i < job.Source.Store.NumExtents(stream); i++ {
+			tasks = append(tasks, task{stream: stream, extent: i})
+		}
+	}
+
+	taskCh := make(chan task)
+	results := make([]*Result, par)
+	errs := make([]error, par)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w], errs[w] = e.worker(&job, taskCh)
+		}(w)
+	}
+	for _, t := range tasks {
+		taskCh <- t
+	}
+	close(taskCh)
+	wg.Wait()
+
+	out := &Result{Groups: make(map[string]*analysis.LatencyStats)}
+	for w := 0; w < par; w++ {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		r := results[w]
+		out.Records += r.Records
+		out.Scanned += r.Scanned
+		out.ParseErrors += r.ParseErrors
+		for k, st := range r.Groups {
+			if cur, ok := out.Groups[k]; ok {
+				cur.Merge(st)
+			} else {
+				out.Groups[k] = st
+			}
+		}
+	}
+	return out, nil
+}
+
+// worker processes extents from the channel into a local result.
+func (e *Engine) worker(job *Job, tasks <-chan task) (*Result, error) {
+	res := &Result{Groups: make(map[string]*analysis.LatencyStats)}
+	for t := range tasks {
+		data, err := job.Source.Store.ReadExtent(t.stream, t.extent)
+		if err != nil {
+			return nil, fmt.Errorf("scope: job %q: %w", job.Name, err)
+		}
+		recs, parseErrs := probe.DecodeBatch(data)
+		res.ParseErrors += uint64(len(parseErrs))
+		res.Scanned += uint64(len(recs))
+		for i := range recs {
+			r := &recs[i]
+			if !job.From.IsZero() && r.Start.Before(job.From) {
+				continue
+			}
+			if !job.To.IsZero() && !r.Start.Before(job.To) {
+				continue
+			}
+			if job.Where != nil && !job.Where(r) {
+				continue
+			}
+			key := ""
+			if job.Key != nil {
+				var ok bool
+				key, ok = job.Key(r)
+				if !ok {
+					continue
+				}
+			}
+			st, ok := res.Groups[key]
+			if !ok {
+				st = analysis.NewLatencyStats()
+				res.Groups[key] = st
+			}
+			st.Add(r)
+			res.Records++
+		}
+	}
+	return res, nil
+}

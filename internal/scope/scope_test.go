@@ -1,0 +1,322 @@
+package scope
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pingmesh/internal/cosmos"
+	"pingmesh/internal/probe"
+	"pingmesh/internal/simclock"
+)
+
+var t0 = time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func mkRecord(i int, rtt time.Duration, errStr string) probe.Record {
+	return probe.Record{
+		Start: t0.Add(time.Duration(i) * time.Minute),
+		Src:   netip.AddrFrom4([4]byte{10, 0, byte(i % 3), 1}),
+		Dst:   netip.AddrFrom4([4]byte{10, 0, 9, 9}),
+		RTT:   rtt,
+		Err:   errStr,
+	}
+}
+
+// seedStore writes n records split across two daily streams with small
+// extents, so the engine gets real parallel work.
+func seedStore(t *testing.T, n int) *cosmos.Store {
+	t.Helper()
+	store, err := cosmos.NewStore(3, cosmos.Config{ExtentSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		r := mkRecord(i, time.Duration(200+i)*time.Microsecond, "")
+		stream := fmt.Sprintf("pingmesh/2026-07-0%d", 1+i%2)
+		if err := store.Append(stream, probe.EncodeBatch([]probe.Record{r})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return store
+}
+
+func TestRunAggregatesEverything(t *testing.T) {
+	store := seedStore(t, 200)
+	e := &Engine{Parallelism: 4}
+	res, err := e.Run(Job{Name: "all", Source: Source{Store: store, StreamPrefix: "pingmesh/"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 200 || res.Scanned != 200 {
+		t.Fatalf("Records=%d Scanned=%d, want 200", res.Records, res.Scanned)
+	}
+	if res.ParseErrors != 0 {
+		t.Fatalf("ParseErrors = %d", res.ParseErrors)
+	}
+	if res.Get("").Total() != 200 {
+		t.Fatalf("group total = %d", res.Get("").Total())
+	}
+}
+
+func TestRunStreamPrefixSelects(t *testing.T) {
+	store := seedStore(t, 100)
+	e := &Engine{}
+	res, err := e.Run(Job{Name: "day1", Source: Source{Store: store, StreamPrefix: "pingmesh/2026-07-01"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 50 {
+		t.Fatalf("Records = %d, want 50", res.Records)
+	}
+}
+
+func TestRunWhereFilters(t *testing.T) {
+	store := seedStore(t, 100)
+	e := &Engine{}
+	res, err := e.Run(Job{
+		Name:   "filtered",
+		Source: Source{Store: store, StreamPrefix: "pingmesh/"},
+		Where:  func(r *probe.Record) bool { return r.Src.As4()[2] == 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Src third octet cycles 0,1,2: about a third match.
+	if res.Records < 30 || res.Records > 37 {
+		t.Fatalf("Records = %d, want ~34", res.Records)
+	}
+}
+
+func TestRunGroupsByKey(t *testing.T) {
+	store := seedStore(t, 90)
+	e := &Engine{Parallelism: 3}
+	res, err := e.Run(Job{
+		Name:   "grouped",
+		Source: Source{Store: store, StreamPrefix: "pingmesh/"},
+		Key:    func(r *probe.Record) (string, bool) { return r.Src.String(), true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 3 {
+		t.Fatalf("%d groups, want 3", len(res.Groups))
+	}
+	var total uint64
+	for _, st := range res.Groups {
+		total += st.Total()
+	}
+	if total != 90 {
+		t.Fatalf("group totals sum to %d", total)
+	}
+}
+
+func TestRunKeySkips(t *testing.T) {
+	store := seedStore(t, 60)
+	e := &Engine{}
+	res, err := e.Run(Job{
+		Name:   "skippy",
+		Source: Source{Store: store, StreamPrefix: "pingmesh/"},
+		Key:    func(r *probe.Record) (string, bool) { return "", false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 0 || res.Scanned != 60 {
+		t.Fatalf("Records=%d Scanned=%d", res.Records, res.Scanned)
+	}
+}
+
+func TestRunTimeWindow(t *testing.T) {
+	store := seedStore(t, 120) // records at t0 + i minutes
+	e := &Engine{}
+	res, err := e.Run(Job{
+		Name:   "window",
+		Source: Source{Store: store, StreamPrefix: "pingmesh/"},
+		From:   t0.Add(30 * time.Minute),
+		To:     t0.Add(60 * time.Minute),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 30 {
+		t.Fatalf("Records = %d, want 30", res.Records)
+	}
+}
+
+func TestRunSkipsCorruptRows(t *testing.T) {
+	store := seedStore(t, 10)
+	store.Append("pingmesh/2026-07-01", []byte("this is not a record\n"))
+	e := &Engine{}
+	res, err := e.Run(Job{Name: "corrupt", Source: Source{Store: store, StreamPrefix: "pingmesh/"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 10 || res.ParseErrors != 1 {
+		t.Fatalf("Records=%d ParseErrors=%d", res.Records, res.ParseErrors)
+	}
+}
+
+func TestRunNoStore(t *testing.T) {
+	e := &Engine{}
+	if _, err := e.Run(Job{Name: "nil"}); err == nil {
+		t.Fatal("Run without store succeeded")
+	}
+}
+
+func TestRunEmptyStore(t *testing.T) {
+	store, _ := cosmos.NewStore(1, cosmos.Config{})
+	e := &Engine{}
+	res, err := e.Run(Job{Name: "empty", Source: Source{Store: store, StreamPrefix: ""}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 0 || len(res.Groups) != 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	// Get on a missing group returns an empty aggregate, not nil.
+	if res.Get("missing").Total() != 0 {
+		t.Fatal("Get(missing) not empty")
+	}
+}
+
+func TestJobManagerRunsOnCadence(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	m := NewJobManager(clock)
+	defer m.StopAll()
+	var runs atomic.Int64
+	var lastFrom, lastTo atomic.Value
+	m.Schedule("sla-10min", Every10Min, func(from, to time.Time) error {
+		runs.Add(1)
+		lastFrom.Store(from)
+		lastTo.Store(to)
+		return nil
+	})
+	waitFor(t, func() bool { return clock.PendingTimers() >= 1 })
+	for i := 0; i < 3; i++ {
+		clock.Advance(Every10Min)
+		waitFor(t, func() bool { return runs.Load() == int64(i+1) })
+	}
+	from := lastFrom.Load().(time.Time)
+	to := lastTo.Load().(time.Time)
+	if to.Sub(from) != Every10Min {
+		t.Fatalf("window = [%v, %v)", from, to)
+	}
+	if !to.Equal(t0.Add(30 * time.Minute)) {
+		t.Fatalf("final window end = %v", to)
+	}
+	snap := m.Metrics().Snapshot()
+	if snap.Counters["scope.job.sla-10min.runs"] != 3 {
+		t.Fatalf("runs counter = %d", snap.Counters["scope.job.sla-10min.runs"])
+	}
+}
+
+func TestJobManagerCountsErrors(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	m := NewJobManager(clock)
+	defer m.StopAll()
+	var runs atomic.Int64
+	m.Schedule("flaky", time.Minute, func(from, to time.Time) error {
+		runs.Add(1)
+		return errors.New("boom")
+	})
+	waitFor(t, func() bool { return clock.PendingTimers() >= 1 })
+	clock.Advance(time.Minute)
+	waitFor(t, func() bool { return runs.Load() == 1 })
+	if m.Metrics().Snapshot().Counters["scope.job.flaky.errors"] != 1 {
+		t.Fatal("error not counted")
+	}
+}
+
+func TestJobManagerStop(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	m := NewJobManager(clock)
+	var runs atomic.Int64
+	job := m.Schedule("stoppable", time.Minute, func(from, to time.Time) error {
+		runs.Add(1)
+		return nil
+	})
+	waitFor(t, func() bool { return clock.PendingTimers() >= 1 })
+	clock.Advance(time.Minute)
+	waitFor(t, func() bool { return runs.Load() == 1 })
+	job.Stop()
+	job.Stop() // idempotent
+	time.Sleep(5 * time.Millisecond)
+	clock.Advance(10 * time.Minute)
+	time.Sleep(10 * time.Millisecond)
+	if runs.Load() != 1 {
+		t.Fatalf("job ran %d times after Stop", runs.Load())
+	}
+	if job.Name() != "stoppable" {
+		t.Fatal("name wrong")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}
+
+func TestRunHalfOpenWindows(t *testing.T) {
+	store := seedStore(t, 60) // records at t0+i minutes, i in [0,60)
+	e := &Engine{}
+	fromOnly, err := e.Run(Job{
+		Name: "from", Source: Source{Store: store, StreamPrefix: "pingmesh/"},
+		From: t0.Add(30 * time.Minute),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromOnly.Records != 30 {
+		t.Fatalf("From-only records = %d, want 30", fromOnly.Records)
+	}
+	toOnly, err := e.Run(Job{
+		Name: "to", Source: Source{Store: store, StreamPrefix: "pingmesh/"},
+		To: t0.Add(30 * time.Minute),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toOnly.Records != 30 {
+		t.Fatalf("To-only records = %d, want 30", toOnly.Records)
+	}
+}
+
+func TestRunParallelismInvariance(t *testing.T) {
+	// Property: results are identical whatever the worker count.
+	store := seedStore(t, 300)
+	job := Job{
+		Name:   "inv",
+		Source: Source{Store: store, StreamPrefix: "pingmesh/"},
+		Key:    func(r *probe.Record) (string, bool) { return r.Src.String(), true },
+	}
+	base, err := (&Engine{Parallelism: 1}).Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, 8} {
+		got, err := (&Engine{Parallelism: par}).Run(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Records != base.Records || len(got.Groups) != len(base.Groups) {
+			t.Fatalf("par=%d: records=%d groups=%d vs base %d/%d",
+				par, got.Records, len(got.Groups), base.Records, len(base.Groups))
+		}
+		for k, st := range base.Groups {
+			g, ok := got.Groups[k]
+			if !ok || g.Total() != st.Total() || g.Percentile(0.99) != st.Percentile(0.99) {
+				t.Fatalf("par=%d: group %q diverged", par, k)
+			}
+		}
+	}
+}

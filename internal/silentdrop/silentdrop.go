@@ -1,0 +1,204 @@
+// Package silentdrop detects and localizes switch silent random packet
+// drops (§5.2). A Spine dropping 1-2% of packets silently shows nothing in
+// its own counters but inflates drop rates for tens of thousands of
+// servers. Detection comes from the Pingmesh drop-rate series jumping an
+// order of magnitude above baseline; localization combines Pingmesh (which
+// tier? which affected pairs?) with TCP traceroute over the affected
+// five-tuples: per-TTL loss estimation pins the first hop where loss
+// appears. Mitigation isolates the switch from serving live traffic;
+// hardware faults behind silent drops (fabric CRC errors, bit flips) are
+// not fixed by reloads and end in RMA.
+package silentdrop
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"pingmesh/internal/netsim"
+	"pingmesh/internal/probe"
+	"pingmesh/internal/topology"
+)
+
+// SpikeDetector decides whether a drop-rate series left its normal band.
+type SpikeDetector struct {
+	// Baseline is the expected drop rate under normal conditions
+	// (10⁻⁴–10⁻⁵ per §4.2). Default 1e-4.
+	Baseline float64
+	// Factor is how many times above baseline counts as a spike.
+	// Default 5.
+	Factor float64
+}
+
+// Spiked reports whether the latest value is a spike.
+func (d *SpikeDetector) Spiked(rate float64) bool {
+	base := d.Baseline
+	if base <= 0 {
+		base = 1e-4
+	}
+	factor := d.Factor
+	if factor <= 0 {
+		factor = 5
+	}
+	return rate > base*factor
+}
+
+// Pair is one affected source-destination five-tuple, discovered from
+// Pingmesh data (pairs with elevated retransmit signatures).
+type Pair struct {
+	Src, Dst         topology.ServerID
+	SrcPort, DstPort uint16
+}
+
+// Suspect is one switch accused of silent drops.
+type Suspect struct {
+	Switch topology.SwitchID
+	// Loss is the per-traversal loss estimate attributed to the switch.
+	Loss float64
+	// Pairs is how many affected pairs implicated the switch.
+	Pairs int
+}
+
+// Localizer runs TCP-traceroute-style per-hop loss estimation against the
+// network. In production the probes are real TCP traceroutes; here they
+// run against the simulator, which reproduces the per-hop loss behaviour.
+type Localizer struct {
+	Net *netsim.Network
+	// ProbesPerHop is how many trace probes each TTL gets (default 400 —
+	// enough to resolve percent-level loss).
+	ProbesPerHop int
+	// LossThreshold is the minimum per-hop loss increase that implicates
+	// a switch (default 0.005).
+	LossThreshold float64
+	// Rand seeds the probing; required.
+	Rand *rand.Rand
+}
+
+// Localize estimates per-hop loss for every affected pair and returns the
+// implicated switches, worst first.
+func (l *Localizer) Localize(pairs []Pair) []Suspect {
+	probesPerHop := l.ProbesPerHop
+	if probesPerHop <= 0 {
+		probesPerHop = 400
+	}
+	threshold := l.LossThreshold
+	if threshold <= 0 {
+		threshold = 0.005
+	}
+	rng := l.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewPCG(0x51e27, 0xd309))
+	}
+
+	type acc struct {
+		loss  float64
+		pairs int
+	}
+	blame := map[topology.SwitchID]*acc{}
+	for _, p := range pairs {
+		hops, ok := l.Net.Path(p.Src, p.Dst, p.SrcPort, p.DstPort)
+		if !ok {
+			continue
+		}
+		spec := netsim.ProbeSpec{
+			Src: p.Src, Dst: p.Dst,
+			SrcPort: p.SrcPort, DstPort: p.DstPort,
+			Proto: probe.TCP,
+		}
+		// Walk the path and blame the FIRST hop where loss appears. A
+		// lossy switch also inflates the loss of every later TTL (probes
+		// to later hops cross its fabric twice), so attributing every
+		// increase would smear blame downstream; first-appearance is how
+		// traceroute localization pinpoints the culprit (§5.2). If several
+		// switches on one path leak, isolate-and-re-run finds them one at
+		// a time.
+		prevLoss := 0.0
+		for ttl := 1; ttl <= len(hops); ttl++ {
+			lost := 0
+			for i := 0; i < probesPerHop; i++ {
+				if !l.Net.TraceProbe(spec, ttl, rng).OK {
+					lost++
+				}
+			}
+			loss := float64(lost) / float64(probesPerHop)
+			if delta := loss - prevLoss; delta >= threshold {
+				a := blame[hops[ttl-1]]
+				if a == nil {
+					a = &acc{}
+					blame[hops[ttl-1]] = a
+				}
+				a.loss += delta
+				a.pairs++
+				break
+			}
+			if loss > prevLoss {
+				prevLoss = loss
+			}
+		}
+	}
+
+	out := make([]Suspect, 0, len(blame))
+	for sw, a := range blame {
+		out = append(out, Suspect{Switch: sw, Loss: a.loss / float64(a.pairs), Pairs: a.pairs})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pairs != out[j].Pairs {
+			return out[i].Pairs > out[j].Pairs
+		}
+		if out[i].Loss != out[j].Loss {
+			return out[i].Loss > out[j].Loss
+		}
+		return out[i].Switch < out[j].Switch
+	})
+	return out
+}
+
+// AffectedPairsFromStats extracts the pairs worth tracerouting: server
+// pairs whose drop estimate is elevated. keys are Keyer.ServerPair keys;
+// the ports to traceroute with are synthesized deterministically per pair
+// (a traceroute probes one concrete five-tuple).
+func AffectedPairsFromStats(top *topology.Topology, dropRateByPair map[string]float64, minRate float64, limit int) []Pair {
+	type kv struct {
+		src, dst topology.ServerID
+		key      string
+		rate     float64
+	}
+	var elevated []kv
+	for k, r := range dropRateByPair {
+		if r < minRate {
+			continue
+		}
+		src, dst, ok := splitPairKey(top, k)
+		if !ok {
+			continue // VIPs or stale topology entries
+		}
+		elevated = append(elevated, kv{src, dst, k, r})
+	}
+	sort.Slice(elevated, func(i, j int) bool {
+		if elevated[i].rate != elevated[j].rate {
+			return elevated[i].rate > elevated[j].rate
+		}
+		return elevated[i].key < elevated[j].key
+	})
+	if limit > 0 && len(elevated) > limit {
+		elevated = elevated[:limit]
+	}
+	out := make([]Pair, 0, len(elevated))
+	for i, e := range elevated {
+		out = append(out, Pair{
+			Src: e.src, Dst: e.dst,
+			SrcPort: uint16(33000 + i), DstPort: 8765,
+		})
+	}
+	return out
+}
+
+func splitPairKey(top *topology.Topology, key string) (src, dst topology.ServerID, ok bool) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '|' {
+			s, ok1 := top.ServerByAddrString(key[:i])
+			d, ok2 := top.ServerByAddrString(key[i+1:])
+			return s, d, ok1 && ok2
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,245 @@
+// Package simclock provides an injectable clock abstraction with a real
+// implementation backed by the time package and a deterministic simulated
+// implementation whose time only moves when the test or experiment driver
+// advances it. Pingmesh experiments replay days or weeks of probing; the
+// simulated clock lets those runs complete in milliseconds while keeping
+// every timer ordering deterministic.
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the subset of the time package that Pingmesh components use.
+// Components take a Clock so that production code runs on wall time while
+// tests and simulations run on virtual time.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// After returns a channel that delivers the clock's time once d has
+	// elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks until d has elapsed on this clock.
+	Sleep(d time.Duration)
+	// NewTicker returns a ticker that fires every d on this clock.
+	NewTicker(d time.Duration) *Ticker
+	// NewTimer returns a timer that fires once after d on this clock.
+	NewTimer(d time.Duration) *Timer
+	// Since returns the time elapsed since t on this clock.
+	Since(t time.Time) time.Duration
+}
+
+// Ticker mirrors time.Ticker for both clock implementations.
+type Ticker struct {
+	C    <-chan time.Time
+	stop func()
+}
+
+// Stop turns off the ticker. As with time.Ticker, Stop does not close C.
+func (t *Ticker) Stop() { t.stop() }
+
+// Timer mirrors time.Timer for both clock implementations.
+type Timer struct {
+	C    <-chan time.Time
+	stop func() bool
+}
+
+// Stop prevents the timer from firing. It reports whether the call stopped
+// the timer before it fired.
+func (t *Timer) Stop() bool { return t.stop() }
+
+// Real is a Clock backed by the time package.
+type Real struct{}
+
+// NewReal returns a Clock that reads wall time.
+func NewReal() Real { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// NewTicker implements Clock.
+func (Real) NewTicker(d time.Duration) *Ticker {
+	tk := time.NewTicker(d)
+	return &Ticker{C: tk.C, stop: tk.Stop}
+}
+
+// NewTimer implements Clock.
+func (Real) NewTimer(d time.Duration) *Timer {
+	tm := time.NewTimer(d)
+	return &Timer{C: tm.C, stop: tm.Stop}
+}
+
+// Sim is a deterministic simulated clock. Time is frozen until Advance or
+// AdvanceTo is called, at which point pending timers fire in timestamp
+// order. Sim is safe for concurrent use.
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+	seq     uint64 // tie-break so equal deadlines fire FIFO
+}
+
+// NewSim returns a simulated clock whose current time is start.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+type waiter struct {
+	at     time.Time
+	seq    uint64
+	ch     chan time.Time
+	period time.Duration // >0 for tickers: re-arm after firing
+	stop   bool
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(*waiter)) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Since implements Clock.
+func (s *Sim) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
+
+func (s *Sim) addWaiter(d, period time.Duration) *waiter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := &waiter{at: s.now.Add(d), seq: s.seq, ch: make(chan time.Time, 1), period: period}
+	s.seq++
+	heap.Push(&s.waiters, w)
+	return w
+}
+
+// After implements Clock.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	return s.addWaiter(d, 0).ch
+}
+
+// Sleep implements Clock. It blocks until another goroutine advances the
+// clock past the deadline.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-s.After(d)
+}
+
+// NewTimer implements Clock.
+func (s *Sim) NewTimer(d time.Duration) *Timer {
+	w := s.addWaiter(d, 0)
+	return &Timer{C: w.ch, stop: func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if w.stop {
+			return false
+		}
+		w.stop = true
+		return true
+	}}
+}
+
+// NewTicker implements Clock.
+func (s *Sim) NewTicker(d time.Duration) *Ticker {
+	if d <= 0 {
+		panic("simclock: non-positive ticker period")
+	}
+	w := s.addWaiter(d, d)
+	return &Ticker{C: w.ch, stop: func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		w.stop = true
+	}}
+}
+
+// Advance moves the clock forward by d, firing every timer and ticker whose
+// deadline falls within the window, in deadline order.
+func (s *Sim) Advance(d time.Duration) {
+	s.mu.Lock()
+	target := s.now.Add(d)
+	s.mu.Unlock()
+	s.AdvanceTo(target)
+}
+
+// AdvanceTo moves the clock forward to t, firing timers along the way.
+// Advancing to a time in the past is a no-op.
+func (s *Sim) AdvanceTo(t time.Time) {
+	for {
+		s.mu.Lock()
+		if len(s.waiters) == 0 || s.waiters[0].at.After(t) {
+			if t.After(s.now) {
+				s.now = t
+			}
+			s.mu.Unlock()
+			return
+		}
+		w := heap.Pop(&s.waiters).(*waiter)
+		if w.stop {
+			s.mu.Unlock()
+			continue
+		}
+		if w.at.After(s.now) {
+			s.now = w.at
+		}
+		if w.period > 0 {
+			// Re-push the same waiter so the ticker's stop closure, which
+			// captured w, still controls future firings.
+			w.at = w.at.Add(w.period)
+			w.seq = s.seq
+			s.seq++
+			heap.Push(&s.waiters, w)
+		}
+		s.mu.Unlock()
+		// Non-blocking send mirrors time.Ticker, which drops ticks when the
+		// receiver is slow.
+		select {
+		case w.ch <- s.Now():
+		default:
+		}
+	}
+}
+
+// PendingTimers reports how many timers and tickers are currently armed.
+// It is intended for tests.
+func (s *Sim) PendingTimers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, w := range s.waiters {
+		if !w.stop {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,79 @@
+package simclock
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: however timers are created, advancing past all of them fires
+// every one, in deadline order, with the clock reading their deadline or
+// later when they fire.
+func TestTimersFireInDeadlineOrderProperty(t *testing.T) {
+	f := func(delaysRaw []uint16) bool {
+		if len(delaysRaw) == 0 || len(delaysRaw) > 64 {
+			return true
+		}
+		s := NewSim(epoch)
+		type firing struct {
+			idx int
+			at  time.Time
+		}
+		var mu sync.Mutex
+		var fired []firing
+		var wg sync.WaitGroup
+		delays := make([]time.Duration, len(delaysRaw))
+		for i, d := range delaysRaw {
+			delays[i] = time.Duration(d%10000+1) * time.Millisecond
+			wg.Add(1)
+			ch := s.After(delays[i])
+			go func(i int) {
+				defer wg.Done()
+				at := <-ch
+				mu.Lock()
+				fired = append(fired, firing{i, at})
+				mu.Unlock()
+			}(i)
+		}
+		// Wait for all waiters to register, then release them all.
+		deadline := time.Now().Add(5 * time.Second)
+		for s.PendingTimers() < len(delays) && time.Now().Before(deadline) {
+			time.Sleep(100 * time.Microsecond)
+		}
+		s.Advance(11 * time.Second)
+		wg.Wait()
+		if len(fired) != len(delays) {
+			return false
+		}
+		// Every firing carries its own deadline.
+		for _, f := range fired {
+			want := epoch.Add(delays[f.idx])
+			if !f.at.Equal(want) {
+				return false
+			}
+		}
+		// And the set of fire timestamps, sorted, matches the sorted
+		// deadlines (ordering among goroutines is scheduling-dependent,
+		// but the delivered timestamps must be exactly the deadlines).
+		var got, want []int64
+		for _, f := range fired {
+			got = append(got, f.at.UnixNano())
+		}
+		for _, d := range delays {
+			want = append(want, epoch.Add(d).UnixNano())
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestSimNowFrozen(t *testing.T) {
+	s := NewSim(epoch)
+	if got := s.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", got, epoch)
+	}
+	if got := s.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() moved without Advance: %v", got)
+	}
+}
+
+func TestSimAdvance(t *testing.T) {
+	s := NewSim(epoch)
+	s.Advance(90 * time.Second)
+	if got, want := s.Now(), epoch.Add(90*time.Second); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+	if got := s.Since(epoch); got != 90*time.Second {
+		t.Fatalf("Since(epoch) = %v, want 90s", got)
+	}
+}
+
+func TestSimAdvanceToPastIsNoop(t *testing.T) {
+	s := NewSim(epoch)
+	s.Advance(time.Minute)
+	s.AdvanceTo(epoch) // in the past
+	if got, want := s.Now(), epoch.Add(time.Minute); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestSimAfterFiresAtDeadline(t *testing.T) {
+	s := NewSim(epoch)
+	ch := s.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before Advance")
+	default:
+	}
+	s.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired early")
+	default:
+	}
+	s.Advance(time.Second)
+	select {
+	case at := <-ch:
+		if want := epoch.Add(10 * time.Second); !at.Equal(want) {
+			t.Fatalf("fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("After did not fire at deadline")
+	}
+}
+
+func TestSimTimerStop(t *testing.T) {
+	s := NewSim(epoch)
+	tm := s.NewTimer(5 * time.Second)
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on armed timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true")
+	}
+	s.Advance(time.Minute)
+	select {
+	case <-tm.C:
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestSimTickerFiresRepeatedly(t *testing.T) {
+	s := NewSim(epoch)
+	tk := s.NewTicker(10 * time.Second)
+	defer tk.Stop()
+	for i := 1; i <= 3; i++ {
+		s.Advance(10 * time.Second)
+		select {
+		case at := <-tk.C:
+			if want := epoch.Add(time.Duration(i) * 10 * time.Second); !at.Equal(want) {
+				t.Fatalf("tick %d at %v, want %v", i, at, want)
+			}
+		default:
+			t.Fatalf("tick %d missing", i)
+		}
+	}
+}
+
+func TestSimTickerDropsWhenSlow(t *testing.T) {
+	s := NewSim(epoch)
+	tk := s.NewTicker(time.Second)
+	defer tk.Stop()
+	// Advance through many periods without draining; buffered chan keeps 1.
+	s.Advance(10 * time.Second)
+	n := 0
+	for {
+		select {
+		case <-tk.C:
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("got %d buffered ticks, want 1 (dropped ticks like time.Ticker)", n)
+	}
+}
+
+func TestSimTickerStop(t *testing.T) {
+	s := NewSim(epoch)
+	tk := s.NewTicker(time.Second)
+	s.Advance(time.Second)
+	<-tk.C
+	tk.Stop()
+	s.Advance(10 * time.Second)
+	select {
+	case <-tk.C:
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+}
+
+func TestSimTimerOrdering(t *testing.T) {
+	s := NewSim(epoch)
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	delays := []time.Duration{30 * time.Second, 10 * time.Second, 20 * time.Second}
+	for i, d := range delays {
+		wg.Add(1)
+		ch := s.After(d)
+		go func(i int) {
+			defer wg.Done()
+			<-ch
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i)
+	}
+	// Advance step by step so each waiter runs before the next fires.
+	for j := 0; j < 3; j++ {
+		s.Advance(10 * time.Second)
+		waitUntil(t, func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return len(order) == j+1
+		})
+	}
+	wg.Wait()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSimSleepWakes(t *testing.T) {
+	s := NewSim(epoch)
+	done := make(chan struct{})
+	go func() {
+		s.Sleep(time.Minute)
+		close(done)
+	}()
+	waitUntil(t, func() bool { return s.PendingTimers() == 1 })
+	s.Advance(time.Minute)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep did not wake after Advance")
+	}
+}
+
+func TestSimSleepZero(t *testing.T) {
+	s := NewSim(epoch)
+	s.Sleep(0) // must not block
+	s.Sleep(-time.Second)
+}
+
+func TestRealClockBasics(t *testing.T) {
+	c := NewReal()
+	t0 := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(t0) <= 0 {
+		t.Fatal("real clock did not move")
+	}
+	tm := c.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C:
+	case <-time.After(2 * time.Second):
+		t.Fatal("real timer did not fire")
+	}
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C:
+	case <-time.After(2 * time.Second):
+		t.Fatal("real ticker did not fire")
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}

@@ -1,0 +1,247 @@
+// Package slb is a small software load balancer in the spirit of Ananta
+// (§3.3.2): a single VIP fronts a set of DIP backends. Connections to the
+// VIP are proxied to healthy backends round-robin; a health prober takes
+// failed backends out of rotation automatically and returns them when they
+// recover. The Pingmesh Controller scales out and fails over by putting
+// all its replicas behind one VIP.
+package slb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tunes a load balancer.
+type Options struct {
+	// HealthInterval is how often each backend is probed. Default 500ms.
+	HealthInterval time.Duration
+	// DialTimeout bounds backend dials (health and proxy). Default 2s.
+	DialTimeout time.Duration
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.HealthInterval <= 0 {
+		out.HealthInterval = 500 * time.Millisecond
+	}
+	if out.DialTimeout <= 0 {
+		out.DialTimeout = 2 * time.Second
+	}
+	return out
+}
+
+type backend struct {
+	addr      string
+	healthy   atomic.Bool
+	forwarded atomic.Int64
+}
+
+// LoadBalancer proxies TCP connections from one VIP to its backends.
+type LoadBalancer struct {
+	opts Options
+	ln   net.Listener
+
+	mu       sync.RWMutex
+	backends []*backend
+
+	next atomic.Uint64
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// New starts a load balancer listening on vipAddr (e.g. "127.0.0.1:0")
+// fronting the given backend addresses. Backends start healthy and are
+// re-probed continuously.
+func New(vipAddr string, backends []string, opts Options) (*LoadBalancer, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("slb: no backends")
+	}
+	ln, err := net.Listen("tcp", vipAddr)
+	if err != nil {
+		return nil, fmt.Errorf("slb: listen %s: %w", vipAddr, err)
+	}
+	lb := &LoadBalancer{
+		opts: opts.withDefaults(),
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	for _, addr := range backends {
+		b := &backend{addr: addr}
+		b.healthy.Store(true)
+		lb.backends = append(lb.backends, b)
+	}
+	lb.wg.Add(2)
+	go lb.acceptLoop()
+	go lb.healthLoop()
+	return lb, nil
+}
+
+// Addr returns the VIP address.
+func (lb *LoadBalancer) Addr() net.Addr { return lb.ln.Addr() }
+
+// Close stops the VIP listener and the health prober.
+func (lb *LoadBalancer) Close() error {
+	close(lb.done)
+	err := lb.ln.Close()
+	lb.wg.Wait()
+	return err
+}
+
+// AddBackend adds a DIP to the pool (scale-out without changing the VIP).
+func (lb *LoadBalancer) AddBackend(addr string) {
+	b := &backend{addr: addr}
+	b.healthy.Store(true)
+	lb.mu.Lock()
+	lb.backends = append(lb.backends, b)
+	lb.mu.Unlock()
+}
+
+// RemoveBackend removes a DIP from the pool.
+func (lb *LoadBalancer) RemoveBackend(addr string) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	for i, b := range lb.backends {
+		if b.addr == addr {
+			lb.backends = append(lb.backends[:i], lb.backends[i+1:]...)
+			return
+		}
+	}
+}
+
+// HealthyBackends returns the addresses currently in rotation.
+func (lb *LoadBalancer) HealthyBackends() []string {
+	lb.mu.RLock()
+	defer lb.mu.RUnlock()
+	var out []string
+	for _, b := range lb.backends {
+		if b.healthy.Load() {
+			out = append(out, b.addr)
+		}
+	}
+	return out
+}
+
+// ForwardCounts returns how many connections each backend has received,
+// keyed by address. Intended for tests and dashboards.
+func (lb *LoadBalancer) ForwardCounts() map[string]int64 {
+	lb.mu.RLock()
+	defer lb.mu.RUnlock()
+	out := make(map[string]int64, len(lb.backends))
+	for _, b := range lb.backends {
+		out[b.addr] = b.forwarded.Load()
+	}
+	return out
+}
+
+// pick returns the next healthy backend round-robin, or nil.
+func (lb *LoadBalancer) pick() *backend {
+	lb.mu.RLock()
+	defer lb.mu.RUnlock()
+	n := len(lb.backends)
+	if n == 0 {
+		return nil
+	}
+	start := lb.next.Add(1)
+	for i := 0; i < n; i++ {
+		b := lb.backends[(int(start)+i)%n]
+		if b.healthy.Load() {
+			return b
+		}
+	}
+	return nil
+}
+
+func (lb *LoadBalancer) acceptLoop() {
+	defer lb.wg.Done()
+	for {
+		conn, err := lb.ln.Accept()
+		if err != nil {
+			select {
+			case <-lb.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		lb.wg.Add(1)
+		go func() {
+			defer lb.wg.Done()
+			lb.proxy(conn)
+		}()
+	}
+}
+
+// proxy forwards one client connection to a healthy backend, retrying the
+// dial on the next backend if the chosen one fails mid-dial.
+func (lb *LoadBalancer) proxy(client net.Conn) {
+	defer client.Close()
+	for attempt := 0; attempt < 3; attempt++ {
+		b := lb.pick()
+		if b == nil {
+			return // no healthy backends: reset the client
+		}
+		server, err := net.DialTimeout("tcp", b.addr, lb.opts.DialTimeout)
+		if err != nil {
+			b.healthy.Store(false) // fast-fail: out of rotation until reprobed
+			continue
+		}
+		b.forwarded.Add(1)
+		splice(client, server)
+		return
+	}
+}
+
+// splice copies bytes both ways until either side closes.
+func splice(a, b net.Conn) {
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(a, b)
+		if c, ok := a.(*net.TCPConn); ok {
+			c.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		io.Copy(b, a)
+		if c, ok := b.(*net.TCPConn); ok {
+			c.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+	b.Close()
+}
+
+func (lb *LoadBalancer) healthLoop() {
+	defer lb.wg.Done()
+	ticker := time.NewTicker(lb.opts.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-lb.done:
+			return
+		case <-ticker.C:
+		}
+		lb.mu.RLock()
+		backends := append([]*backend(nil), lb.backends...)
+		lb.mu.RUnlock()
+		for _, b := range backends {
+			conn, err := net.DialTimeout("tcp", b.addr, lb.opts.DialTimeout)
+			if err != nil {
+				b.healthy.Store(false)
+				continue
+			}
+			conn.Close()
+			b.healthy.Store(true)
+		}
+	}
+}

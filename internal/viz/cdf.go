@@ -1,0 +1,99 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"pingmesh/internal/metrics"
+)
+
+// CDFSeries is one named distribution for plotting.
+type CDFSeries struct {
+	Name   string
+	Marker byte
+	Points []metrics.CDFPoint
+}
+
+// RenderCDF draws latency CDFs on a log-x ASCII grid — the Figure 4 style
+// plot, terminal edition. Width and height are the plot area in
+// characters; sensible minimums are enforced.
+func RenderCDF(series []CDFSeries, width, height int) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	minV, maxV := time.Duration(math.MaxInt64), time.Duration(0)
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Value < minV {
+				minV = p.Value
+			}
+			if p.Value > maxV {
+				maxV = p.Value
+			}
+		}
+	}
+	if maxV <= minV {
+		return "(no data)\n"
+	}
+	logMin, logMax := math.Log10(float64(minV)), math.Log10(float64(maxV))
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	// fractionAt returns the step-CDF value at v.
+	fractionAt := func(pts []metrics.CDFPoint, v time.Duration) float64 {
+		frac := 0.0
+		for _, p := range pts {
+			if p.Value <= v {
+				frac = p.Fraction
+			} else {
+				break
+			}
+		}
+		return frac
+	}
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		for x := 0; x < width; x++ {
+			lv := logMin + (logMax-logMin)*float64(x)/float64(width-1)
+			v := time.Duration(math.Pow(10, lv))
+			f := fractionAt(s.Points, v)
+			y := int(math.Round(f * float64(height-1)))
+			row := height - 1 - y
+			grid[row][x] = marker
+		}
+	}
+
+	var b strings.Builder
+	for i, row := range grid {
+		frac := float64(height-1-i) / float64(height-1)
+		fmt.Fprintf(&b, "%5.2f |%s|\n", frac, string(row))
+	}
+	// X axis with three tick labels.
+	fmt.Fprintf(&b, "      %s\n", strings.Repeat("-", width+2))
+	mid := time.Duration(math.Pow(10, (logMin+logMax)/2))
+	axis := fmt.Sprintf("      %-*s%-*s%s", width/2, minV.Round(time.Microsecond).String(),
+		width/2-len(mid.Round(time.Microsecond).String())/2, mid.Round(time.Microsecond).String(),
+		maxV.Round(time.Millisecond).String())
+	b.WriteString(axis + "\n")
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		fmt.Fprintf(&b, "      %c = %s\n", marker, s.Name)
+	}
+	return b.String()
+}

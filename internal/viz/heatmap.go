@@ -1,0 +1,192 @@
+// Package viz renders the Pingmesh visualization of §6.3: a pod-pair
+// matrix where each cell is the 99th-percentile latency between a source
+// and destination pod, colored green (healthy), yellow (borderline), red
+// (out of SLA) or white (no data) — and classifies the four canonical
+// patterns of Figure 8: all-green (normal), white-cross (podset down),
+// red-cross (podset network failure), and red-with-green-diagonal (spine
+// layer failure).
+package viz
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pingmesh/internal/analysis"
+	"pingmesh/internal/topology"
+)
+
+// Color buckets for a cell, using the paper's thresholds: green below 4ms,
+// yellow 4-5ms, red above 5ms, white for no data.
+type Color int
+
+// Cell colors.
+const (
+	White Color = iota
+	Green
+	Yellow
+	Red
+)
+
+// Paper thresholds for the P99 heatmap.
+const (
+	GreenBelow = 4 * time.Millisecond
+	RedAbove   = 5 * time.Millisecond
+)
+
+// String names the color.
+func (c Color) String() string {
+	switch c {
+	case White:
+		return "white"
+	case Green:
+		return "green"
+	case Yellow:
+		return "yellow"
+	case Red:
+		return "red"
+	default:
+		return fmt.Sprintf("color(%d)", int(c))
+	}
+}
+
+// rune for ASCII rendering.
+func (c Color) rune() byte {
+	switch c {
+	case Green:
+		return 'G'
+	case Yellow:
+		return 'Y'
+	case Red:
+		return 'R'
+	default:
+		return '.'
+	}
+}
+
+// Cell is one pod pair's latency summary.
+type Cell struct {
+	P99     time.Duration
+	Probes  uint64
+	HasData bool
+}
+
+// Color classifies the cell.
+func (c Cell) Color() Color {
+	if !c.HasData {
+		return White
+	}
+	switch {
+	case c.P99 < GreenBelow:
+		return Green
+	case c.P99 <= RedAbove:
+		return Yellow
+	default:
+		return Red
+	}
+}
+
+// Heatmap is the pod-pair matrix for one DC.
+type Heatmap struct {
+	DC      string
+	Pods    []analysis.PodRef // row/column order: podset-major
+	Podsets []int             // podset index per pod position
+	Cells   [][]Cell          // [src][dst]
+}
+
+// BuildHeatmap assembles the matrix for DC dc from pod-pair grouped stats
+// (the output of a SCOPE job keyed by Keyer.PodPair). Cells with fewer
+// than minProbes successful probes count as having no data.
+func BuildHeatmap(top *topology.Topology, dc int, groups map[string]*analysis.LatencyStats, minProbes uint64) *Heatmap {
+	var pods []analysis.PodRef
+	var podsets []int
+	index := map[analysis.PodRef]int{}
+	for psi := range top.DCs[dc].Podsets {
+		for qi := range top.DCs[dc].Podsets[psi].Pods {
+			ref := analysis.PodRef{DC: dc, Podset: psi, Pod: qi}
+			index[ref] = len(pods)
+			pods = append(pods, ref)
+			podsets = append(podsets, psi)
+		}
+	}
+	h := &Heatmap{DC: top.DCs[dc].Name, Pods: pods, Podsets: podsets}
+	h.Cells = make([][]Cell, len(pods))
+	for i := range h.Cells {
+		h.Cells[i] = make([]Cell, len(pods))
+	}
+	for key, st := range groups {
+		src, dst, err := analysis.SplitPodPair(key)
+		if err != nil {
+			continue
+		}
+		i, ok1 := index[src]
+		j, ok2 := index[dst]
+		if !ok1 || !ok2 {
+			continue // different DC or stale topology
+		}
+		if st.Success() < minProbes {
+			continue
+		}
+		cell := &h.Cells[i][j]
+		// Merge multiple keys mapping to one cell conservatively: keep the
+		// worse P99.
+		p99 := st.Percentile(0.99)
+		if !cell.HasData || p99 > cell.P99 {
+			cell.P99 = p99
+		}
+		cell.Probes += st.Success()
+		cell.HasData = true
+	}
+	return h
+}
+
+// Size returns the matrix dimension.
+func (h *Heatmap) Size() int { return len(h.Pods) }
+
+// Color returns the color of cell (src, dst).
+func (h *Heatmap) Color(i, j int) Color { return h.Cells[i][j].Color() }
+
+// RenderASCII draws the matrix: one row per source pod, G/Y/R/. per cell,
+// with blank separators at podset boundaries.
+func (h *Heatmap) RenderASCII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P99 heatmap %s (%d pods): G<%v Y<=%v R>%v .=no data\n",
+		h.DC, len(h.Pods), GreenBelow, RedAbove, RedAbove)
+	for i := range h.Cells {
+		if i > 0 && h.Podsets[i] != h.Podsets[i-1] {
+			b.WriteByte('\n')
+		}
+		for j := range h.Cells[i] {
+			if j > 0 && h.Podsets[j] != h.Podsets[j-1] {
+				b.WriteByte(' ')
+			}
+			b.WriteByte(h.Color(i, j).rune())
+		}
+		fmt.Fprintf(&b, "  %s\n", h.Pods[i])
+	}
+	return b.String()
+}
+
+// RenderSVG draws the matrix as a standalone SVG document.
+func (h *Heatmap) RenderSVG() string {
+	const cell = 12
+	n := len(h.Pods)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`, n*cell+2, n*cell+2)
+	b.WriteString("\n")
+	fill := map[Color]string{White: "#ffffff", Green: "#2e7d32", Yellow: "#f9a825", Red: "#c62828"}
+	for i := range h.Cells {
+		for j := range h.Cells[i] {
+			c := h.Cells[i][j]
+			title := "no data"
+			if c.HasData {
+				title = c.P99.String()
+			}
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#ddd"><title>%s-&gt;%s: %s</title></rect>`,
+				j*cell+1, i*cell+1, cell, cell, fill[h.Color(i, j)], h.Pods[i], h.Pods[j], title)
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package viz
+
+import "fmt"
+
+// Pattern is one of the canonical latency patterns of Figure 8.
+type Pattern int
+
+// Patterns, in the order the paper presents them.
+const (
+	// PatternUnknown means no canonical pattern matched.
+	PatternUnknown Pattern = iota
+	// PatternNormal is the all-green matrix of Figure 8(a).
+	PatternNormal
+	// PatternPodsetDown is the white-cross of Figure 8(b): a powered-off
+	// podset produces no data in its rows and columns.
+	PatternPodsetDown
+	// PatternPodsetFailure is the red-cross of Figure 8(c): traffic from
+	// and to one podset is out of SLA while the rest is healthy.
+	PatternPodsetFailure
+	// PatternSpineFailure is Figure 8(d): green squares on the podset
+	// diagonal, red everywhere else — intra-podset traffic bypasses the
+	// broken Spine layer.
+	PatternSpineFailure
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case PatternNormal:
+		return "normal"
+	case PatternPodsetDown:
+		return "podset-down"
+	case PatternPodsetFailure:
+		return "podset-failure"
+	case PatternSpineFailure:
+		return "spine-failure"
+	case PatternUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// Classification is the result of pattern detection.
+type Classification struct {
+	Pattern Pattern
+	// Podset is the affected podset for the podset patterns, -1 otherwise.
+	Podset int
+}
+
+// Classify detects which Figure 8 pattern the heatmap shows. The
+// classifier tolerates a small fraction of off-pattern cells (sampling
+// noise) via the dominance thresholds below.
+func (h *Heatmap) Classify() Classification {
+	n := h.Size()
+	if n == 0 {
+		return Classification{Pattern: PatternUnknown, Podset: -1}
+	}
+	const dominance = 0.9 // fraction of cells that must agree
+
+	// Count cell colors split by whether the cell touches each podset and
+	// by diagonal (same-podset) vs off-diagonal.
+	type counts struct{ green, red, white, total int }
+	tally := func(filter func(i, j int) bool) counts {
+		var c counts
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j || !filter(i, j) {
+					continue
+				}
+				c.total++
+				switch h.Color(i, j) {
+				case Green:
+					c.green++
+				case Red, Yellow:
+					c.red++
+				case White:
+					c.white++
+				}
+			}
+		}
+		return c
+	}
+
+	all := tally(func(i, j int) bool { return true })
+	if all.total == 0 {
+		return Classification{Pattern: PatternUnknown, Podset: -1}
+	}
+	if frac(all.green, all.total) >= dominance {
+		return Classification{Pattern: PatternNormal, Podset: -1}
+	}
+
+	// Podset-centric patterns: find a podset whose rows+columns are
+	// dominated by white (down) or red (failure) while the rest is green.
+	podsets := map[int]bool{}
+	for _, ps := range h.Podsets {
+		podsets[ps] = true
+	}
+	for ps := range podsets {
+		touches := func(i, j int) bool { return h.Podsets[i] == ps || h.Podsets[j] == ps }
+		rest := func(i, j int) bool { return !touches(i, j) }
+		in := tally(touches)
+		out := tally(rest)
+		if in.total == 0 || out.total == 0 {
+			continue
+		}
+		if frac(out.green, out.total) < dominance {
+			continue
+		}
+		if frac(in.white, in.total) >= dominance {
+			return Classification{Pattern: PatternPodsetDown, Podset: ps}
+		}
+		if frac(in.red, in.total) >= dominance {
+			return Classification{Pattern: PatternPodsetFailure, Podset: ps}
+		}
+	}
+
+	// Spine failure: same-podset cells green, cross-podset cells red.
+	diag := tally(func(i, j int) bool { return h.Podsets[i] == h.Podsets[j] })
+	cross := tally(func(i, j int) bool { return h.Podsets[i] != h.Podsets[j] })
+	if diag.total > 0 && cross.total > 0 &&
+		frac(diag.green, diag.total) >= dominance &&
+		frac(cross.red, cross.total) >= dominance {
+		return Classification{Pattern: PatternSpineFailure, Podset: -1}
+	}
+
+	return Classification{Pattern: PatternUnknown, Podset: -1}
+}
+
+func frac(part, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(part) / float64(total)
+}

@@ -1,0 +1,287 @@
+package viz
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"pingmesh/internal/analysis"
+	"pingmesh/internal/metrics"
+	"pingmesh/internal/probe"
+	"pingmesh/internal/topology"
+)
+
+// synthGroups builds pod-pair stats for DC 0 of top, with per-pair P99
+// controlled by latFor; nil latFor entries are omitted (no data).
+func synthGroups(top *topology.Topology, latFor func(src, dst analysis.PodRef) (time.Duration, bool)) map[string]*analysis.LatencyStats {
+	groups := map[string]*analysis.LatencyStats{}
+	var pods []analysis.PodRef
+	for psi := range top.DCs[0].Podsets {
+		for qi := range top.DCs[0].Podsets[psi].Pods {
+			pods = append(pods, analysis.PodRef{DC: 0, Podset: psi, Pod: qi})
+		}
+	}
+	for _, src := range pods {
+		for _, dst := range pods {
+			lat, ok := latFor(src, dst)
+			if !ok {
+				continue
+			}
+			st := analysis.NewLatencyStats()
+			for i := 0; i < 20; i++ {
+				r := probe.Record{
+					Src: netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+					Dst: netip.AddrFrom4([4]byte{10, 0, 0, 2}),
+					RTT: lat,
+				}
+				st.Add(&r)
+			}
+			groups[src.String()+"|"+dst.String()] = st
+		}
+	}
+	return groups
+}
+
+func vizTopology(t *testing.T) *topology.Topology {
+	t.Helper()
+	top, err := topology.Build(topology.Spec{DCs: []topology.DCSpec{
+		{Name: "DC1", Podsets: 3, PodsPerPodset: 4, ServersPerPod: 2, LeavesPerPodset: 2, Spines: 4},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func green(time.Duration) time.Duration { return 500 * time.Microsecond }
+
+func TestCellColors(t *testing.T) {
+	cases := []struct {
+		cell Cell
+		want Color
+	}{
+		{Cell{}, White},
+		{Cell{P99: time.Millisecond, HasData: true}, Green},
+		{Cell{P99: 4500 * time.Microsecond, HasData: true}, Yellow},
+		{Cell{P99: 6 * time.Millisecond, HasData: true}, Red},
+	}
+	for _, c := range cases {
+		if got := c.cell.Color(); got != c.want {
+			t.Errorf("Color(%+v) = %v, want %v", c.cell, got, c.want)
+		}
+	}
+	if White.String() != "white" || Green.String() != "green" || Yellow.String() != "yellow" || Red.String() != "red" {
+		t.Fatal("color names")
+	}
+}
+
+func TestBuildHeatmapNormal(t *testing.T) {
+	top := vizTopology(t)
+	groups := synthGroups(top, func(src, dst analysis.PodRef) (time.Duration, bool) {
+		return 500 * time.Microsecond, true
+	})
+	h := BuildHeatmap(top, 0, groups, 1)
+	if h.Size() != 12 {
+		t.Fatalf("Size = %d, want 12", h.Size())
+	}
+	cls := h.Classify()
+	if cls.Pattern != PatternNormal {
+		t.Fatalf("Classify = %v, want normal", cls.Pattern)
+	}
+	ascii := h.RenderASCII()
+	grid := ascii[strings.Index(ascii, "\n")+1:] // skip the legend line
+	if !strings.Contains(grid, "G") || strings.Contains(grid, "R") || strings.Contains(grid, "Y") {
+		t.Fatalf("ASCII render wrong:\n%s", ascii)
+	}
+}
+
+func TestClassifyPodsetDown(t *testing.T) {
+	top := vizTopology(t)
+	groups := synthGroups(top, func(src, dst analysis.PodRef) (time.Duration, bool) {
+		if src.Podset == 1 || dst.Podset == 1 {
+			return 0, false // no data: servers are off
+		}
+		return 500 * time.Microsecond, true
+	})
+	h := BuildHeatmap(top, 0, groups, 1)
+	cls := h.Classify()
+	if cls.Pattern != PatternPodsetDown || cls.Podset != 1 {
+		t.Fatalf("Classify = %+v, want podset-down/1", cls)
+	}
+}
+
+func TestClassifyPodsetFailure(t *testing.T) {
+	top := vizTopology(t)
+	groups := synthGroups(top, func(src, dst analysis.PodRef) (time.Duration, bool) {
+		if src.Podset == 2 || dst.Podset == 2 {
+			return 20 * time.Millisecond, true // red cross
+		}
+		return 500 * time.Microsecond, true
+	})
+	h := BuildHeatmap(top, 0, groups, 1)
+	cls := h.Classify()
+	if cls.Pattern != PatternPodsetFailure || cls.Podset != 2 {
+		t.Fatalf("Classify = %+v, want podset-failure/2", cls)
+	}
+}
+
+func TestClassifySpineFailure(t *testing.T) {
+	top := vizTopology(t)
+	groups := synthGroups(top, func(src, dst analysis.PodRef) (time.Duration, bool) {
+		if src.Podset == dst.Podset {
+			return 500 * time.Microsecond, true // green diagonal blocks
+		}
+		return 30 * time.Millisecond, true // red cross-podset
+	})
+	h := BuildHeatmap(top, 0, groups, 1)
+	cls := h.Classify()
+	if cls.Pattern != PatternSpineFailure {
+		t.Fatalf("Classify = %+v, want spine-failure", cls)
+	}
+}
+
+func TestClassifyUnknownAndEmpty(t *testing.T) {
+	top := vizTopology(t)
+	// Random-ish mixed map: half red scattered by parity, not podset-aligned.
+	groups := synthGroups(top, func(src, dst analysis.PodRef) (time.Duration, bool) {
+		if (src.Pod+dst.Pod)%2 == 0 {
+			return 20 * time.Millisecond, true
+		}
+		return 500 * time.Microsecond, true
+	})
+	h := BuildHeatmap(top, 0, groups, 1)
+	if cls := h.Classify(); cls.Pattern != PatternUnknown {
+		t.Fatalf("Classify = %v, want unknown", cls.Pattern)
+	}
+	empty := BuildHeatmap(top, 0, map[string]*analysis.LatencyStats{}, 1)
+	if cls := empty.Classify(); cls.Pattern != PatternUnknown {
+		t.Fatalf("empty Classify = %v", cls.Pattern)
+	}
+}
+
+func TestClassifyToleratesNoise(t *testing.T) {
+	top := vizTopology(t)
+	noisy := 0
+	groups := synthGroups(top, func(src, dst analysis.PodRef) (time.Duration, bool) {
+		noisy++
+		if noisy%25 == 0 { // 4% of cells yellow-ish
+			return 4500 * time.Microsecond, true
+		}
+		return 500 * time.Microsecond, true
+	})
+	h := BuildHeatmap(top, 0, groups, 1)
+	if cls := h.Classify(); cls.Pattern != PatternNormal {
+		t.Fatalf("Classify = %v, want normal despite 4%% noise", cls.Pattern)
+	}
+}
+
+func TestMinProbesFilter(t *testing.T) {
+	top := vizTopology(t)
+	groups := synthGroups(top, func(src, dst analysis.PodRef) (time.Duration, bool) {
+		return 500 * time.Microsecond, true
+	})
+	// Each cell got 20 probes; a 50-probe floor blanks everything.
+	h := BuildHeatmap(top, 0, groups, 50)
+	for i := 0; i < h.Size(); i++ {
+		for j := 0; j < h.Size(); j++ {
+			if h.Cells[i][j].HasData {
+				t.Fatal("cell has data despite min-probe floor")
+			}
+		}
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	top := vizTopology(t)
+	groups := synthGroups(top, func(src, dst analysis.PodRef) (time.Duration, bool) {
+		return 500 * time.Microsecond, true
+	})
+	h := BuildHeatmap(top, 0, groups, 1)
+	svg := h.RenderSVG()
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "rect") {
+		t.Fatal("not an SVG")
+	}
+	if !strings.Contains(svg, "#2e7d32") {
+		t.Fatal("no green cells in SVG")
+	}
+}
+
+func TestPatternNames(t *testing.T) {
+	for p, want := range map[Pattern]string{
+		PatternUnknown: "unknown", PatternNormal: "normal",
+		PatternPodsetDown: "podset-down", PatternPodsetFailure: "podset-failure",
+		PatternSpineFailure: "spine-failure",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+	if Pattern(42).String() != "pattern(42)" {
+		t.Fatal("unknown pattern name")
+	}
+}
+
+func TestRenderCDF(t *testing.T) {
+	mkPoints := func(scale time.Duration) []metrics.CDFPoint {
+		var pts []metrics.CDFPoint
+		for i := 1; i <= 10; i++ {
+			pts = append(pts, metrics.CDFPoint{
+				Value:    time.Duration(i) * scale,
+				Fraction: float64(i) / 10,
+			})
+		}
+		return pts
+	}
+	out := RenderCDF([]CDFSeries{
+		{Name: "DC1", Marker: '1', Points: mkPoints(100 * time.Microsecond)},
+		{Name: "DC2", Marker: '2', Points: mkPoints(80 * time.Microsecond)},
+	}, 60, 12)
+	for _, want := range []string{"1", "2", "DC1", "DC2", "1.00", "0.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CDF plot missing %q:\n%s", want, out)
+		}
+	}
+	if got := RenderCDF(nil, 60, 12); got != "(no data)\n" {
+		t.Fatalf("empty plot = %q", got)
+	}
+	// Degenerate single-value series.
+	one := []CDFSeries{{Name: "x", Points: []metrics.CDFPoint{{Value: time.Millisecond, Fraction: 1}}}}
+	if got := RenderCDF(one, 60, 12); got != "(no data)\n" {
+		t.Fatalf("single-point plot = %q", got)
+	}
+}
+
+func BenchmarkBuildHeatmapAndClassify(b *testing.B) {
+	top, err := topology.Build(topology.Spec{DCs: []topology.DCSpec{
+		{Name: "DC1", Podsets: 5, PodsPerPodset: 8, ServersPerPod: 2, LeavesPerPodset: 3, Spines: 8},
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups := map[string]*analysis.LatencyStats{}
+	var pods []analysis.PodRef
+	for psi := range top.DCs[0].Podsets {
+		for qi := range top.DCs[0].Podsets[psi].Pods {
+			pods = append(pods, analysis.PodRef{DC: 0, Podset: psi, Pod: qi})
+		}
+	}
+	for _, src := range pods {
+		for _, dst := range pods {
+			st := analysis.NewLatencyStats()
+			for i := 0; i < 50; i++ {
+				r := probe.Record{RTT: time.Duration(300+i) * time.Microsecond}
+				st.Add(&r)
+			}
+			groups[src.String()+"|"+dst.String()] = st
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := BuildHeatmap(top, 0, groups, 5)
+		if h.Classify().Pattern != PatternNormal {
+			b.Fatal("unexpected pattern")
+		}
+	}
+	b.ReportMetric(float64(len(pods)*len(pods)), "cells")
+}

@@ -1,0 +1,415 @@
+// Package pingmesh is a from-scratch Go implementation of Pingmesh (Guo et
+// al., SIGCOMM 2015): a large-scale data center network latency measurement
+// and analysis system. Every server runs an agent that TCP/HTTP-pings a
+// controller-computed set of peers (three levels of complete graphs);
+// results feed a storage and analysis pipeline that tracks network SLAs,
+// answers "is it the network?", and detects switch packet black-holes and
+// silent random packet drops.
+//
+// The package exposes two ways to run the system:
+//
+//   - SimTestbed: a whole simulated deployment — Clos fabric simulator,
+//     controller, probing fleet, Cosmos/SCOPE-style pipeline — for
+//     experiments, fault-injection studies, and reproducing the paper's
+//     evaluation.
+//   - Real-network components: NewController/NewAgent wire the same
+//     controller and agent implementations to real sockets for running on
+//     an actual network (see examples/quickstart).
+//
+// Subsystems live in internal/ packages; this package is the stable entry
+// point.
+package pingmesh
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"pingmesh/internal/analysis"
+	"pingmesh/internal/autopilot"
+	"pingmesh/internal/blackhole"
+	"pingmesh/internal/controller"
+	"pingmesh/internal/core"
+	"pingmesh/internal/cosmos"
+	"pingmesh/internal/dsa"
+	"pingmesh/internal/fleet"
+	"pingmesh/internal/metrics"
+	"pingmesh/internal/netsim"
+	"pingmesh/internal/pinglist"
+	"pingmesh/internal/probe"
+	"pingmesh/internal/reportdb"
+	"pingmesh/internal/scope"
+	"pingmesh/internal/silentdrop"
+	"pingmesh/internal/simclock"
+	"pingmesh/internal/topology"
+	"pingmesh/internal/viz"
+)
+
+// Core vocabulary, re-exported so facade users need no internal imports.
+type (
+	// Topology is the immutable multi-DC fleet model.
+	Topology = topology.Topology
+	// TopologySpec describes a fleet to generate.
+	TopologySpec = topology.Spec
+	// DCSpec describes one data center to generate.
+	DCSpec = topology.DCSpec
+	// ServerID identifies a server in the fleet.
+	ServerID = topology.ServerID
+	// SwitchID identifies a switch in the fleet.
+	SwitchID = topology.SwitchID
+	// Record is one probe outcome.
+	Record = probe.Record
+	// LatencyStats aggregates probe records.
+	LatencyStats = analysis.LatencyStats
+	// Summary is a percentile summary of a latency distribution.
+	Summary = metrics.Summary
+	// Alert is one SLA violation.
+	Alert = analysis.Alert
+	// Service is a named set of servers whose SLA is tracked individually.
+	Service = analysis.Service
+	// Heatmap is the pod-pair P99 latency matrix of the visualization.
+	Heatmap = viz.Heatmap
+	// Pattern classifies a heatmap (normal, podset-down, ...).
+	Pattern = viz.Pattern
+	// NetworkProfile is the behavioural model of one DC's fabric.
+	NetworkProfile = netsim.Profile
+	// GeneratorConfig parameterizes pinglist generation.
+	GeneratorConfig = core.GeneratorConfig
+	// Pinglist is one server's probing assignment.
+	Pinglist = pinglist.File
+	// Detection is a black-hole detection result.
+	Detection = blackhole.Detection
+	// ReportDB is the report database dashboards read.
+	ReportDB = reportdb.DB
+	// Tier identifies a switch layer (ToR, Leaf, Spine).
+	Tier = topology.Tier
+)
+
+// Switch tiers, bottom up.
+const (
+	TierToR   = topology.TierToR
+	TierLeaf  = topology.TierLeaf
+	TierSpine = topology.TierSpine
+)
+
+// SimOptions configures a simulated testbed.
+type SimOptions struct {
+	// Profiles holds one network profile per DC; defaults to the paper's
+	// five DC profiles cycled across the spec's DCs.
+	Profiles []netsim.Profile
+	// Generator overrides the pinglist generation parameters.
+	Generator *core.GeneratorConfig
+	// Services to track SLAs for.
+	Services []*analysis.Service
+	// Seed makes runs reproducible.
+	Seed uint64
+	// Start is the simulated start time; defaults to 2026-07-01 UTC.
+	Start time.Time
+	// OnDetection receives daily black-hole detection results.
+	OnDetection func(blackhole.Detection)
+}
+
+// SimTestbed is a whole simulated Pingmesh deployment: fabric, controller,
+// probing fleet, storage and analysis pipeline, with a virtual clock.
+type SimTestbed struct {
+	Top        *topology.Topology
+	Net        *netsim.Network
+	Clock      *simclock.Sim
+	Store      *cosmos.Store
+	Controller *controller.Controller
+	Pipeline   *dsa.Pipeline
+
+	gen   core.GeneratorConfig
+	seed  uint64
+	lists map[topology.ServerID]*pinglist.File
+}
+
+// NewSimTestbed builds a simulated deployment from a topology spec.
+func NewSimTestbed(spec TopologySpec, opts SimOptions) (*SimTestbed, error) {
+	top, err := topology.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	profiles := opts.Profiles
+	if len(profiles) == 0 {
+		defaults := netsim.DefaultProfiles()
+		for i := range top.DCs {
+			profiles = append(profiles, defaults[i%len(defaults)])
+		}
+	}
+	net, err := netsim.New(top, netsim.Config{Profiles: profiles})
+	if err != nil {
+		return nil, err
+	}
+	start := opts.Start
+	if start.IsZero() {
+		start = time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	}
+	clock := simclock.NewSim(start)
+
+	gen := core.DefaultGeneratorConfig()
+	if opts.Generator != nil {
+		gen = *opts.Generator
+	}
+	ctrl, err := controller.New(top, gen, clock)
+	if err != nil {
+		return nil, err
+	}
+	lists, err := core.Generate(top, gen, ctrl.Version(), start)
+	if err != nil {
+		return nil, err
+	}
+	store, err := cosmos.NewStore(3, cosmos.Config{})
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := dsa.New(dsa.Config{
+		Store:       store,
+		Top:         top,
+		Clock:       clock,
+		Services:    opts.Services,
+		OnDetection: opts.OnDetection,
+	})
+	if err != nil {
+		return nil, err
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 0xbead
+	}
+	return &SimTestbed{
+		Top: top, Net: net, Clock: clock, Store: store,
+		Controller: ctrl, Pipeline: pipe,
+		gen: gen, seed: seed, lists: lists,
+	}, nil
+}
+
+// Pinglists returns the controller-generated pinglist of every server.
+func (tb *SimTestbed) Pinglists() map[ServerID]*Pinglist { return tb.lists }
+
+// RunWindow executes every scheduled probe of the fleet for the next d of
+// simulated time, uploads the records to the store, and advances the
+// clock. Call Analyze* (or Pipeline methods) afterwards to process the
+// window.
+//
+// Fault state is sampled per probe but the window executes as one batch:
+// inject faults between windows (or use RunTimeline) rather than
+// concurrently with a running window.
+func (tb *SimTestbed) RunWindow(d time.Duration) error {
+	from := tb.Clock.Now()
+	to := from.Add(d)
+	runner := &fleet.Runner{Net: tb.Net, Lists: tb.lists, Seed: tb.seed ^ uint64(from.UnixNano())}
+	stream := cosmos.DailyStream("pingmesh")
+	err := runner.Run(from, to, func(src topology.ServerID, recs []probe.Record) {
+		if err := tb.Store.Append(stream(recs[0].Start), probe.EncodeBatch(recs)); err != nil {
+			panic(fmt.Sprintf("pingmesh: store append: %v", err)) // in-memory store: only programming errors
+		}
+	})
+	if err != nil {
+		return err
+	}
+	tb.Clock.AdvanceTo(to)
+	return nil
+}
+
+// TimelineStep is one phase of a scripted incident: Mutate (may be nil)
+// adjusts the fabric, then the fleet probes for Duration.
+type TimelineStep struct {
+	// Name labels the phase in analyses.
+	Name string
+	// Mutate runs before the phase's probing (inject or clear faults).
+	Mutate func(tb *SimTestbed)
+	// Duration is how long the fleet probes in this phase.
+	Duration time.Duration
+}
+
+// TimelinePhase is the analyzed outcome of one step.
+type TimelinePhase struct {
+	Name     string
+	From, To time.Time
+	// Stats aggregates the phase's intra-DC SYN probes fleet-wide.
+	Stats *LatencyStats
+}
+
+// RunTimeline executes a scripted incident: for each step it applies the
+// mutation, probes for the step's duration, and aggregates the phase's
+// stats — the idiom behind Figure 7-style before/during/after studies.
+func (tb *SimTestbed) RunTimeline(steps []TimelineStep) ([]TimelinePhase, error) {
+	keyer := &analysis.Keyer{Top: tb.Top}
+	engine := &scope.Engine{}
+	var out []TimelinePhase
+	for i, step := range steps {
+		if step.Mutate != nil {
+			step.Mutate(tb)
+		}
+		if step.Duration <= 0 {
+			return nil, fmt.Errorf("pingmesh: timeline step %d (%q) has no duration", i, step.Name)
+		}
+		from := tb.Clock.Now()
+		if err := tb.RunWindow(step.Duration); err != nil {
+			return nil, err
+		}
+		to := tb.Clock.Now()
+		res, err := engine.Run(scope.Job{
+			Name:   "timeline-" + step.Name,
+			Source: scope.Source{Store: tb.Store, StreamPrefix: "pingmesh"},
+			From:   from, To: to,
+			Where: func(r *probe.Record) bool { return r.Class != probe.InterDC && r.PayloadLen == 0 },
+			Key:   keyer.SrcDC,
+		})
+		if err != nil {
+			return nil, err
+		}
+		merged := analysis.NewLatencyStats()
+		for _, st := range res.Groups {
+			merged.Merge(st)
+		}
+		out = append(out, TimelinePhase{Name: step.Name, From: from, To: to, Stats: merged})
+	}
+	return out, nil
+}
+
+// AnalyzeWindow runs the 10-minute, hourly and daily analyses over
+// [from, to) and returns the per-DC SLA stats.
+func (tb *SimTestbed) AnalyzeWindow(from, to time.Time) error {
+	if err := tb.Pipeline.RunTenMinute(from, to); err != nil {
+		return err
+	}
+	if err := tb.Pipeline.RunHourly(from, to); err != nil {
+		return err
+	}
+	return tb.Pipeline.RunDaily(from, to)
+}
+
+// DB returns the report database with SLA rows, alerts, patterns, drop
+// rates and black-hole candidates.
+func (tb *SimTestbed) DB() *ReportDB { return tb.Pipeline.DB() }
+
+// Alerts returns the SLA violations fired so far.
+func (tb *SimTestbed) Alerts() []Alert { return tb.Pipeline.Alerts() }
+
+// HeatmapFor builds the pod-pair P99 heatmap of one DC over a window. The
+// probing schedule is densified 10x relative to the agents' cadence so
+// small testbeds accumulate enough per-cell samples for a stable P99 —
+// production pod pairs aggregate far more server pairs than a testbed.
+func (tb *SimTestbed) HeatmapFor(dc int, from, to time.Time) (*Heatmap, error) {
+	keyer := &analysis.Keyer{Top: tb.Top}
+	col := fleet.NewStatsCollector(keyer.PodPair)
+	runner := &fleet.Runner{Net: tb.Net, Lists: tb.lists, Seed: tb.seed ^ 0x77, IntervalScale: 0.1}
+	if err := runner.Run(from, to, col.Sink); err != nil {
+		return nil, err
+	}
+	return viz.BuildHeatmap(tb.Top, dc, col.Groups(), 10), nil
+}
+
+// NewRepairService returns a repair service whose executor acts on the
+// simulated network (reload / isolate / replace by device name), with the
+// paper's default budget of 20 actions per day.
+func (tb *SimTestbed) NewRepairService(budgetPerDay int) *autopilot.RepairService {
+	return autopilot.NewRepairService(tb.Clock, budgetPerDay, func(a autopilot.RepairAction) error {
+		for _, sw := range tb.Top.Switches() {
+			if sw.Name != a.Device {
+				continue
+			}
+			switch a.Kind {
+			case autopilot.RepairReload:
+				tb.Net.ReloadSwitch(sw.ID)
+			case autopilot.RepairIsolate:
+				tb.Net.IsolateSwitch(sw.ID)
+			case autopilot.RepairRMA:
+				tb.Net.ReplaceSwitch(sw.ID)
+			default:
+				return fmt.Errorf("pingmesh: unknown repair kind %q", a.Kind)
+			}
+			return nil
+		}
+		return fmt.Errorf("pingmesh: unknown device %q", a.Device)
+	})
+}
+
+func defaultProfiles() []netsim.Profile { return netsim.DefaultProfiles() }
+
+// SilentDropSuspect is one switch accused of silent random packet drops.
+type SilentDropSuspect = silentdrop.Suspect
+
+// LocalizeSilentDrops runs the §5.2 workflow over the stored records of
+// [from, to): compute per-server-pair drop estimates, pick the most
+// affected pairs, and TCP-traceroute them against the fabric to pinpoint
+// the lossy switch. Returns suspects worst-first (empty when the fabric is
+// clean).
+func (tb *SimTestbed) LocalizeSilentDrops(from, to time.Time) ([]SilentDropSuspect, error) {
+	keyer := &analysis.Keyer{Top: tb.Top}
+	engine := &scope.Engine{}
+	res, err := engine.Run(scope.Job{
+		Name:   "silentdrop-pairs",
+		Source: scope.Source{Store: tb.Store, StreamPrefix: "pingmesh"},
+		From:   from, To: to,
+		Key: keyer.ServerPair,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rates := make(map[string]float64, len(res.Groups))
+	for k, st := range res.Groups {
+		if st.Success() >= 20 {
+			rates[k] = st.DropRate()
+		}
+	}
+	pairs := silentdrop.AffectedPairsFromStats(tb.Top, rates, 1e-3, 8)
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	loc := &silentdrop.Localizer{
+		Net:          tb.Net,
+		ProbesPerHop: 600,
+		Rand:         rand.New(rand.NewPCG(tb.seed^0x51d, 13)),
+	}
+	return loc.Localize(pairs), nil
+}
+
+// StandardWatchdogs returns a watchdog service wired with the checks §3.5
+// prescribes for an always-on deployment: are pinglists generated, is
+// Pingmesh data being reported and stored, does the DSA produce SLA rows
+// in time. Failures escalate through the returned Device Manager. Call
+// Start on the service (or RunOnce from tests) and inspect dm.Devices().
+func (tb *SimTestbed) StandardWatchdogs(interval time.Duration) (*autopilot.WatchdogService, *autopilot.DeviceManager) {
+	dm := autopilot.NewDeviceManager()
+	ws := autopilot.NewWatchdogService(tb.Clock, interval, dm)
+	ws.Register(autopilot.Watchdog{
+		Name:   "pinglists-generated",
+		Device: "pingmesh-controller",
+		Check: func() error {
+			if tb.Controller.PinglistCount() == 0 {
+				return fmt.Errorf("controller has no pinglists")
+			}
+			return nil
+		},
+	})
+	ws.Register(autopilot.Watchdog{
+		Name:   "data-reported",
+		Device: "pingmesh-agents",
+		Check: func() error {
+			if len(tb.Store.Streams("pingmesh/")) == 0 {
+				return fmt.Errorf("no latency data uploaded")
+			}
+			return nil
+		},
+	})
+	ws.Register(autopilot.Watchdog{
+		Name:   "sla-produced",
+		Device: "pingmesh-dsa",
+		Check: func() error {
+			if tb.Pipeline.DB().Count(dsa.TableSLA) == 0 {
+				return fmt.Errorf("DSA has produced no SLA rows")
+			}
+			return nil
+		},
+	})
+	return ws, dm
+}
+
+// generateAll runs the pinglist generator for every server (benchmark
+// helper for the controller's generation cost).
+func generateAll(top *topology.Topology, cfg core.GeneratorConfig) (map[topology.ServerID]*pinglist.File, error) {
+	return core.Generate(top, cfg, "bench", time.Unix(1751328000, 0).UTC())
+}

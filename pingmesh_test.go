@@ -1,0 +1,259 @@
+package pingmesh
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pingmesh/internal/autopilot"
+	"pingmesh/internal/dsa"
+	"pingmesh/internal/netsim"
+	"pingmesh/internal/reportdb"
+)
+
+func smallSpec() TopologySpec {
+	return TopologySpec{DCs: []DCSpec{
+		{Name: "DC1", Podsets: 2, PodsPerPodset: 3, ServersPerPod: 3, LeavesPerPodset: 2, Spines: 4},
+	}}
+}
+
+func TestSimTestbedEndToEnd(t *testing.T) {
+	tb, err := NewSimTestbed(smallSpec(), SimOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := tb.Clock.Now()
+	if err := tb.RunWindow(20 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Clock.Now().Sub(from); got != 20*time.Minute {
+		t.Fatalf("clock advanced %v", got)
+	}
+	if err := tb.AnalyzeWindow(from, tb.Clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := tb.DB().Query(dsa.TableSLA, reportdb.Where(func(r reportdb.Row) bool {
+		return r["scope"] == "dc/DC1"
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("sla rows = %d", len(rows))
+	}
+	if rows[0]["probes"].(int64) == 0 {
+		t.Fatal("no probes analyzed")
+	}
+	if len(tb.Alerts()) != 0 {
+		t.Fatalf("healthy testbed alerted: %v", tb.Alerts())
+	}
+	if n := len(tb.Pinglists()); n != tb.Top.NumServers() {
+		t.Fatalf("pinglists = %d", n)
+	}
+}
+
+func TestSimTestbedHeatmapAndFaults(t *testing.T) {
+	tb, err := NewSimTestbed(smallSpec(), SimOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Net.SetPodsetDown(0, 1, true)
+	from := tb.Clock.Now()
+	h, err := tb.HeatmapFor(0, from, from.Add(15*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := h.Classify()
+	if cls.Pattern.String() != "podset-down" || cls.Podset != 1 {
+		t.Fatalf("pattern = %v podset %d", cls.Pattern, cls.Podset)
+	}
+}
+
+func TestSimTestbedRepairService(t *testing.T) {
+	tb, err := NewSimTestbed(smallSpec(), SimOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := tb.Top.ToRs(0)[0]
+	tb.Net.AddBlackhole(bad, netsim.Blackhole{MatchFraction: 0.4})
+	rs := tb.NewRepairService(5)
+	action := autopilot.RepairAction{Kind: autopilot.RepairReload, Device: tb.Top.Switch(bad).Name, Reason: "test"}
+	if err := rs.Execute(action); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Net.SwitchFaulty(bad) {
+		t.Fatal("repair did not clear the black-hole")
+	}
+	action.Device = "no-such-device"
+	if err := rs.Execute(action); err == nil {
+		t.Fatal("repair on unknown device succeeded")
+	}
+}
+
+func TestRealComponentsLoopback(t *testing.T) {
+	// A miniature real deployment on loopback: controller over HTTP, a
+	// probe server, and an agent probing through real sockets.
+	top := SmallTestbed()
+	ctrl, err := NewController(top, DefaultGeneratorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(ctrl.Handler())
+	defer srv.Close()
+
+	ps, err := NewProbeServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	name := top.Server(0).Name
+	a, err := NewRealAgent(name, top.Server(0).Addr, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go a.Run(ctx)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if a.PeerCount() > 0 {
+			return // pinglist fetched over real HTTP: the loop is closed
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("agent never fetched its pinglist")
+}
+
+func TestDefaultProfilesExposed(t *testing.T) {
+	if got := len(DefaultProfiles()); got != 5 {
+		t.Fatalf("DefaultProfiles = %d, want the paper's 5 DCs", got)
+	}
+}
+
+func TestBuildTopologyExposed(t *testing.T) {
+	top, err := BuildTopology(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumServers() != 18 {
+		t.Fatalf("NumServers = %d", top.NumServers())
+	}
+}
+
+func TestStandardWatchdogs(t *testing.T) {
+	tb, err := NewSimTestbed(smallSpec(), SimOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, dm := tb.StandardWatchdogs(time.Minute)
+	// Fresh testbed: pinglists exist but no data or SLA rows yet.
+	ws.RunOnce()
+	if dm.State("pingmesh-controller") != autopilot.Healthy {
+		t.Fatal("controller watchdog failed on a healthy controller")
+	}
+	if dm.State("pingmesh-agents") == autopilot.Healthy {
+		t.Fatal("data watchdog passed with no uploads")
+	}
+	// After a probing window plus analysis, everything is green.
+	from := tb.Clock.Now()
+	if err := tb.RunWindow(15 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Pipeline.RunTenMinute(from, tb.Clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	ws.RunOnce()
+	for _, dev := range []string{"pingmesh-controller", "pingmesh-agents", "pingmesh-dsa"} {
+		if dm.State(dev) != autopilot.Healthy {
+			t.Fatalf("%s watchdog = %v after full window", dev, dm.State(dev))
+		}
+	}
+	// The fleet-wide stop trips the controller watchdog.
+	tb.Controller.Clear()
+	ws.RunOnce()
+	if dm.State("pingmesh-controller") == autopilot.Healthy {
+		t.Fatal("controller watchdog missed cleared pinglists")
+	}
+}
+
+func TestLocalizeSilentDropsEndToEnd(t *testing.T) {
+	tb, err := NewSimTestbed(TopologySpec{DCs: []DCSpec{
+		{Name: "DC1", Podsets: 2, PodsPerPodset: 3, ServersPerPod: 3, LeavesPerPodset: 3, Spines: 4},
+	}}, SimOptions{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean fabric: nothing to localize.
+	from := tb.Clock.Now()
+	if err := tb.RunWindow(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	suspects, err := tb.LocalizeSilentDrops(from, tb.Clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suspects) != 0 {
+		t.Fatalf("clean fabric produced suspects: %v", suspects)
+	}
+
+	// Incident: one spine leaks 2%.
+	spine := tb.Top.DCs[0].Spines[1]
+	tb.Net.SetRandomDrop(spine, 0.02, true)
+	from = tb.Clock.Now()
+	if err := tb.RunWindow(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	suspects, err = tb.LocalizeSilentDrops(from, tb.Clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suspects) == 0 {
+		t.Fatal("incident produced no suspects")
+	}
+	if suspects[0].Switch != spine {
+		t.Fatalf("top suspect = %v, want %v", suspects[0].Switch, spine)
+	}
+}
+
+func TestRunTimeline(t *testing.T) {
+	tb, err := NewSimTestbed(smallSpec(), SimOptions{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spine := tb.Top.DCs[0].Spines[0]
+	phases, err := tb.RunTimeline([]TimelineStep{
+		{Name: "baseline", Duration: 20 * time.Minute},
+		{Name: "incident", Duration: 20 * time.Minute, Mutate: func(tb *SimTestbed) {
+			tb.Net.SetRandomDrop(spine, 0.02, true)
+		}},
+		{Name: "mitigated", Duration: 20 * time.Minute, Mutate: func(tb *SimTestbed) {
+			tb.Net.IsolateSwitch(spine)
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 3 {
+		t.Fatalf("phases = %d", len(phases))
+	}
+	base := phases[0].Stats.DropRate()
+	incident := phases[1].Stats.DropRate()
+	mitigated := phases[2].Stats.DropRate()
+	if incident <= base*3 {
+		t.Fatalf("incident drop rate %g not above baseline %g", incident, base)
+	}
+	if mitigated > incident/3 {
+		t.Fatalf("mitigation did not recover: %g -> %g", incident, mitigated)
+	}
+	// Phases tile the clock.
+	if !phases[1].From.Equal(phases[0].To) || !phases[2].From.Equal(phases[1].To) {
+		t.Fatal("phase windows do not tile")
+	}
+	// Zero-duration steps are rejected.
+	if _, err := tb.RunTimeline([]TimelineStep{{Name: "bad"}}); err == nil {
+		t.Fatal("zero-duration step accepted")
+	}
+}
