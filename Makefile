@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race ci fuzz bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race tier: the controller serves conditional GETs while regenerating and
+# the agent runs three loops; everything must be race-clean.
+race:
+	$(GO) test -race ./...
+
+ci:
+	sh scripts/ci.sh
+
+fuzz:
+	FUZZ=1 sh scripts/ci.sh
+
+bench:
+	$(GO) test -bench . -benchmem ./internal/core ./internal/controller
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,105 @@
+package pingmesh
+
+// End-to-end conditional-GET test: a real Agent polling a real Controller
+// over HTTP. The first poll downloads the pinglist; every poll after it is
+// revalidated with If-None-Match and answered 304 Not Modified, so an
+// unchanged pinglist costs zero body bytes. A topology update invalidates
+// the ETag and the next poll downloads the new generation.
+
+import (
+	"context"
+	"net/http/httptest"
+	"net/netip"
+	"testing"
+	"time"
+
+	"pingmesh/internal/agent"
+	"pingmesh/internal/controller"
+	"pingmesh/internal/core"
+	"pingmesh/internal/topology"
+)
+
+// idleProber answers instantly so the scheduling loop stays cheap.
+type idleProber struct{}
+
+func (idleProber) Probe(ctx context.Context, t agent.Target) (agent.Outcome, error) {
+	return agent.Outcome{ConnectRTT: time.Millisecond, SrcPort: 40000}, nil
+}
+
+func TestAgentRevalidatesPinglistEndToEnd(t *testing.T) {
+	top := topology.SmallTestbed()
+	ctrl, err := controller.New(top, core.DefaultGeneratorConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(ctrl.Handler())
+	defer srv.Close()
+
+	name := top.Server(0).Name
+	a, err := agent.New(agent.Config{
+		ServerName:    name,
+		SourceAddr:    netip.MustParseAddr("127.0.0.1"),
+		Controller:    &controller.Client{BaseURL: srv.URL},
+		Prober:        idleProber{},
+		FetchInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go a.Run(ctx)
+
+	// Wait until the agent has applied a pinglist and then revalidated it
+	// at least twice.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		snap := a.Metrics().Snapshot()
+		if snap.Counters["agent.fetch_not_modified"] >= 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	snap := a.Metrics().Snapshot()
+	if snap.Counters["agent.fetch_not_modified"] < 2 {
+		t.Fatalf("agent saw %d revalidations, want >= 2 (fetches_ok=%d)",
+			snap.Counters["agent.fetch_not_modified"], snap.Counters["agent.fetches_ok"])
+	}
+	ctrlSnap := ctrl.Metrics().Snapshot()
+	if ctrlSnap.Counters["controller.not_modified"] < 2 {
+		t.Fatalf("controller answered %d 304s", ctrlSnap.Counters["controller.not_modified"])
+	}
+	// Exactly one full download happened: bytes served == one body, and
+	// the agent's wire bytes match (gzip form, so strictly smaller than
+	// the plain file).
+	if ctrlSnap.Counters["controller.pinglist_serves"] != 1 {
+		t.Fatalf("controller served %d full bodies, want 1", ctrlSnap.Counters["controller.pinglist_serves"])
+	}
+	if got, want := snap.Counters["agent.fetch_bytes"], ctrlSnap.Counters["controller.bytes_served"]; got != want {
+		t.Fatalf("agent fetched %d wire bytes, controller served %d", got, want)
+	}
+	if a.PeerCount() == 0 {
+		t.Fatal("agent applied no peers")
+	}
+	version := a.Version()
+
+	// Topology update: the next poll must miss revalidation and apply the
+	// new generation.
+	if err := ctrl.UpdateTopology(top); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if a.Version() != version {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if a.Version() == version {
+		t.Fatalf("agent stuck on version %q after topology update", version)
+	}
+	if n := ctrl.Metrics().Snapshot().Counters["controller.pinglist_serves"]; n != 2 {
+		t.Fatalf("controller served %d full bodies after update, want 2", n)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pingmesh/internal/controller"
+	"pingmesh/internal/pinglist"
 	"pingmesh/internal/probe"
 )
 
@@ -39,8 +40,28 @@ func (a *Agent) fetchLoop(ctx context.Context) {
 	}
 }
 
+// detailFetcher is optionally implemented by fetchers that report how a
+// pinglist was obtained; *controller.Client does, so the agent can tell a
+// cheap 304 revalidation from a full download.
+type detailFetcher interface {
+	FetchDetail(ctx context.Context, server string) (controller.FetchResult, error)
+}
+
 func (a *Agent) fetchOnce(ctx context.Context) {
-	f, err := a.cfg.Controller.Fetch(ctx, a.cfg.ServerName)
+	var f *pinglist.File
+	var err error
+	notModified := false
+	if df, ok := a.cfg.Controller.(detailFetcher); ok {
+		var res controller.FetchResult
+		res, err = df.FetchDetail(ctx, a.cfg.ServerName)
+		if err == nil {
+			f = res.File
+			notModified = res.NotModified
+			a.reg.Counter("agent.fetch_bytes").Add(res.BytesOnWire)
+		}
+	} else {
+		f, err = a.cfg.Controller.Fetch(ctx, a.cfg.ServerName)
+	}
 	if err != nil {
 		var noPL *controller.ErrNoPinglist
 		if errors.As(err, &noPL) {
@@ -61,6 +82,11 @@ func (a *Agent) fetchOnce(ctx context.Context) {
 		return
 	}
 	a.reg.Counter("agent.fetches_ok").Inc()
+	if notModified {
+		// The controller revalidated our cached copy with a 304: the
+		// pinglist is unchanged and the fetch cost no body bytes.
+		a.reg.Counter("agent.fetch_not_modified").Inc()
+	}
 	a.mu.Lock()
 	a.fetchFailures = 0
 	sameVersion := a.version == f.Version && !a.failedClosed

@@ -1,11 +1,14 @@
 package controller
 
 import (
+	"compress/gzip"
 	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strings"
+	"sync"
 	"time"
 
 	"pingmesh/internal/pinglist"
@@ -13,12 +16,61 @@ import (
 
 // Client fetches pinglists from a Pingmesh Controller (usually through the
 // SLB VIP). Agents poll with it; the controller never pushes.
+//
+// The client remembers the ETag and parsed body of the last pinglist per
+// server and revalidates with If-None-Match, so an unchanged pinglist
+// costs a 304 Not Modified instead of a full download. It also advertises
+// Accept-Encoding: gzip and decompresses the precompressed bodies the
+// controller serves. Both degrade cleanly against a controller that sends
+// neither ETags nor gzip.
 type Client struct {
 	// BaseURL is the controller endpoint, e.g. "http://10.255.0.1:8080".
 	BaseURL string
 	// HTTPClient optionally overrides the transport. Defaults to a client
 	// with a 10s timeout.
 	HTTPClient *http.Client
+	// DisableCache turns off ETag revalidation; every fetch downloads the
+	// full body. Useful for tests and for memory-constrained callers that
+	// fetch many servers' lists through one client.
+	DisableCache bool
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+	stats ClientStats
+}
+
+// cacheEntry is the last validated pinglist for one server.
+type cacheEntry struct {
+	etag string
+	file *pinglist.File
+}
+
+// copyFile returns a caller-owned copy so cache contents stay immutable.
+func (e *cacheEntry) copyFile() *pinglist.File {
+	f := *e.file
+	f.Peers = append([]pinglist.Peer(nil), e.file.Peers...)
+	return &f
+}
+
+// ClientStats counts the client's transport behaviour.
+type ClientStats struct {
+	// Fetches is the number of successful Fetch calls.
+	Fetches int64
+	// NotModified is how many of those were answered by a 304 from cache.
+	NotModified int64
+	// BytesOnWire is the total body bytes read off the network (the gzip
+	// form when the controller compressed).
+	BytesOnWire int64
+}
+
+// FetchResult is a fetched pinglist plus how it was obtained.
+type FetchResult struct {
+	File *pinglist.File
+	// NotModified is true when the controller answered 304 and File came
+	// from the client's cache.
+	NotModified bool
+	// BytesOnWire is the response body size as transferred.
+	BytesOnWire int64
 }
 
 // defaultClient disables keep-alives: agents poll the controller rarely
@@ -45,32 +97,141 @@ func (e *ErrNoPinglist) Error() string {
 	return fmt.Sprintf("controller: no pinglist available for %s", e.Server)
 }
 
+// Stats returns a snapshot of the client's transport counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Client) cachedETag(server string) (string, bool) {
+	if c.DisableCache {
+		return "", false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.cache[server]
+	if !ok {
+		return "", false
+	}
+	return e.etag, true
+}
+
 // Fetch downloads and validates the pinglist for a server.
 func (c *Client) Fetch(ctx context.Context, server string) (*pinglist.File, error) {
+	res, err := c.FetchDetail(ctx, server)
+	if err != nil {
+		return nil, err
+	}
+	return res.File, nil
+}
+
+// FetchDetail is Fetch plus transport detail: whether the pinglist was
+// revalidated with a 304 and how many bytes crossed the wire. The agent's
+// refresh loop uses it to count cheap refreshes.
+func (c *Client) FetchDetail(ctx context.Context, server string) (FetchResult, error) {
+	return c.fetchDetail(ctx, server, !c.DisableCache)
+}
+
+func (c *Client) fetchDetail(ctx context.Context, server string, revalidate bool) (FetchResult, error) {
 	u := fmt.Sprintf("%s/pinglist/%s", c.BaseURL, url.PathEscape(server))
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		return nil, fmt.Errorf("controller: build request: %w", err)
+		return FetchResult{}, fmt.Errorf("controller: build request: %w", err)
+	}
+	// Explicit Accept-Encoding disables the transport's transparent
+	// decompression, so Content-Encoding below is handled by hand.
+	req.Header.Set("Accept-Encoding", "gzip")
+	if revalidate {
+		if etag, ok := c.cachedETag(server); ok {
+			req.Header.Set("If-None-Match", etag)
+		}
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("controller: fetch pinglist: %w", err)
+		return FetchResult{}, fmt.Errorf("controller: fetch pinglist: %w", err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNotFound {
+	switch resp.StatusCode {
+	case http.StatusNotModified:
 		io.Copy(io.Discard, resp.Body)
-		return nil, &ErrNoPinglist{Server: server}
-	}
-	if resp.StatusCode != http.StatusOK {
+		c.mu.Lock()
+		e, ok := c.cache[server]
+		if !ok || !revalidate {
+			// A 304 without a cached body (cache cleared mid-flight, or a
+			// server that 304s unconditional requests): refetch the full
+			// body once rather than fail; error out if that also 304s.
+			c.mu.Unlock()
+			if !revalidate {
+				return FetchResult{}, fmt.Errorf("controller: fetch pinglist: 304 to unconditional request")
+			}
+			c.dropCache(server)
+			return c.fetchDetail(ctx, server, false)
+		}
+		c.stats.Fetches++
+		c.stats.NotModified++
+		f := e.copyFile()
+		c.mu.Unlock()
+		return FetchResult{File: f, NotModified: true}, nil
+	case http.StatusNotFound:
 		io.Copy(io.Discard, resp.Body)
-		return nil, fmt.Errorf("controller: fetch pinglist: status %d", resp.StatusCode)
+		c.dropCache(server)
+		return FetchResult{}, &ErrNoPinglist{Server: server}
+	case http.StatusOK:
+		// fall through to body handling below
+	default:
+		io.Copy(io.Discard, resp.Body)
+		return FetchResult{}, fmt.Errorf("controller: fetch pinglist: status %d", resp.StatusCode)
 	}
-	f, err := pinglist.Read(io.LimitReader(resp.Body, 64<<20))
+
+	counted := &countingReader{r: io.LimitReader(resp.Body, 64<<20)}
+	var body io.Reader = counted
+	if strings.EqualFold(resp.Header.Get("Content-Encoding"), "gzip") {
+		zr, err := gzip.NewReader(counted)
+		if err != nil {
+			return FetchResult{}, fmt.Errorf("controller: gzip body: %w", err)
+		}
+		defer zr.Close()
+		// Bound the decompressed size too, not just the wire size.
+		body = io.LimitReader(zr, 64<<20)
+	}
+	f, err := pinglist.Read(body)
 	if err != nil {
-		return nil, err
+		return FetchResult{}, err
 	}
 	if err := f.Validate(); err != nil {
-		return nil, err
+		return FetchResult{}, err
 	}
-	return f, nil
+	res := FetchResult{File: f, BytesOnWire: counted.n}
+	c.mu.Lock()
+	c.stats.Fetches++
+	c.stats.BytesOnWire += counted.n
+	if etag := resp.Header.Get("ETag"); etag != "" && !c.DisableCache {
+		if c.cache == nil {
+			c.cache = make(map[string]*cacheEntry)
+		}
+		e := &cacheEntry{etag: etag, file: f}
+		c.cache[server] = e
+		res.File = e.copyFile() // keep the cached copy caller-proof
+	}
+	c.mu.Unlock()
+	return res, nil
+}
+
+func (c *Client) dropCache(server string) {
+	c.mu.Lock()
+	delete(c.cache, server)
+	c.mu.Unlock()
+}
+
+// countingReader counts bytes as they come off the wire.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }

@@ -4,14 +4,28 @@
 // The controller is stateless — every replica generates the identical file
 // set from the same topology and configuration — so replicas scale out
 // behind an SLB VIP and any of them can answer any agent.
+//
+// Serving is bandwidth-proportional to change: every file carries a strong
+// ETag (content hash), agents revalidate with If-None-Match and get a 304
+// when their copy is current, and bodies are precompressed once per
+// generation so gzip-capable agents download the small form. Because every
+// replica generates byte-identical files, the ETags agree across replicas
+// and a 304 from any replica is valid for a body downloaded from any
+// other.
 package controller
 
 import (
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -32,10 +46,18 @@ type Controller struct {
 	gen   atomic.Uint64         // version counter
 }
 
+// fileEntry is one server's pinglist, marshaled once per generation with
+// its precomputed gzip body and strong ETag.
+type fileEntry struct {
+	data   []byte // marshaled XML
+	gzData []byte // gzip-compressed XML, served on Accept-Encoding: gzip
+	etag   string // strong ETag: quoted hex of the content hash
+}
+
 // state is one immutable generation of pinglist files.
 type state struct {
 	version string
-	files   map[string][]byte // server name -> marshaled XML
+	files   map[string]*fileEntry // server name -> entry
 }
 
 // New builds a controller and runs the first generation. clock may be nil
@@ -51,28 +73,97 @@ func New(top *topology.Topology, cfg core.GeneratorConfig, clock simclock.Clock)
 	return c, nil
 }
 
+// etagFor computes the strong ETag for a marshaled pinglist. Content-hash
+// based, so identical files get identical ETags on every replica.
+func etagFor(data []byte) string {
+	sum := sha256.Sum256(data)
+	return `"` + hex.EncodeToString(sum[:16]) + `"`
+}
+
+// buildEntry marshals one pinglist and precomputes its gzip body and ETag.
+func buildEntry(f *pinglist.File) (*fileEntry, error) {
+	data, err := pinglist.Marshal(f)
+	if err != nil {
+		return nil, fmt.Errorf("marshal pinglist for %s: %w", f.Server, err)
+	}
+	var buf bytes.Buffer
+	zw, _ := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+	zw.Write(data)
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("gzip pinglist for %s: %w", f.Server, err)
+	}
+	return &fileEntry{data: data, gzData: buf.Bytes(), etag: etagFor(data)}, nil
+}
+
 // UpdateTopology regenerates every pinglist from a new network graph and
 // atomically publishes the new generation (§6.2: the controller updates
-// pinglists whenever topology or configuration changes).
+// pinglists whenever topology or configuration changes). Generation shards
+// across core's worker pool and marshaling fans out here; both are
+// deterministic, so replicas still publish byte-identical generations.
 func (c *Controller) UpdateTopology(top *topology.Topology) error {
 	version := fmt.Sprintf("gen-%d", c.gen.Add(1))
 	start := c.clock.Now()
-	lists, err := core.Generate(top, c.cfg, version, start)
+	lists, gstats, err := core.GenerateWithStats(top, c.cfg, version, start)
 	if err != nil {
 		return fmt.Errorf("controller: %w", err)
 	}
-	files := make(map[string][]byte, len(lists))
-	for id, f := range lists {
-		data, err := pinglist.Marshal(f)
-		if err != nil {
-			return fmt.Errorf("controller: marshal pinglist for %s: %w", f.Server, err)
-		}
-		files[top.Server(id).Name] = data
+
+	// Marshal + compress + hash every file concurrently. Output is keyed
+	// by server name, so worker order is irrelevant.
+	ids := make([]topology.ServerID, 0, len(lists))
+	for id := range lists {
+		ids = append(ids, id)
 	}
+	entries := make([]*fileEntry, len(ids))
+	errs := make([]error, len(ids))
+	workers := runtime.GOMAXPROCS(0)
+	if c.cfg.Parallelism > 0 {
+		workers = c.cfg.Parallelism
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	marshalStart := time.Now()
+	if workers <= 1 {
+		for i, id := range ids {
+			entries[i], errs[i] = buildEntry(lists[id])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(ids) {
+						return
+					}
+					entries[i], errs[i] = buildEntry(lists[ids[i]])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	marshalWall := time.Since(marshalStart)
+	files := make(map[string]*fileEntry, len(ids))
+	for i, id := range ids {
+		if errs[i] != nil {
+			return fmt.Errorf("controller: %w", errs[i])
+		}
+		files[top.Server(id).Name] = entries[i]
+	}
+
 	c.state.Store(&state{version: version, files: files})
 	c.reg.Counter("controller.generations").Inc()
 	c.reg.Gauge("controller.pinglists").Set(int64(len(files)))
 	c.reg.Gauge("controller.last_generation_ms").Set(int64(c.clock.Since(start) / time.Millisecond))
+	c.reg.Gauge("controller.generate_wall_us").Set(int64(gstats.Wall / time.Microsecond))
+	c.reg.Gauge("controller.marshal_wall_us").Set(int64(marshalWall / time.Microsecond))
+	c.reg.Gauge("controller.generate_workers").Set(int64(gstats.Workers))
+	// Realized parallel speedup (work/wall), in hundredths: 100 = serial.
+	c.reg.Gauge("controller.generate_speedup_x100").Set(int64(gstats.Speedup() * 100))
 	return nil
 }
 
@@ -80,7 +171,7 @@ func (c *Controller) UpdateTopology(top *topology.Topology) error {
 // that poll and find no pinglist fail closed and stop probing — the
 // paper's emergency stop for the whole fleet (§3.4.2).
 func (c *Controller) Clear() {
-	c.state.Store(&state{version: "cleared", files: map[string][]byte{}})
+	c.state.Store(&state{version: "cleared", files: map[string]*fileEntry{}})
 	c.reg.Gauge("controller.pinglists").Set(0)
 }
 
@@ -90,6 +181,15 @@ func (c *Controller) Version() string { return c.state.Load().version }
 // PinglistCount reports how many pinglists the current generation holds
 // (watchdog: are pinglists generated correctly?).
 func (c *Controller) PinglistCount() int { return len(c.state.Load().files) }
+
+// ETag returns the current strong ETag for a server's pinglist, or "" if
+// the server is unknown. Exposed for tests and replica-agreement checks.
+func (c *Controller) ETag(server string) string {
+	if e, ok := c.state.Load().files[server]; ok {
+		return e.etag
+	}
+	return ""
+}
 
 // Metrics returns the controller's perf-counter registry.
 func (c *Controller) Metrics() *metrics.Registry { return c.reg }
@@ -101,18 +201,56 @@ func (c *Controller) SaveToDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("controller: %w", err)
 	}
-	for server, data := range st.files {
+	for server, e := range st.files {
 		path := filepath.Join(dir, server+".xml")
-		if err := os.WriteFile(path, data, 0o644); err != nil {
+		if err := os.WriteFile(path, e.data, 0o644); err != nil {
 			return fmt.Errorf("controller: write %s: %w", path, err)
 		}
 	}
 	return nil
 }
 
+// etagMatches reports whether an If-None-Match header value matches the
+// entry's strong ETag. Handles "*", comma-separated candidate lists, and
+// weak validators (W/ prefixed — a weak match suffices for GET
+// revalidation per RFC 9110 §13.1.2).
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// acceptsGzip reports whether the request advertises gzip support. A plain
+// substring check would wrongly match "gzip;q=0".
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if !strings.EqualFold(strings.TrimSpace(enc), "gzip") {
+			continue
+		}
+		if q, ok := strings.CutPrefix(strings.TrimSpace(params), "q="); ok && strings.TrimSpace(q) == "0" {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
 // Handler returns the RESTful web API:
 //
-//	GET /pinglist/{server}  the server's pinglist XML (404 if unknown)
+//	GET /pinglist/{server}  the server's pinglist XML (404 if unknown);
+//	                        supports If-None-Match → 304 and gzip bodies
 //	GET /version            current generation id
 //	GET /healthz            liveness for the SLB health prober
 func (c *Controller) Handler() http.Handler {
@@ -124,16 +262,31 @@ func (c *Controller) Handler() http.Handler {
 		}
 		server := strings.TrimPrefix(r.URL.Path, "/pinglist/")
 		st := c.state.Load()
-		data, ok := st.files[server]
+		e, ok := st.files[server]
 		if !ok {
 			c.reg.Counter("controller.pinglist_misses").Inc()
 			http.NotFound(w, r)
 			return
 		}
+		h := w.Header()
+		h.Set("ETag", e.etag)
+		h.Set("X-Pingmesh-Version", st.version)
+		h.Set("Vary", "Accept-Encoding")
+		if etagMatches(r.Header.Get("If-None-Match"), e.etag) {
+			c.reg.Counter("controller.not_modified").Inc()
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
 		c.reg.Counter("controller.pinglist_serves").Inc()
-		w.Header().Set("Content-Type", "application/xml")
-		w.Header().Set("X-Pingmesh-Version", st.version)
-		w.Write(data)
+		h.Set("Content-Type", "application/xml")
+		body := e.data
+		if acceptsGzip(r) {
+			h.Set("Content-Encoding", "gzip")
+			body = e.gzData
+		}
+		h.Set("Content-Length", fmt.Sprint(len(body)))
+		w.Write(body)
+		c.reg.Counter("controller.bytes_served").Add(int64(len(body)))
 	})
 	mux.HandleFunc("/version", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, c.Version())

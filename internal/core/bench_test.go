@@ -1,11 +1,63 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"pingmesh/internal/topology"
 )
+
+// benchTopology builds the named benchmark fleet.
+func benchTopology(b *testing.B, size string) *topology.Topology {
+	b.Helper()
+	specs := map[string]topology.Spec{
+		"small": {DCs: []topology.DCSpec{
+			{Name: "DC1", Podsets: 2, PodsPerPodset: 5, ServersPerPod: 10, LeavesPerPodset: 2, Spines: 4},
+		}},
+		"medium": {DCs: []topology.DCSpec{
+			{Name: "DC1", Podsets: 5, PodsPerPodset: 10, ServersPerPod: 20, LeavesPerPodset: 4, Spines: 8},
+		}},
+		"large": {DCs: []topology.DCSpec{
+			{Name: "DC1", Podsets: 10, PodsPerPodset: 20, ServersPerPod: 20, LeavesPerPodset: 4, Spines: 16},
+			{Name: "DC2", Podsets: 5, PodsPerPodset: 20, ServersPerPod: 20, LeavesPerPodset: 4, Spines: 16},
+		}},
+	}
+	top, err := topology.Build(specs[size])
+	if err != nil {
+		b.Fatal(err)
+	}
+	return top
+}
+
+// BenchmarkGenerateParallel measures pinglist generation across topology
+// sizes and parallelism levels. The per-op servers metric lets runs be
+// compared across sizes; speedup_x100 reports the realized work/wall
+// ratio (≈100·min(parallelism, usable cores) when shards balance).
+func BenchmarkGenerateParallel(b *testing.B) {
+	cfg := DefaultGeneratorConfig()
+	now := time.Unix(1751328000, 0).UTC()
+	for _, size := range []string{"small", "medium", "large"} {
+		top := benchTopology(b, size)
+		for _, par := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/par=%d", size, par), func(b *testing.B) {
+				c := cfg
+				c.Parallelism = par
+				var speedup float64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, stats, err := GenerateWithStats(top, c, "bench", now)
+					if err != nil {
+						b.Fatal(err)
+					}
+					speedup += stats.Speedup()
+				}
+				b.ReportMetric(float64(top.NumServers()), "servers")
+				b.ReportMetric(speedup/float64(b.N)*100, "speedup_x100")
+			})
+		}
+	}
+}
 
 func BenchmarkGenerateMidSizeDC(b *testing.B) {
 	top, err := topology.Build(topology.Spec{DCs: []topology.DCSpec{

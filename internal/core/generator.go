@@ -19,6 +19,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"pingmesh/internal/pinglist"
@@ -65,6 +68,12 @@ type GeneratorConfig struct {
 	VIPs []pinglist.Peer
 	// VIPProbersPerPodset is how many servers per podset probe the VIPs.
 	VIPProbersPerPodset int
+
+	// Parallelism is how many worker goroutines shard pinglist generation.
+	// 0 means GOMAXPROCS. The algorithm is per-server deterministic, so the
+	// output is byte-identical at every parallelism level — the property
+	// that keeps controller replicas stateless (§3.3.2).
+	Parallelism int
 }
 
 // MinProbeInterval is the minimum interval between two probes of the same
@@ -94,6 +103,9 @@ func (c *GeneratorConfig) normalize() {
 	if c.InterDCServersPerPodset <= 0 {
 		c.InterDCServersPerPodset = 2
 	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	for _, iv := range []*time.Duration{&c.IntraPodInterval, &c.IntraDCInterval, &c.InterDCInterval} {
 		if *iv < MinProbeInterval {
 			*iv = MinProbeInterval
@@ -101,15 +113,45 @@ func (c *GeneratorConfig) normalize() {
 	}
 }
 
+// Stats reports how one generation run was executed: how many servers it
+// covered, how many workers sharded the loop, the wall-clock duration, and
+// the summed per-worker busy time.
+type Stats struct {
+	Servers int
+	Workers int
+	Wall    time.Duration
+	Work    time.Duration
+}
+
+// Speedup returns Work/Wall — the average number of workers concurrently
+// in flight. 1.0 for a serial run, approaching Workers when the shards
+// balance. It equals the realized wall-clock speedup when each worker has
+// a core to itself; on an oversubscribed machine it reports the available
+// parallelism rather than the (smaller) achieved speedup.
+func (s Stats) Speedup() float64 {
+	if s.Wall <= 0 {
+		return 1
+	}
+	return float64(s.Work) / float64(s.Wall)
+}
+
 // Generate computes the pinglist for every server in the topology. The
 // version string must change whenever topology or configuration changes so
 // agents pick up the new lists; now is stamped into each file.
 func Generate(top *topology.Topology, cfg GeneratorConfig, version string, now time.Time) (map[topology.ServerID]*pinglist.File, error) {
+	out, _, err := GenerateWithStats(top, cfg, version, now)
+	return out, err
+}
+
+// GenerateWithStats is Generate plus execution statistics, so callers (the
+// controller's perf counters, the benches) can observe the parallel
+// speedup without re-running the serial path.
+func GenerateWithStats(top *topology.Topology, cfg GeneratorConfig, version string, now time.Time) (map[topology.ServerID]*pinglist.File, Stats, error) {
 	all := make([]topology.ServerID, top.NumServers())
 	for i := range all {
 		all[i] = topology.ServerID(i)
 	}
-	return GenerateSubset(top, cfg, version, now, all)
+	return GenerateSubsetWithStats(top, cfg, version, now, all)
 }
 
 // GenerateSubset computes pinglists for the given servers only. The files
@@ -118,28 +160,97 @@ func Generate(top *topology.Topology, cfg GeneratorConfig, version string, now t
 // and large-scale analyses can sample fan-out without materializing the
 // whole fleet's lists.
 func GenerateSubset(top *topology.Topology, cfg GeneratorConfig, version string, now time.Time, servers []topology.ServerID) (map[topology.ServerID]*pinglist.File, error) {
+	out, _, err := GenerateSubsetWithStats(top, cfg, version, now, servers)
+	return out, err
+}
+
+// shardSize is how many servers one worker claims at a time. Small enough
+// to balance uneven pods, large enough that the atomic claim is noise.
+const shardSize = 32
+
+// GenerateSubsetWithStats is GenerateSubset plus execution statistics.
+// Generation shards the server list across cfg.Parallelism workers; each
+// server's file depends only on the immutable topology and configuration,
+// so the merged result is byte-identical to a serial run.
+func GenerateSubsetWithStats(top *topology.Topology, cfg GeneratorConfig, version string, now time.Time, servers []topology.ServerID) (map[topology.ServerID]*pinglist.File, Stats, error) {
 	cfg.normalize()
 	if err := top.Validate(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, Stats{}, fmt.Errorf("core: %w", err)
 	}
-	g := &generator{top: top, cfg: cfg}
-	out := make(map[topology.ServerID]*pinglist.File, len(servers))
+	g := &generator{top: top, cfg: cfg, version: version, now: now}
 	interDC := interDCSelection(top, cfg.InterDCServersPerPodset)
-	for _, id := range servers {
-		s := *top.Server(id)
-		f := &pinglist.File{Server: s.Name, Version: version, Generated: now}
-		g.intraPodPeers(f, &s)
-		g.intraDCPeers(f, &s)
-		g.interDCPeers(f, &s, interDC)
-		g.vipPeers(f, &s)
-		out[s.ID] = f
+
+	workers := cfg.Parallelism
+	if max := (len(servers) + shardSize - 1) / shardSize; workers > max {
+		workers = max // no point spinning workers with nothing to claim
 	}
-	return out, nil
+	stats := Stats{Servers: len(servers), Workers: workers}
+	wallStart := time.Now()
+	files := make([]*pinglist.File, len(servers))
+
+	if workers <= 1 {
+		for i, id := range servers {
+			files[i] = g.generateOne(id, interDC)
+		}
+		stats.Wall = time.Since(wallStart)
+		stats.Work = stats.Wall
+	} else {
+		var next atomic.Int64
+		busy := make([]time.Duration, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				start := time.Now()
+				for {
+					lo := int(next.Add(shardSize)) - shardSize
+					if lo >= len(servers) {
+						break
+					}
+					hi := lo + shardSize
+					if hi > len(servers) {
+						hi = len(servers)
+					}
+					for i := lo; i < hi; i++ {
+						files[i] = g.generateOne(servers[i], interDC)
+					}
+				}
+				busy[w] = time.Since(start)
+			}(w)
+		}
+		wg.Wait()
+		stats.Wall = time.Since(wallStart)
+		for _, d := range busy {
+			stats.Work += d
+		}
+	}
+
+	out := make(map[topology.ServerID]*pinglist.File, len(servers))
+	for i, id := range servers {
+		out[id] = files[i]
+	}
+	return out, stats, nil
 }
 
 type generator struct {
-	top *topology.Topology
-	cfg GeneratorConfig
+	top     *topology.Topology
+	cfg     GeneratorConfig
+	version string
+	now     time.Time
+}
+
+// generateOne computes a single server's pinglist. It reads only the
+// immutable topology, configuration, and inter-DC selection, so any number
+// of workers may call it concurrently for disjoint servers.
+func (g *generator) generateOne(id topology.ServerID, interDC map[topology.ServerID]bool) *pinglist.File {
+	s := *g.top.Server(id)
+	f := &pinglist.File{Server: s.Name, Version: g.version, Generated: g.now}
+	g.intraPodPeers(f, &s)
+	g.intraDCPeers(f, &s)
+	g.interDCPeers(f, &s, interDC)
+	g.vipPeers(f, &s)
+	return f
 }
 
 func (g *generator) addPeer(f *pinglist.File, addr string, port uint16, class probe.Class, proto probe.Proto, qos probe.QoS, interval time.Duration, payload int) {

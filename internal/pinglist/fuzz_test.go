@@ -2,7 +2,29 @@ package pinglist
 
 import (
 	"testing"
+	"time"
+	"unicode/utf8"
 )
+
+// xmlSafe reports whether s round-trips losslessly through XML: valid
+// UTF-8 made only of XML 1.0 Char runes. Anything else is replaced by the
+// escaper, so field equality cannot be asserted for it.
+func xmlSafe(s string) bool {
+	if !utf8.ValidString(s) {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r == 0x9 || r == 0xA || r == 0xD:
+		case r >= 0x20 && r <= 0xD7FF:
+		case r >= 0xE000 && r <= 0xFFFD:
+		case r >= 0x10000 && r <= 0x10FFFF:
+		default:
+			return false
+		}
+	}
+	return true
+}
 
 func FuzzUnmarshal(f *testing.F) {
 	data, _ := Marshal(sampleFile())
@@ -26,6 +48,76 @@ func FuzzUnmarshal(f *testing.F) {
 			if err != nil || again.Validate() != nil {
 				t.Fatalf("valid file did not round trip: %v", err)
 			}
+		}
+	})
+}
+
+// FuzzMarshalRoundTrip fuzzes the write side: files constructed from
+// arbitrary field values — covering the generator's peer variants (payload
+// probes, low-QoS duplicates, HTTP probes, VIP targets) — must survive
+// Marshal→Unmarshal with every field intact, and marshaling must be
+// deterministic. This pins the serialized format the conditional-GET
+// ETags hash: if Marshal output drifted between controller replicas,
+// their ETags would stop agreeing.
+func FuzzMarshalRoundTrip(f *testing.F) {
+	f.Add("srv-0", "gen-1", int64(1751328000), "10.0.0.2", uint16(8765), "intra-pod", "tcp", "high", 10, 0)
+	// Payload variant (Figure 4(d)).
+	f.Add("srv-1", "gen-2", int64(1751328060), "10.0.1.2", uint16(8765), "intra-dc", "tcp", "high", 30, 1024)
+	// Low-QoS duplicate on the DSCP port (§6.2).
+	f.Add("srv-2", "gen-3", int64(1751328120), "10.0.1.3", uint16(8766), "intra-dc", "tcp", "low", 30, 0)
+	// HTTP probe.
+	f.Add("srv-3", "gen-4", int64(1751328180), "10.0.0.9", uint16(8080), "intra-pod", "http", "high", 10, 128)
+	// VIP peer (VIP availability monitoring, §6.2).
+	f.Add("vip-prober", "gen-5", int64(1751328240), "10.255.0.1", uint16(80), "intra-dc", "tcp", "high", 60, 0)
+	// Hostile field content: XML metacharacters and non-ASCII.
+	f.Add("srv<&>", "v\"1\"", int64(-62135596800), "not-an-ip", uint16(0), "über-pod", "udp?", "<qos>", -5, 1<<30)
+
+	f.Fuzz(func(t *testing.T, server, version string, gen int64,
+		addr string, port uint16, class, proto, qos string, interval, payload int) {
+		in := &File{
+			Server:    server,
+			Version:   version,
+			Generated: time.Unix(gen%(1<<33), 0).UTC(),
+			Peers: []Peer{
+				{Addr: addr, Port: port, Class: class, Proto: proto, QoS: qos, IntervalSec: interval, PayloadLen: payload},
+				// A second peer with swapped-in variant fields exercises
+				// multi-peer ordering.
+				{Addr: addr, Port: port + 1, Class: class, Proto: proto, QoS: qos, IntervalSec: interval + 1, PayloadLen: payload / 2},
+			},
+		}
+		data, err := Marshal(in)
+		if err != nil {
+			// xml.Marshal only fails on invalid characters in field
+			// content; nothing round-trippable was produced.
+			t.Skip()
+		}
+		again, err := Marshal(in)
+		if err != nil || string(again) != string(data) {
+			t.Fatalf("Marshal is not deterministic: %v", err)
+		}
+		out, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("marshaled file did not parse: %v\n%s", err, data)
+		}
+		if !xmlSafe(server) || !xmlSafe(version) || !xmlSafe(addr) ||
+			!xmlSafe(class) || !xmlSafe(proto) || !xmlSafe(qos) {
+			return // escaper replaced runes; lossless equality off the table
+		}
+		if out.Server != in.Server || out.Version != in.Version || !out.Generated.Equal(in.Generated) {
+			t.Fatalf("header mismatch: got %+v want %+v", out, in)
+		}
+		if len(out.Peers) != len(in.Peers) {
+			t.Fatalf("peer count %d, want %d", len(out.Peers), len(in.Peers))
+		}
+		for i := range in.Peers {
+			if out.Peers[i] != in.Peers[i] {
+				t.Fatalf("peer %d mismatch: got %+v want %+v", i, out.Peers[i], in.Peers[i])
+			}
+		}
+		// Validity is preserved exactly: a valid file stays valid through
+		// the round trip, an invalid one stays invalid.
+		if (in.Validate() == nil) != (out.Validate() == nil) {
+			t.Fatalf("validity changed across round trip: in=%v out=%v", in.Validate(), out.Validate())
 		}
 	})
 }

@@ -1,0 +1,31 @@
+#!/bin/sh
+# CI / verify flow for the pingmesh repo.
+#
+# Tiers:
+#   1. build + full test suite        (the seed contract)
+#   2. full test suite under -race    (controller/agent/core are heavily
+#                                      concurrent; the stress tests in
+#                                      internal/controller are designed to
+#                                      surface handler-vs-regeneration races)
+#   3. short fuzz pass over the pinglist wire format (optional, FUZZ=1)
+#
+# Usage: scripts/ci.sh [package...]   # default: ./...
+set -eu
+cd "$(dirname "$0")/.."
+
+PKGS="${*:-./...}"
+
+echo "== tier 1: go build && go test"
+go build $PKGS
+go test $PKGS
+
+echo "== tier 2: go test -race"
+go test -race $PKGS
+
+if [ "${FUZZ:-0}" = "1" ]; then
+    echo "== tier 3: fuzz pinglist wire format (30s each)"
+    go test ./internal/pinglist -fuzz FuzzUnmarshal -fuzztime 30s
+    go test ./internal/pinglist -fuzz FuzzMarshalRoundTrip -fuzztime 30s
+fi
+
+echo "== ci ok"
