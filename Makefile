@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race ci fuzz bench clean
+.PHONY: all build test race ci fuzz bench bench-ingest clean
 
 all: build test
 
@@ -23,6 +23,12 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchmem ./internal/core ./internal/controller
+
+# Ingest hot path: codec + streaming scope engine throughput (MB/s) and
+# allocation profile. BENCH_PR2.json records the tracked numbers.
+bench-ingest:
+	$(GO) test -run '^$$' -bench 'BenchmarkScanner|BenchmarkDecodeBatch|BenchmarkEncodeBatch|BenchmarkScopeRun|BenchmarkEngineRun' \
+		-benchmem ./internal/probe ./internal/scope
 
 clean:
 	$(GO) clean -testcache

@@ -70,7 +70,10 @@ type Prober interface {
 }
 
 // Uploader receives encoded record batches (the DSA ingestion point; in
-// production this is Cosmos behind a VIP).
+// production this is Cosmos behind a VIP). The batch slice is only valid
+// for the duration of the call — the agent reuses one encode buffer across
+// uploads — so implementations that retain the bytes must copy them
+// (cosmos.Store.Append does).
 type Uploader interface {
 	Upload(ctx context.Context, batch []byte) error
 }
@@ -171,6 +174,11 @@ type Agent struct {
 
 	peersChanged chan struct{} // kicks the scheduler
 	uploadKick   chan struct{} // kicks the uploader on buffer-threshold
+
+	// encMu serializes flushes; encBuf is the batch encode buffer reused
+	// across uploads so steady-state encoding allocates nothing.
+	encMu  sync.Mutex
+	encBuf []byte
 }
 
 type peerState struct {

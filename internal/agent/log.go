@@ -18,6 +18,7 @@ type LocalLog struct {
 	maxBytes int64
 	f        *os.File
 	size     int64
+	buf      []byte // line encode buffer, reused under mu
 }
 
 // NewLocalLog opens (or creates) the log at path with the given size cap.
@@ -67,7 +68,9 @@ func (l *LocalLog) Write(r *probe.Record) {
 	if l.f == nil {
 		return
 	}
-	line := append(r.AppendCSV(nil), '\n')
+	l.buf = r.AppendCSV(l.buf[:0])
+	l.buf = append(l.buf, '\n')
+	line := l.buf
 	if l.size+int64(len(line)) > l.maxBytes {
 		if err := l.rotateLocked(); err != nil {
 			l.f.Close()

@@ -218,7 +218,14 @@ func (a *Agent) flush(ctx context.Context) {
 	if len(batch) == 0 {
 		return
 	}
-	data := probe.EncodeBatch(batch)
+	// Encode into the agent's pooled buffer. encMu serializes the upload
+	// loop's flush with the final flush in Run, and the Uploader contract
+	// says the batch is only valid during the call, so the buffer can be
+	// reused verbatim on the next flush.
+	a.encMu.Lock()
+	defer a.encMu.Unlock()
+	data := probe.AppendBatch(a.encBuf[:0], batch)
+	a.encBuf = data[:0]
 	for attempt := 0; attempt < a.cfg.UploadRetries; attempt++ {
 		if err := a.cfg.Uploader.Upload(ctx, data); err == nil {
 			a.reg.Counter("agent.uploads_ok").Inc()

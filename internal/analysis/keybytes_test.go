@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"net/netip"
+	"testing"
+
+	"pingmesh/internal/probe"
+	"pingmesh/internal/topology"
+)
+
+func TestPodRefAppendToMatchesString(t *testing.T) {
+	refs := []PodRef{
+		{},
+		{DC: 1, Podset: 2, Pod: 3},
+		{DC: 12, Podset: 345, Pod: 6789},
+		{DC: -1, Podset: -2, Pod: -3}, // never produced, but must still agree
+	}
+	for _, p := range refs {
+		if got := string(p.AppendTo(nil)); got != p.String() {
+			t.Errorf("AppendTo(%+v) = %q, String = %q", p, got, p.String())
+		}
+		// Appending to a non-empty prefix must not disturb it.
+		if got := string(p.AppendTo([]byte("pre/"))); got != "pre/"+p.String() {
+			t.Errorf("AppendTo with prefix = %q", got)
+		}
+	}
+}
+
+// TestAppendKeyersMatchStringKeyers pins every AppendX keyer to its string
+// counterpart: byte-identical keys and identical ok for records whose
+// endpoints resolve (or not) against the topology.
+func TestAppendKeyersMatchStringKeyers(t *testing.T) {
+	top := topology.SmallTestbed()
+	k := &Keyer{Top: top}
+
+	inside := func(i int) netip.Addr { return top.Server(topology.ServerID(i)).Addr }
+	outside := netip.MustParseAddr("192.0.2.1")
+	recs := []probe.Record{
+		{Src: inside(0), Dst: inside(5)},
+		{Src: inside(5), Dst: inside(0)},
+		{Src: inside(0), Dst: inside(0)},
+		{Src: inside(0), Dst: outside},
+		{Src: outside, Dst: inside(0)},
+		{Src: outside, Dst: outside},
+	}
+	pairs := []struct {
+		name   string
+		str    func(*probe.Record) (string, bool)
+		append func([]byte, *probe.Record) ([]byte, bool)
+	}{
+		{"SrcServer", k.SrcServer, k.AppendSrcServer},
+		{"SrcPod", k.SrcPod, k.AppendSrcPod},
+		{"SrcDC", k.SrcDC, k.AppendSrcDC},
+		{"PodPair", k.PodPair, k.AppendPodPair},
+		{"DCPair", k.DCPair, k.AppendDCPair},
+		{"ServerPair", k.ServerPair, k.AppendServerPair},
+	}
+	for _, p := range pairs {
+		buf := make([]byte, 0, 64)
+		for i := range recs {
+			r := &recs[i]
+			wantKey, wantOK := p.str(r)
+			gotBytes, gotOK := p.append(buf[:0], r)
+			if gotOK != wantOK {
+				t.Errorf("%s(%v->%v): ok=%v, string keyer ok=%v", p.name, r.Src, r.Dst, gotOK, wantOK)
+				continue
+			}
+			if gotOK && string(gotBytes) != wantKey {
+				t.Errorf("%s(%v->%v): key %q, string keyer %q", p.name, r.Src, r.Dst, gotBytes, wantKey)
+			}
+		}
+	}
+}
+
+// TestAppendKeyersZeroAlloc: with a warm destination buffer, the byte
+// keyers must not allocate — that is their whole reason to exist.
+func TestAppendKeyersZeroAlloc(t *testing.T) {
+	top := topology.SmallTestbed()
+	k := &Keyer{Top: top}
+	r := probe.Record{Src: top.Server(0).Addr, Dst: top.Server(topology.ServerID(5)).Addr}
+	buf := make([]byte, 0, 128)
+	keyers := []struct {
+		name string
+		fn   func([]byte, *probe.Record) ([]byte, bool)
+	}{
+		{"AppendSrcServer", k.AppendSrcServer},
+		{"AppendSrcPod", k.AppendSrcPod},
+		{"AppendSrcDC", k.AppendSrcDC},
+		{"AppendPodPair", k.AppendPodPair},
+		{"AppendDCPair", k.AppendDCPair},
+		{"AppendServerPair", k.AppendServerPair},
+	}
+	for _, kr := range keyers {
+		kr := kr
+		avg := testing.AllocsPerRun(100, func() {
+			if _, ok := kr.fn(buf[:0], &r); !ok {
+				t.Fatal("keyer rejected resolvable record")
+			}
+		})
+		if avg != 0 {
+			t.Errorf("%s allocates %.1f per call, want 0", kr.name, avg)
+		}
+	}
+}

@@ -17,7 +17,19 @@ type PodRef struct {
 
 // String encodes the ref as "d<dc>.s<podset>.p<pod>".
 func (p PodRef) String() string {
-	return fmt.Sprintf("d%d.s%d.p%d", p.DC, p.Podset, p.Pod)
+	return string(p.AppendTo(make([]byte, 0, 16)))
+}
+
+// AppendTo appends the String encoding to dst without allocating: the
+// KeyBytes building block.
+func (p PodRef) AppendTo(dst []byte) []byte {
+	dst = append(dst, 'd')
+	dst = strconv.AppendInt(dst, int64(p.DC), 10)
+	dst = append(dst, '.', 's')
+	dst = strconv.AppendInt(dst, int64(p.Podset), 10)
+	dst = append(dst, '.', 'p')
+	dst = strconv.AppendInt(dst, int64(p.Pod), 10)
+	return dst
 }
 
 // ParsePodRef decodes the String form.
@@ -135,6 +147,79 @@ func (k *Keyer) DCPair(r *probe.Record) (string, bool) {
 // detection reasons over.
 func (k *Keyer) ServerPair(r *probe.Record) (string, bool) {
 	return r.Src.String() + "|" + r.Dst.String(), true
+}
+
+// Byte-oriented keyers: the scope.Job.KeyBytes forms of the keyers above.
+// They append the identical key bytes to dst instead of returning a fresh
+// string, so the engine's group-key interning makes per-record grouping
+// allocation-free. Each AppendX produces exactly the same key as X.
+
+// AppendSrcServer is the KeyBytes form of SrcServer.
+func (k *Keyer) AppendSrcServer(dst []byte, r *probe.Record) ([]byte, bool) {
+	s, ok := k.server(r.Src)
+	if !ok {
+		return dst, false
+	}
+	return append(dst, s.Name...), true
+}
+
+// AppendSrcPod is the KeyBytes form of SrcPod.
+func (k *Keyer) AppendSrcPod(dst []byte, r *probe.Record) ([]byte, bool) {
+	s, ok := k.server(r.Src)
+	if !ok {
+		return dst, false
+	}
+	return PodRef{DC: s.DC, Podset: s.Podset, Pod: s.Pod}.AppendTo(dst), true
+}
+
+// AppendSrcDC is the KeyBytes form of SrcDC.
+func (k *Keyer) AppendSrcDC(dst []byte, r *probe.Record) ([]byte, bool) {
+	s, ok := k.server(r.Src)
+	if !ok {
+		return dst, false
+	}
+	return append(dst, k.Top.DCs[s.DC].Name...), true
+}
+
+// AppendPodPair is the KeyBytes form of PodPair.
+func (k *Keyer) AppendPodPair(dst []byte, r *probe.Record) ([]byte, bool) {
+	src, ok := k.server(r.Src)
+	if !ok {
+		return dst, false
+	}
+	dst2, ok := k.server(r.Dst)
+	if !ok {
+		return dst, false
+	}
+	b := PodRef{DC: src.DC, Podset: src.Podset, Pod: src.Pod}.AppendTo(dst)
+	b = append(b, '|')
+	b = PodRef{DC: dst2.DC, Podset: dst2.Podset, Pod: dst2.Pod}.AppendTo(b)
+	return b, true
+}
+
+// AppendDCPair is the KeyBytes form of DCPair.
+func (k *Keyer) AppendDCPair(dst []byte, r *probe.Record) ([]byte, bool) {
+	src, ok := k.server(r.Src)
+	if !ok {
+		return dst, false
+	}
+	dst2, ok := k.server(r.Dst)
+	if !ok {
+		return dst, false
+	}
+	b := append(dst, k.Top.DCs[src.DC].Name...)
+	b = append(b, '-', '>')
+	b = append(b, k.Top.DCs[dst2.DC].Name...)
+	return b, true
+}
+
+// AppendServerPair is the KeyBytes form of ServerPair. Addresses are
+// appended with netip.Addr.AppendTo, so no intermediate strings exist.
+func (k *Keyer) AppendServerPair(dst []byte, r *probe.Record) ([]byte, bool) {
+	b := r.Src.AppendTo(dst)
+	b = append(b, '|')
+	b = r.Dst.AppendTo(b)
+	return b, true
 }
 
 // Service is a named set of servers; its SLA is computed from the probes

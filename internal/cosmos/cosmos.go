@@ -104,7 +104,7 @@ func (s *Store) Append(name string, data []byte) error {
 		}
 		st.extents = append(st.extents, ext)
 	}
-	replicas := replicaNodes(s.nodes, ext.replicas)
+	replicas := ext.replicas
 	ext.size += len(data)
 	if ext.size >= s.cfg.ExtentSize {
 		ext.sealed = true
@@ -112,9 +112,11 @@ func (s *Store) Append(name string, data []byte) error {
 	id := ext.id
 	s.mu.Unlock()
 
+	// s.nodes is immutable after NewStore, so replica ids can be resolved
+	// without holding the store lock (and without building a node slice).
 	wrote := 0
-	for _, n := range replicas {
-		if n.append(id, data) {
+	for _, nid := range replicas {
+		if s.nodes[nid].append(id, data) {
 			wrote++
 		}
 	}
@@ -146,14 +148,6 @@ func (s *Store) newExtentLocked() (*extent, error) {
 	s.rr++
 	s.next++
 	return &extent{id: s.next, replicas: replicas}, nil
-}
-
-func replicaNodes(nodes []*node, ids []int) []*node {
-	out := make([]*node, 0, len(ids))
-	for _, id := range ids {
-		out = append(out, nodes[id])
-	}
-	return out
 }
 
 func (n *node) append(id uint64, data []byte) bool {
@@ -208,6 +202,17 @@ func (s *Store) NumExtents(name string) int {
 
 // ReadExtent returns the contents of the i-th extent of a stream, served
 // from the first healthy replica.
+//
+// Aliasing rules (zero-copy read path): the returned slice aliases the
+// replica's in-memory copy of the extent — no bytes are copied, so a SCOPE
+// job streaming hundreds of extents does not double its resident set.
+// Callers MUST treat the slice as read-only. The snapshot is stable: the
+// store is append-only, so later appends to an unsealed extent only ever
+// write past the returned length (or into a new backing array), and sealed
+// extents never change at all. The slice stays valid after DeleteStream
+// (the backing array is simply unreferenced by the store). Callers that
+// need ownership — e.g. to mutate or to hold many extents while bounding
+// store memory — use ReadExtentAppend.
 func (s *Store) ReadExtent(name string, i int) ([]byte, error) {
 	s.mu.RLock()
 	st, ok := s.strms[name]
@@ -216,14 +221,39 @@ func (s *Store) ReadExtent(name string, i int) ([]byte, error) {
 		return nil, fmt.Errorf("cosmos: stream %q has no extent %d", name, i)
 	}
 	ext := st.extents[i]
-	replicas := replicaNodes(s.nodes, ext.replicas)
+	replicas := ext.replicas
 	s.mu.RUnlock()
-	for _, n := range replicas {
-		if data, ok := n.read(ext.id); ok {
+	for _, nid := range replicas {
+		if data, ok := s.nodes[nid].read(ext.id); ok {
 			return data, nil
 		}
 	}
 	return nil, fmt.Errorf("cosmos: extent %d of %q unavailable on all replicas", i, name)
+}
+
+// ReadExtentAppend appends the contents of the i-th extent of a stream to
+// dst and returns the extended slice: the pooled alternative to
+// ReadExtent's zero-copy path for callers that need a private, mutable
+// copy. Reusing dst across extents amortizes the copy to zero allocations.
+func (s *Store) ReadExtentAppend(dst []byte, name string, i int) ([]byte, error) {
+	data, err := s.ReadExtent(name, i)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, data...), nil
+}
+
+// Sealed reports whether the i-th extent of a stream is sealed. Sealed
+// extents are immutable forever; unsealed extents may still grow (but
+// bytes already returned by ReadExtent never change).
+func (s *Store) Sealed(name string, i int) (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.strms[name]
+	if !ok || i < 0 || i >= len(st.extents) {
+		return false, fmt.Errorf("cosmos: stream %q has no extent %d", name, i)
+	}
+	return st.extents[i].sealed, nil
 }
 
 // Read concatenates every extent of a stream.

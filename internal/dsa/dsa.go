@@ -155,8 +155,8 @@ func (p *Pipeline) RunTenMinute(from, to time.Time) error {
 		From:   from, To: to,
 		// The paper's headline SLA metric is the intra-DC TCP SYN RTT
 		// without payload.
-		Where: func(r *probe.Record) bool { return r.Class != probe.InterDC && r.PayloadLen == 0 },
-		Key:   p.keyer.SrcDC,
+		Where:    func(r *probe.Record) bool { return r.Class != probe.InterDC && r.PayloadLen == 0 },
+		KeyBytes: p.keyer.AppendSrcDC,
 	})
 	if err != nil {
 		return err
@@ -172,8 +172,8 @@ func (p *Pipeline) RunTenMinute(from, to time.Time) error {
 		Name:   "sla-interdc",
 		Source: p.source(),
 		From:   from, To: to,
-		Where: func(r *probe.Record) bool { return r.Class == probe.InterDC },
-		Key:   p.keyer.DCPair,
+		Where:    func(r *probe.Record) bool { return r.Class == probe.InterDC },
+		KeyBytes: p.keyer.AppendDCPair,
 	})
 	if err != nil {
 		return err
@@ -208,8 +208,8 @@ func (p *Pipeline) RunHourly(from, to time.Time) error {
 		Name:   "pod-pairs",
 		Source: p.source(),
 		From:   from, To: to,
-		Where: func(r *probe.Record) bool { return r.Class != probe.InterDC && r.PayloadLen == 0 },
-		Key:   p.keyer.PodPair,
+		Where:    func(r *probe.Record) bool { return r.Class != probe.InterDC && r.PayloadLen == 0 },
+		KeyBytes: p.keyer.AppendPodPair,
 	})
 	if err != nil {
 		return err
@@ -231,8 +231,8 @@ func (p *Pipeline) RunHourly(from, to time.Time) error {
 		Name:   "sla-pod",
 		Source: p.source(),
 		From:   from, To: to,
-		Where: func(r *probe.Record) bool { return r.Class != probe.InterDC && r.PayloadLen == 0 },
-		Key:   p.keyer.SrcPod,
+		Where:    func(r *probe.Record) bool { return r.Class != probe.InterDC && r.PayloadLen == 0 },
+		KeyBytes: p.keyer.AppendSrcPod,
 	})
 	if err != nil {
 		return err
@@ -252,8 +252,8 @@ func (p *Pipeline) RunDaily(from, to time.Time) error {
 			Name:   "drop-" + class.String(),
 			Source: p.source(),
 			From:   from, To: to,
-			Where: func(r *probe.Record) bool { return r.Class == class && r.PayloadLen == 0 },
-			Key:   p.keyer.SrcDC,
+			Where:    func(r *probe.Record) bool { return r.Class == class && r.PayloadLen == 0 },
+			KeyBytes: p.keyer.AppendSrcDC,
 		})
 		if err != nil {
 			return err
@@ -275,7 +275,7 @@ func (p *Pipeline) RunDaily(from, to time.Time) error {
 		Name:   "server-pairs",
 		Source: p.source(),
 		From:   from, To: to,
-		Key: p.keyer.ServerPair,
+		KeyBytes: p.keyer.AppendServerPair,
 	})
 	if err != nil {
 		return err

@@ -43,11 +43,44 @@ func BenchmarkDecodeBatch(b *testing.B) {
 	}
 	data := EncodeBatch(recs)
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		got, errs := DecodeBatch(data)
 		if len(errs) != 0 || len(got) != len(recs) {
 			b.Fatal("decode failed")
+		}
+	}
+}
+
+// BenchmarkScanner measures the streaming ingest path the scope workers
+// use: one reusable Scanner over a 1024-record batch, records visited in
+// place, nothing materialized. MB/s here is the per-core ceiling of the
+// §3.5 analysis pipeline.
+func BenchmarkScanner(b *testing.B) {
+	recs := make([]Record, 1024)
+	for i := range recs {
+		recs[i] = sampleRecord()
+		if i%7 == 0 {
+			recs[i].Err = "connect timeout"
+		}
+	}
+	data := EncodeBatch(recs)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	var sc Scanner
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Reset(data)
+		n := 0
+		for sc.Scan() {
+			if sc.RowErr() != nil {
+				b.Fatal("row error")
+			}
+			n++
+		}
+		if n != len(recs) {
+			b.Fatalf("scanned %d records", n)
 		}
 	}
 }

@@ -1,0 +1,257 @@
+package probe
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// This file pins the streaming Scanner to the legacy (pre-streaming)
+// decoder. legacyDecodeBatch/legacyParseCSV are verbatim copies of the
+// string-splitting implementation the Scanner replaced; they are kept
+// test-only as the differential oracle.
+
+func legacyParseCSV(line string) (Record, error) {
+	var r Record
+	fields := strings.Split(line, ",")
+	if len(fields) != 12 {
+		return r, fmt.Errorf("probe: record has %d fields, want 12", len(fields))
+	}
+	startNS, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return r, fmt.Errorf("probe: bad start %q: %w", fields[0], err)
+	}
+	r.Start = time.Unix(0, startNS).UTC()
+	if r.Src, err = netip.ParseAddr(fields[1]); err != nil {
+		return r, fmt.Errorf("probe: bad src: %w", err)
+	}
+	sport, err := strconv.ParseUint(fields[2], 10, 16)
+	if err != nil {
+		return r, fmt.Errorf("probe: bad sport: %w", err)
+	}
+	r.SrcPort = uint16(sport)
+	if r.Dst, err = netip.ParseAddr(fields[3]); err != nil {
+		return r, fmt.Errorf("probe: bad dst: %w", err)
+	}
+	dport, err := strconv.ParseUint(fields[4], 10, 16)
+	if err != nil {
+		return r, fmt.Errorf("probe: bad dport: %w", err)
+	}
+	r.DstPort = uint16(dport)
+	if r.Class, err = ParseClass(fields[5]); err != nil {
+		return r, err
+	}
+	if r.Proto, err = ParseProto(fields[6]); err != nil {
+		return r, err
+	}
+	if r.QoS, err = ParseQoS(fields[7]); err != nil {
+		return r, err
+	}
+	payload, err := strconv.Atoi(fields[8])
+	if err != nil {
+		return r, fmt.Errorf("probe: bad payload: %w", err)
+	}
+	r.PayloadLen = payload
+	rtt, err := strconv.ParseInt(fields[9], 10, 64)
+	if err != nil {
+		return r, fmt.Errorf("probe: bad rtt: %w", err)
+	}
+	r.RTT = time.Duration(rtt)
+	prtt, err := strconv.ParseInt(fields[10], 10, 64)
+	if err != nil {
+		return r, fmt.Errorf("probe: bad payload rtt: %w", err)
+	}
+	r.PayloadRTT = time.Duration(prtt)
+	r.Err = fields[11]
+	return r, nil
+}
+
+func legacyDecodeBatch(data []byte) (recs []Record, errs []error) {
+	lines := strings.Split(string(data), "\n")
+	for i, ln := range lines {
+		if ln == "" || ln == CSVHeader {
+			continue
+		}
+		r, err := legacyParseCSV(ln)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("line %d: %w", i+1, err))
+			continue
+		}
+		recs = append(recs, r)
+	}
+	return recs, errs
+}
+
+// Oracles for the byte-slice numeric parsers.
+func parseInt64Oracle(s string) (int64, error)   { return strconv.ParseInt(s, 10, 64) }
+func parseUint16Oracle(s string) (uint64, error) { return strconv.ParseUint(s, 10, 16) }
+
+// normalizeCR maps data onto the legacy decoder's line model: the Scanner
+// deliberately accepts CRLF (it strips one CR before each LF and at EOF),
+// which the legacy decoder never did. For CR-free input the two decoders
+// must agree byte-for-byte with no normalization at all.
+func normalizeCR(data []byte) []byte {
+	out := bytes.ReplaceAll(data, []byte("\r\n"), []byte("\n"))
+	if n := len(out); n > 0 && out[n-1] == '\r' {
+		out = out[:n-1]
+	}
+	return out
+}
+
+func scanAll(data []byte) (recs []Record, errLines []int) {
+	var sc Scanner
+	sc.Reset(data)
+	for sc.Scan() {
+		if sc.RowErr() != nil {
+			errLines = append(errLines, sc.Line())
+			continue
+		}
+		recs = append(recs, *sc.Record())
+	}
+	return recs, errLines
+}
+
+func diffRecords(t *testing.T, label string, got, want []Record, gotErrs, wantErrs int) {
+	t.Helper()
+	if gotErrs != wantErrs {
+		t.Fatalf("%s: scanner saw %d parse errors, legacy %d", label, gotErrs, wantErrs)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: scanner decoded %d records, legacy %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: record %d diverged:\nscanner %+v\nlegacy  %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// FuzzScannerVsDecodeBatch is the differential fuzz target of the
+// streaming ingest rewrite: for arbitrary input the in-place Scanner must
+// agree with the legacy decoder on records, order, and error count. For
+// input containing CRs the comparison runs against the CR-normalized
+// input, which is exactly the documented CRLF acceptance change.
+func FuzzScannerVsDecodeBatch(f *testing.F) {
+	r := sampleRecord()
+	f.Add(EncodeBatch([]Record{r}))
+	r.Err = "connect timeout"
+	f.Add(EncodeBatch([]Record{r, r}))
+	f.Add([]byte(CSVHeader + "\n"))
+	f.Add([]byte(CSVHeader + "\r\n" + r.MarshalCSV() + "\r\n"))
+	f.Add([]byte("garbage\n" + CSVHeader + "\n" + r.MarshalCSV()))
+	f.Add([]byte("1,10.0.0.1,1,10.0.0.2,2,intra-pod,tcp,high,0,1,0,err\n"))
+	f.Add([]byte("-1,::1,65535,255.255.255.255,0,inter-dc,http,low,-7,-1,9223372036854775807,\n"))
+	f.Add([]byte("\n\r\n,\n1,2,3\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gotRecs, gotErrLines := scanAll(data)
+		wantRecs, wantErrs := legacyDecodeBatch(normalizeCR(data))
+		diffRecords(t, "normalized", gotRecs, wantRecs, len(gotErrLines), len(wantErrs))
+		if !bytes.Contains(data, []byte{'\r'}) {
+			// CR-free input: additionally require the public DecodeBatch
+			// (reimplemented on the Scanner) to match legacy verbatim,
+			// including the line numbers carried in the errors.
+			newRecs, newErrs := DecodeBatch(data)
+			diffRecords(t, "verbatim", newRecs, wantRecs, len(newErrs), len(wantErrs))
+			for i := range newErrs {
+				if newErrs[i].Error()[:8] != wantErrs[i].Error()[:8] {
+					t.Fatalf("error %d line prefix diverged: %q vs %q", i, newErrs[i], wantErrs[i])
+				}
+			}
+		}
+	})
+}
+
+// randomRecord generates a valid record: every field within wire range,
+// addresses IPv4 or IPv6, err free of the separators sanitizeErr rewrites.
+func randomRecord(rng *rand.Rand) Record {
+	r := Record{
+		Start:      time.Unix(rng.Int63n(1<<33), rng.Int63n(1e9)).UTC(),
+		SrcPort:    uint16(rng.Intn(1 << 16)),
+		DstPort:    uint16(rng.Intn(1 << 16)),
+		Class:      Class(rng.Intn(3)),
+		Proto:      Proto(rng.Intn(2)),
+		QoS:        QoS(rng.Intn(2)),
+		PayloadLen: rng.Intn(1 << 20),
+		RTT:        time.Duration(rng.Int63n(int64(30 * time.Second))),
+	}
+	addr := func() netip.Addr {
+		if rng.Intn(2) == 0 {
+			var b [4]byte
+			rng.Read(b[:])
+			return netip.AddrFrom4(b)
+		}
+		var b [16]byte
+		rng.Read(b[:])
+		return netip.AddrFrom16(b)
+	}
+	r.Src = addr()
+	r.Dst = addr()
+	if rng.Intn(4) > 0 {
+		r.PayloadRTT = time.Duration(rng.Int63n(int64(30 * time.Second)))
+	}
+	if rng.Intn(3) == 0 {
+		errs := []string{"connect timeout", "connection refused", "no route to host", "reset"}
+		r.Err = errs[rng.Intn(len(errs))]
+		r.RTT = 21 * time.Second
+	}
+	return r
+}
+
+// TestEncodeScanRoundTripProperty: EncodeBatch → Scanner reproduces every
+// generated record exactly, whatever the batch contents.
+func TestEncodeScanRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := make([]Record, int(n%64)+1)
+		for i := range recs {
+			recs[i] = randomRecord(rng)
+		}
+		data := EncodeBatch(recs)
+		got, errLines := scanAll(data)
+		if len(errLines) != 0 || len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScannerVsLegacySeededBatches runs the differential comparison over a
+// deterministic mixed corpus (valid rows, corrupt rows, headers, blanks)
+// so the equivalence is exercised by plain `go test` runs too, not only
+// under -fuzz.
+func TestScannerVsLegacySeededBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var buf []byte
+	for i := 0; i < 500; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			buf = append(buf, CSVHeader...)
+			buf = append(buf, '\n')
+		case 1:
+			buf = append(buf, "corrupt,row\n"...)
+		case 2:
+			buf = append(buf, '\n')
+		default:
+			r := randomRecord(rng)
+			buf = r.AppendCSV(buf)
+			buf = append(buf, '\n')
+		}
+	}
+	gotRecs, gotErrLines := scanAll(buf)
+	wantRecs, wantErrs := legacyDecodeBatch(buf)
+	diffRecords(t, "seeded", gotRecs, wantRecs, len(gotErrLines), len(wantErrs))
+}

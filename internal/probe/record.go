@@ -5,6 +5,7 @@
 package probe
 
 import (
+	"bytes"
 	"fmt"
 	"net/netip"
 	"strconv"
@@ -129,15 +130,16 @@ func (r *Record) Success() bool { return r.Err == "" }
 const CSVHeader = "start_unix_ns,src,sport,dst,dport,class,proto,qos,payload,rtt_ns,payload_rtt_ns,err"
 
 // AppendCSV appends the CSV encoding of r (without trailing newline) to b
-// and returns the extended slice.
+// and returns the extended slice. It allocates nothing beyond growth of b:
+// addresses are appended with netip.Addr.AppendTo instead of String.
 func (r *Record) AppendCSV(b []byte) []byte {
 	b = strconv.AppendInt(b, r.Start.UnixNano(), 10)
 	b = append(b, ',')
-	b = append(b, r.Src.String()...)
+	b = appendAddr(b, r.Src)
 	b = append(b, ',')
 	b = strconv.AppendUint(b, uint64(r.SrcPort), 10)
 	b = append(b, ',')
-	b = append(b, r.Dst.String()...)
+	b = appendAddr(b, r.Dst)
 	b = append(b, ',')
 	b = strconv.AppendUint(b, uint64(r.DstPort), 10)
 	b = append(b, ',')
@@ -160,6 +162,16 @@ func (r *Record) AppendCSV(b []byte) []byte {
 // MarshalCSV returns the CSV encoding of r.
 func (r *Record) MarshalCSV() string { return string(r.AppendCSV(nil)) }
 
+// appendAddr appends the textual form of a. netip.Addr.AppendTo appends
+// nothing for the zero Addr, while String returns "invalid IP"; encode the
+// latter so the wire bytes stay identical to the pre-AppendTo encoder.
+func appendAddr(b []byte, a netip.Addr) []byte {
+	if !a.IsValid() {
+		return append(b, "invalid IP"...)
+	}
+	return a.AppendTo(b)
+}
+
 func sanitizeErr(s string) string {
 	if strings.ContainsAny(s, ",\n\r") {
 		s = strings.Map(func(r rune) rune {
@@ -173,89 +185,58 @@ func sanitizeErr(s string) string {
 	return s
 }
 
-// ParseCSV parses one CSV line produced by AppendCSV.
+// ParseCSV parses one CSV line produced by AppendCSV. It is the
+// convenience single-line API; bulk decoding should use Scanner (or
+// DecodeBatch), which parses in place without this function's per-call
+// string-to-bytes copy.
 func ParseCSV(line string) (Record, error) {
-	var r Record
-	fields := strings.Split(line, ",")
-	if len(fields) != 12 {
-		return r, fmt.Errorf("probe: record has %d fields, want 12", len(fields))
+	var s Scanner
+	if err := s.parseLine([]byte(line)); err != nil {
+		return Record{}, err
 	}
-	startNS, err := strconv.ParseInt(fields[0], 10, 64)
-	if err != nil {
-		return r, fmt.Errorf("probe: bad start %q: %w", fields[0], err)
+	return s.rec, nil
+}
+
+// AppendBatch appends the CSV document encoding of recs (header line plus
+// one line per record) to dst and returns the extended slice. Callers that
+// upload repeatedly should reuse dst across batches so steady-state
+// encoding allocates nothing.
+func AppendBatch(dst []byte, recs []Record) []byte {
+	dst = append(dst, CSVHeader...)
+	dst = append(dst, '\n')
+	for i := range recs {
+		dst = recs[i].AppendCSV(dst)
+		dst = append(dst, '\n')
 	}
-	r.Start = time.Unix(0, startNS).UTC()
-	if r.Src, err = netip.ParseAddr(fields[1]); err != nil {
-		return r, fmt.Errorf("probe: bad src: %w", err)
-	}
-	sport, err := strconv.ParseUint(fields[2], 10, 16)
-	if err != nil {
-		return r, fmt.Errorf("probe: bad sport: %w", err)
-	}
-	r.SrcPort = uint16(sport)
-	if r.Dst, err = netip.ParseAddr(fields[3]); err != nil {
-		return r, fmt.Errorf("probe: bad dst: %w", err)
-	}
-	dport, err := strconv.ParseUint(fields[4], 10, 16)
-	if err != nil {
-		return r, fmt.Errorf("probe: bad dport: %w", err)
-	}
-	r.DstPort = uint16(dport)
-	if r.Class, err = ParseClass(fields[5]); err != nil {
-		return r, err
-	}
-	if r.Proto, err = ParseProto(fields[6]); err != nil {
-		return r, err
-	}
-	if r.QoS, err = ParseQoS(fields[7]); err != nil {
-		return r, err
-	}
-	payload, err := strconv.Atoi(fields[8])
-	if err != nil {
-		return r, fmt.Errorf("probe: bad payload: %w", err)
-	}
-	r.PayloadLen = payload
-	rtt, err := strconv.ParseInt(fields[9], 10, 64)
-	if err != nil {
-		return r, fmt.Errorf("probe: bad rtt: %w", err)
-	}
-	r.RTT = time.Duration(rtt)
-	prtt, err := strconv.ParseInt(fields[10], 10, 64)
-	if err != nil {
-		return r, fmt.Errorf("probe: bad payload rtt: %w", err)
-	}
-	r.PayloadRTT = time.Duration(prtt)
-	r.Err = fields[11]
-	return r, nil
+	return dst
 }
 
 // EncodeBatch encodes records as a CSV document with header.
 func EncodeBatch(recs []Record) []byte {
-	b := make([]byte, 0, 64+len(recs)*96)
-	b = append(b, CSVHeader...)
-	b = append(b, '\n')
-	for i := range recs {
-		b = recs[i].AppendCSV(b)
-		b = append(b, '\n')
-	}
-	return b
+	return AppendBatch(make([]byte, 0, 64+len(recs)*96), recs)
 }
 
 // DecodeBatch decodes a CSV document produced by EncodeBatch. Lines that
 // fail to parse are returned in errs by line number without aborting the
 // batch, mirroring how the analysis pipeline skips corrupt rows.
+//
+// DecodeBatch is implemented on Scanner and kept for callers that want the
+// records materialized; the streaming pipeline (scope workers) drives the
+// Scanner directly and never builds the slice.
 func DecodeBatch(data []byte) (recs []Record, errs []error) {
-	lines := strings.Split(string(data), "\n")
-	for i, ln := range lines {
-		if ln == "" || ln == CSVHeader {
+	// Size the result once from the line count (slight overcount: header and
+	// blank lines) so appending never reallocates mid-decode.
+	if n := bytes.Count(data, []byte{'\n'}) + 1; n > 1 {
+		recs = make([]Record, 0, n)
+	}
+	var sc Scanner
+	sc.Reset(data)
+	for sc.Scan() {
+		if err := sc.RowErr(); err != nil {
+			errs = append(errs, fmt.Errorf("line %d: %w", sc.Line(), err))
 			continue
 		}
-		r, err := ParseCSV(ln)
-		if err != nil {
-			errs = append(errs, fmt.Errorf("line %d: %w", i+1, err))
-			continue
-		}
-		recs = append(recs, r)
+		recs = append(recs, sc.rec)
 	}
 	return recs, errs
 }

@@ -39,6 +39,15 @@ type Job struct {
 	// Key groups records; records whose key resolves ok=false are skipped.
 	// A nil Key groups everything under "".
 	Key func(*probe.Record) (string, bool)
+	// KeyBytes is the allocation-free form of Key and takes precedence
+	// over it when both are set: it appends the group key for r to dst
+	// and returns the extended slice. The engine passes a reused buffer
+	// and interns the key (one string allocation per distinct group, not
+	// per record), so an append-only KeyBytes implementation makes the
+	// whole grouping path allocation-free. The returned slice must alias
+	// dst's backing array (append semantics); the engine owns it until
+	// the next record.
+	KeyBytes func(dst []byte, r *probe.Record) ([]byte, bool)
 }
 
 // Result is the output of one job run.
@@ -92,7 +101,16 @@ func (e *Engine) Run(job Job) (*Result, error) {
 		}
 	}
 
-	taskCh := make(chan task)
+	// The channel is buffered to len(tasks) so the send loop below can
+	// never block: a worker that returns early on a ReadExtent error stops
+	// draining, and with an unbuffered channel the sends would deadlock
+	// once every worker had failed (all replicas of a store down).
+	taskCh := make(chan task, len(tasks))
+	for _, t := range tasks {
+		taskCh <- t
+	}
+	close(taskCh)
+
 	results := make([]*Result, par)
 	errs := make([]error, par)
 	var wg sync.WaitGroup
@@ -103,10 +121,6 @@ func (e *Engine) Run(job Job) (*Result, error) {
 			results[w], errs[w] = e.worker(&job, taskCh)
 		}(w)
 	}
-	for _, t := range tasks {
-		taskCh <- t
-	}
-	close(taskCh)
 	wg.Wait()
 
 	out := &Result{Groups: make(map[string]*analysis.LatencyStats)}
@@ -129,28 +143,73 @@ func (e *Engine) Run(job Job) (*Result, error) {
 	return out, nil
 }
 
-// worker processes extents from the channel into a local result.
+// worker processes extents from the channel into a local result. Extent
+// bytes are read zero-copy from the store and scanned in place; records
+// stream straight into the group aggregators without ever being
+// materialized as a []probe.Record, so the worker's steady-state loop
+// allocates nothing per record (see extentSink and TestProcessExtentZeroAlloc).
 func (e *Engine) worker(job *Job, tasks <-chan task) (*Result, error) {
 	res := &Result{Groups: make(map[string]*analysis.LatencyStats)}
+	sink := extentSink{job: job, res: res}
 	for t := range tasks {
 		data, err := job.Source.Store.ReadExtent(t.stream, t.extent)
 		if err != nil {
 			return nil, fmt.Errorf("scope: job %q: %w", job.Name, err)
 		}
-		recs, parseErrs := probe.DecodeBatch(data)
-		res.ParseErrors += uint64(len(parseErrs))
-		res.Scanned += uint64(len(recs))
-		for i := range recs {
-			r := &recs[i]
-			if !job.From.IsZero() && r.Start.Before(job.From) {
+		sink.process(data)
+	}
+	return res, nil
+}
+
+// extentSink is one worker's reusable streaming state: the in-place
+// scanner (whose error intern table persists across extents) and the
+// group-key scratch buffer. It exists as a named struct so the
+// zero-allocation property of the inner loop can be tested directly.
+type extentSink struct {
+	job    *Job
+	res    *Result
+	sc     probe.Scanner
+	keyBuf []byte
+}
+
+// process folds one extent into the sink's result. data is only read
+// during the call (the store's zero-copy aliasing contract); nothing the
+// sink retains aliases it.
+func (s *extentSink) process(data []byte) {
+	job, res := s.job, s.res
+	s.sc.Reset(data)
+	for s.sc.Scan() {
+		if s.sc.RowErr() != nil {
+			res.ParseErrors++
+			continue
+		}
+		r := s.sc.Record()
+		res.Scanned++
+		if !job.From.IsZero() && r.Start.Before(job.From) {
+			continue
+		}
+		if !job.To.IsZero() && !r.Start.Before(job.To) {
+			continue
+		}
+		if job.Where != nil && !job.Where(r) {
+			continue
+		}
+		var st *analysis.LatencyStats
+		if job.KeyBytes != nil {
+			kb, ok := job.KeyBytes(s.keyBuf[:0], r)
+			if !ok {
 				continue
 			}
-			if !job.To.IsZero() && !r.Start.Before(job.To) {
-				continue
+			s.keyBuf = kb[:0]
+			// Group-key interning: the map index on string(kb) does not
+			// allocate; the key string is materialized only when a new
+			// group is first seen.
+			st = res.Groups[string(kb)]
+			if st == nil {
+				st = analysis.NewLatencyStats()
+				res.Groups[string(kb)] = st
 			}
-			if job.Where != nil && !job.Where(r) {
-				continue
-			}
+		} else {
 			key := ""
 			if job.Key != nil {
 				var ok bool
@@ -159,14 +218,13 @@ func (e *Engine) worker(job *Job, tasks <-chan task) (*Result, error) {
 					continue
 				}
 			}
-			st, ok := res.Groups[key]
-			if !ok {
+			st = res.Groups[key]
+			if st == nil {
 				st = analysis.NewLatencyStats()
 				res.Groups[key] = st
 			}
-			st.Add(r)
-			res.Records++
 		}
+		st.Add(r)
+		res.Records++
 	}
-	return res, nil
 }

@@ -2,12 +2,15 @@
 # CI / verify flow for the pingmesh repo.
 #
 # Tiers:
-#   1. build + full test suite        (the seed contract)
+#   1. vet + build + full test suite  (the seed contract)
 #   2. full test suite under -race    (controller/agent/core are heavily
 #                                      concurrent; the stress tests in
 #                                      internal/controller are designed to
 #                                      surface handler-vs-regeneration races)
-#   3. short fuzz pass over the pinglist wire format (optional, FUZZ=1)
+#   3. ingest alloc-guard smoke       (the streaming scope/probe hot path
+#                                      must stay allocation-free per record)
+#   4. short fuzz pass over the pinglist wire format and the streaming
+#      record decoder (optional, FUZZ=1)
 #
 # Usage: scripts/ci.sh [package...]   # default: ./...
 set -eu
@@ -15,17 +18,23 @@ cd "$(dirname "$0")/.."
 
 PKGS="${*:-./...}"
 
-echo "== tier 1: go build && go test"
+echo "== tier 1: go vet && go build && go test"
+go vet $PKGS
 go build $PKGS
 go test $PKGS
 
 echo "== tier 2: go test -race"
 go test -race $PKGS
 
+echo "== tier 3: ingest alloc-guard smoke"
+go test ./internal/scope ./internal/probe ./internal/analysis \
+    -run 'ZeroAlloc' -count=1 -v | grep -E '^(=== RUN|--- (PASS|FAIL)|ok|FAIL)'
+
 if [ "${FUZZ:-0}" = "1" ]; then
-    echo "== tier 3: fuzz pinglist wire format (30s each)"
+    echo "== tier 4: fuzz wire formats (30s each)"
     go test ./internal/pinglist -fuzz FuzzUnmarshal -fuzztime 30s
     go test ./internal/pinglist -fuzz FuzzMarshalRoundTrip -fuzztime 30s
+    go test ./internal/probe -fuzz FuzzScannerVsDecodeBatch -fuzztime 30s
 fi
 
 echo "== ci ok"
