@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race ci fuzz bench bench-ingest clean
+.PHONY: all build test race ci fuzz bench bench-ingest bench-fleet clean
 
 all: build test
 
@@ -29,6 +29,13 @@ bench:
 bench-ingest:
 	$(GO) test -run '^$$' -bench 'BenchmarkScanner|BenchmarkDecodeBatch|BenchmarkEncodeBatch|BenchmarkScopeRun|BenchmarkEngineRun' \
 		-benchmem ./internal/probe ./internal/scope
+
+# Simulation hot path: fleet-runner throughput (probes/sec) and the
+# plan-cached vs reference probe cost. BENCH_PR3.json records the tracked
+# numbers.
+bench-fleet:
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetRun$$|BenchmarkProbe' \
+		-benchmem ./internal/fleet ./internal/netsim
 
 clean:
 	$(GO) clean -testcache

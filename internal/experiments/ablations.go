@@ -66,12 +66,15 @@ func AblationECMP(opts Options) (*AblationECMPResult, error) {
 		for pi, p := range pairs {
 			fixed := uint16(34000 + pi)
 			retx, ok := 0, 0
+			pr := net.PairProber(p[0], p[1])
+			spec := netsim.ProbeSpec{Src: p[0], Dst: p[1], DstPort: 8765}
 			for i := 0; i < perPair; i++ {
 				port := fixed
 				if freshPorts {
 					port = uint16(32768 + rng.IntN(28000))
 				}
-				res := net.Probe(netsim.ProbeSpec{Src: p[0], Dst: p[1], SrcPort: port, DstPort: 8765}, rng)
+				spec.SrcPort = port
+				res := pr.Probe(&spec, rng)
 				if res.Err == "" {
 					ok++
 					if res.Attempts > 1 {
@@ -167,13 +170,17 @@ func AblationDropHeuristic(opts Options) (*AblationDropHeuristicResult, error) {
 	}
 	n := opts.probes(800_000)
 	rng := rand.New(rand.NewPCG(opts.seed()+99, 5))
+	probers := make([]*netsim.PairProber, len(pairs))
+	specs := make([]netsim.ProbeSpec, len(pairs))
+	for i, p := range pairs {
+		probers[i] = net.PairProber(p[0], p[1])
+		specs[i] = netsim.ProbeSpec{Src: p[0], Dst: p[1], DstPort: 8765}
+	}
 	var total, success, failed, rtt3, rtt9 float64
 	for i := 0; i < n; i++ {
-		p := pairs[i%len(pairs)]
-		res := net.Probe(netsim.ProbeSpec{
-			Src: p[0], Dst: p[1],
-			SrcPort: uint16(32768 + rng.IntN(28000)), DstPort: 8765,
-		}, rng)
+		pi := i % len(pairs)
+		specs[pi].SrcPort = uint16(32768 + rng.IntN(28000))
+		res := probers[pi].Probe(&specs[pi], rng)
 		total++
 		if res.Err != "" {
 			failed++

@@ -144,20 +144,28 @@ func measureDist(net *netsim.Network, pairs [][2]topology.ServerID, n, payload i
 			defer wg.Done()
 			rng := rand.New(rand.NewPCG(seed+uint64(w)*7919, uint64(w)+13))
 			st := analysis.NewLatencyStats()
-			for i := 0; i < per; i++ {
-				p := pairs[(i*workers+w)%len(pairs)]
-				res := net.Probe(netsim.ProbeSpec{
+			// Per-worker probers: a PairProber, like the rng, must not be
+			// shared across goroutines.
+			probers := make([]*netsim.PairProber, len(pairs))
+			specs := make([]netsim.ProbeSpec, len(pairs))
+			recs := make([]probe.Record, len(pairs))
+			for pi, p := range pairs {
+				probers[pi] = net.PairProber(p[0], p[1])
+				specs[pi] = netsim.ProbeSpec{
 					Src: p[0], Dst: p[1],
-					SrcPort:    uint16(32768 + rng.IntN(28000)),
 					DstPort:    8765,
 					PayloadLen: payload,
 					Start:      start,
-				}, rng)
-				rec := probe.Record{
-					Src: top.Server(p[0]).Addr, Dst: top.Server(p[1]).Addr,
-					RTT: res.RTT, PayloadRTT: res.PayloadRTT, Err: res.Err,
 				}
-				st.Add(&rec)
+				recs[pi] = probe.Record{Src: top.Server(p[0]).Addr, Dst: top.Server(p[1]).Addr}
+			}
+			for i := 0; i < per; i++ {
+				pi := (i*workers + w) % len(pairs)
+				specs[pi].SrcPort = uint16(32768 + rng.IntN(28000))
+				res := probers[pi].Probe(&specs[pi], rng)
+				rec := &recs[pi]
+				rec.RTT, rec.PayloadRTT, rec.Err = res.RTT, res.PayloadRTT, res.Err
+				st.Add(rec)
 			}
 			results[w] = st
 		}(w)

@@ -110,8 +110,10 @@ func affectedPairs(net *netsim.Network, pairs [][2]topology.ServerID, seed uint6
 		port := uint16(34000 + rng.IntN(1000))
 		retx := 0
 		const n = 400
+		pr := net.PairProber(p[0], p[1])
+		spec := netsim.ProbeSpec{Src: p[0], Dst: p[1], SrcPort: port, DstPort: 8765}
 		for i := 0; i < n; i++ {
-			res := net.Probe(netsim.ProbeSpec{Src: p[0], Dst: p[1], SrcPort: port, DstPort: 8765}, rng)
+			res := pr.Probe(&spec, rng)
 			if res.Err == "" && res.Attempts > 1 {
 				retx++
 			}

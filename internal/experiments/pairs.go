@@ -46,15 +46,15 @@ func probeRelationPairsWithFilter(net *netsim.Network, k int, seed uint64, worke
 					st = analysis.NewLatencyStats()
 					out[key] = st
 				}
+				// All k probes share the pair: go through a PairProber so
+				// the plan is resolved once, not per probe.
+				pr := net.PairProber(src, dst)
+				spec := netsim.ProbeSpec{Src: src, Dst: dst, DstPort: 8765}
+				rec := probe.Record{Src: top.Server(src).Addr, Dst: top.Server(dst).Addr}
 				for i := 0; i < k; i++ {
-					res := net.Probe(netsim.ProbeSpec{
-						Src: src, Dst: dst,
-						SrcPort: uint16(33000 + rng.IntN(20000)), DstPort: 8765,
-					}, rng)
-					rec := probe.Record{
-						Src: top.Server(src).Addr, Dst: top.Server(dst).Addr,
-						RTT: res.RTT, Err: res.Err,
-					}
+					spec.SrcPort = uint16(33000 + rng.IntN(20000))
+					res := pr.Probe(&spec, rng)
+					rec.RTT, rec.Err = res.RTT, res.Err
 					st.Add(&rec)
 				}
 			}

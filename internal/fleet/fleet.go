@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"runtime"
+	"slices"
 	"sync"
 	"time"
 
@@ -38,9 +39,27 @@ type Runner struct {
 	IntervalScale float64
 }
 
+// flushAt is the record batch size handed to sinks.
+const flushAt = 4096
+
+// batchPool recycles record batches across servers and runs: day-scale
+// windows flush thousands of batches, and reallocating 4096-record
+// slices dominated the runner's allocation profile.
+var batchPool = sync.Pool{
+	New: func() any {
+		s := make([]probe.Record, 0, flushAt)
+		return &s
+	},
+}
+
 // Run simulates every probe scheduled in [from, to) and hands each
 // server's records to sink. sink is called once per (server, batch) from
-// multiple goroutines; it must be safe for concurrent use.
+// multiple goroutines; it must be safe for concurrent use. The record
+// slice is pooled: it is reused as soon as sink returns, so sinks must
+// copy any data they keep (aggregating or encoding in place is fine).
+//
+// When several servers' schedules fail, the error reported is the one
+// from the lowest server ID, independent of worker scheduling.
 func (r *Runner) Run(from, to time.Time, sink func(src topology.ServerID, recs []probe.Record)) error {
 	if r.Net == nil || len(r.Lists) == 0 {
 		return fmt.Errorf("fleet: runner needs a network and pinglists")
@@ -62,31 +81,27 @@ func (r *Runner) Run(from, to time.Time, sink func(src topology.ServerID, recs [
 		ids = append(ids, id)
 	}
 	// Deterministic order for deterministic per-server seeds.
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	slices.Sort(ids)
 
-	idCh := make(chan topology.ServerID)
-	errs := make([]error, workers)
+	idxCh := make(chan int)
+	errs := make([]error, len(ids))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
-			for id := range idCh {
-				if err := r.runServer(id, from, to, scale, sink); err != nil && errs[w] == nil {
-					errs[w] = err
-				}
+			for i := range idxCh {
+				errs[i] = r.runServer(ids[i], from, to, scale, sink)
 			}
-		}(w)
+		}()
 	}
-	for _, id := range ids {
-		idCh <- id
+	for i := range ids {
+		idxCh <- i
 	}
-	close(idCh)
+	close(idxCh)
 	wg.Wait()
+	// errs is indexed by the sorted server order, so the reported error
+	// is deterministic no matter which worker ran the failing server.
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -103,8 +118,12 @@ func (r *Runner) runServer(src topology.ServerID, from, to time.Time, scale floa
 	srcAddr := top.Server(src).Addr
 	port := uint16(32768 + rng.IntN(1000))
 
-	var batch []probe.Record
-	const flushAt = 4096
+	batchp := batchPool.Get().(*[]probe.Record)
+	batch := (*batchp)[:0]
+	defer func() {
+		*batchp = batch[:0]
+		batchPool.Put(batchp)
+	}()
 	for pi := range list.Peers {
 		p := &list.Peers[pi]
 		dst, ok := top.ServerByAddrString(p.Addr)
@@ -121,46 +140,49 @@ func (r *Runner) runServer(src topology.ServerID, from, to time.Time, scale floa
 		if every <= 0 {
 			every = time.Second
 		}
+		// Everything invariant across the peer's schedule is hoisted out
+		// of the probe loop: the probe plan (prober), the spec and the
+		// record template.
+		prober := r.Net.PairProber(src, dst)
+		spec := netsim.ProbeSpec{
+			Src: src, Dst: dst,
+			DstPort: p.Port,
+			Proto:   proto, QoS: qos,
+			PayloadLen: p.PayloadLen,
+		}
+		rec := probe.Record{
+			Src:        srcAddr,
+			Dst:        top.Server(dst).Addr,
+			DstPort:    p.Port,
+			Class:      cls,
+			Proto:      proto,
+			QoS:        qos,
+			PayloadLen: p.PayloadLen,
+		}
 		// Spread each peer's schedule with a stable phase so fleet-wide
 		// probes do not synchronize.
 		phase := time.Duration(rng.Int64N(int64(every)))
+		var res netsim.Result
 		for t := from.Add(phase); t.Before(to); t = t.Add(every) {
 			// A new source port per probe (§3.4.1).
 			port++
 			if port < 32768 {
 				port = 32768
 			}
-			res := r.Net.Probe(netsim.ProbeSpec{
-				Src: src, Dst: dst,
-				SrcPort: port, DstPort: p.Port,
-				Proto: proto, QoS: qos,
-				PayloadLen: p.PayloadLen,
-				Start:      t,
-			}, rng)
-			rec := probe.Record{
-				Start:      t,
-				Src:        srcAddr,
-				SrcPort:    port,
-				Dst:        top.Server(dst).Addr,
-				DstPort:    p.Port,
-				Class:      cls,
-				Proto:      proto,
-				QoS:        qos,
-				PayloadLen: p.PayloadLen,
-				RTT:        res.RTT,
-				PayloadRTT: res.PayloadRTT,
-				Err:        res.Err,
-			}
+			spec.SrcPort, spec.Start = port, t
 			// Servers in a downed podset do not probe at all (they are
 			// off); their outbound records must not exist, which is what
-			// produces the white rows of Figure 8(b).
-			if !r.Net.ServerUp(src) {
+			// produces the white rows of Figure 8(b). ProbeScheduled
+			// reports that without simulating anything.
+			if !prober.ProbeScheduled(&spec, rng, &res) {
 				continue
 			}
+			rec.Start, rec.SrcPort = t, port
+			rec.RTT, rec.PayloadRTT, rec.Err = res.RTT, res.PayloadRTT, res.Err
 			batch = append(batch, rec)
 			if len(batch) >= flushAt {
 				sink(src, batch)
-				batch = nil
+				batch = batch[:0]
 			}
 		}
 	}
@@ -184,26 +206,40 @@ func NewStatsCollector(key func(*probe.Record) (string, bool)) *StatsCollector {
 	return &StatsCollector{key: key, groups: map[string]*analysis.LatencyStats{}}
 }
 
-// Sink is the fleet.Runner sink.
+// Sink is the fleet.Runner sink. It does not retain the record slice.
 func (c *StatsCollector) Sink(_ topology.ServerID, recs []probe.Record) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for i := range recs {
-		k := ""
-		if c.key != nil {
-			var ok bool
-			k, ok = c.key(&recs[i])
-			if !ok {
-				continue
-			}
+	if c.key == nil {
+		st := c.group("")
+		for i := range recs {
+			st.Add(&recs[i])
 		}
-		st, ok := c.groups[k]
+		return
+	}
+	// Consecutive records usually come from the same peer and land in
+	// the same group; memoize the last lookup.
+	var st *analysis.LatencyStats
+	var last string
+	for i := range recs {
+		k, ok := c.key(&recs[i])
 		if !ok {
-			st = analysis.NewLatencyStats()
-			c.groups[k] = st
+			continue
+		}
+		if st == nil || k != last {
+			st, last = c.group(k), k
 		}
 		st.Add(&recs[i])
 	}
+}
+
+func (c *StatsCollector) group(k string) *analysis.LatencyStats {
+	st, ok := c.groups[k]
+	if !ok {
+		st = analysis.NewLatencyStats()
+		c.groups[k] = st
+	}
+	return st
 }
 
 // Groups returns the aggregates. The collector must not be used after.

@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"slices"
+	"sync"
 	"testing"
 	"time"
 
@@ -241,4 +243,111 @@ func BenchmarkFleetRunnerHour(b *testing.B) {
 	b.StopTimer()
 	probes = int(col.Groups()[""].Total())
 	b.ReportMetric(float64(probes)/float64(b.N), "probes/hour")
+}
+
+// TestRunDeterministicAcrossWorkers is the golden determinism check: the
+// per-server record streams must be byte-identical no matter how many
+// workers the schedule is spread over (per-server rngs and the plan cache
+// make worker scheduling invisible).
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	n, lists := testRig(t)
+	run := func(workers int) map[topology.ServerID][]probe.Record {
+		out := map[topology.ServerID][]probe.Record{}
+		var mu sync.Mutex
+		r := &Runner{Net: n, Lists: lists, Seed: 77, Workers: workers}
+		err := r.Run(t0, t0.Add(10*time.Minute), func(src topology.ServerID, recs []probe.Record) {
+			mu.Lock()
+			out[src] = append(out[src], recs...) // copy: the batch is pooled
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	one, many := run(1), run(4)
+	if len(one) != len(many) {
+		t.Fatalf("server sets differ: %d vs %d", len(one), len(many))
+	}
+	for id, recs := range one {
+		if !slices.Equal(recs, many[id]) {
+			t.Fatalf("server %v: Workers=1 and Workers=4 streams differ", id)
+		}
+	}
+}
+
+// TestRunAllDownProducesNoRecords pins the downed-source fast path: a
+// powered-off server must not probe at all (no records, no error), which
+// is what produces the white rows of Figure 8(b).
+func TestRunAllDownProducesNoRecords(t *testing.T) {
+	n, lists := testRig(t)
+	n.SetPodsetDown(0, 0, true)
+	n.SetPodsetDown(0, 1, true)
+	recs, sink := NewRecordCollector()
+	r := &Runner{Net: n, Lists: lists, Seed: 8}
+	if err := r.Run(t0, t0.Add(10*time.Minute), sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(*recs) != 0 {
+		t.Fatalf("downed fleet produced %d records", len(*recs))
+	}
+}
+
+// TestFleetRunZeroAllocPerRecord guards the pooled-batch contract: after
+// warm-up, allocations per run must not scale with the number of probes
+// (batches come from the pool, the probe path is allocation-free). Wired
+// into CI tier 3 via the ZeroAlloc name filter.
+func TestFleetRunZeroAllocPerRecord(t *testing.T) {
+	n, lists := testRig(t)
+	col := NewStatsCollector(nil)
+	run := func(d time.Duration) float64 {
+		return testing.AllocsPerRun(3, func() {
+			r := &Runner{Net: n, Lists: lists, Seed: 9, Workers: 1}
+			if err := r.Run(t0, t0.Add(d), col.Sink); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	run(time.Minute) // warm plan cache, batch pool, collector groups
+	short := run(2 * time.Minute)
+	long := run(20 * time.Minute)
+	// 10x the probes must not mean more allocations: growth here means a
+	// per-probe or per-batch allocation crept back into the hot path.
+	if long > short+32 {
+		t.Errorf("allocations scale with records: %.0f for 2min vs %.0f for 20min", short, long)
+	}
+}
+
+// BenchmarkFleetRun is the headline fleet throughput benchmark (see
+// BENCH_PR3.json and `make bench-fleet`): one simulated hour of a
+// two-podset DC, aggregated by the StatsCollector, reported as probes/sec
+// of wall time.
+func BenchmarkFleetRun(b *testing.B) {
+	top, err := topology.Build(topology.Spec{DCs: []topology.DCSpec{
+		{Name: "DC1", Podsets: 2, PodsPerPodset: 3, ServersPerPod: 4, LeavesPerPodset: 2, Spines: 4},
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := netsim.New(top, netsim.Config{Profiles: []netsim.Profile{netsim.DC2Profile()}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lists, err := core.Generate(top, core.DefaultGeneratorConfig(), "v1", t0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	col := NewStatsCollector(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &Runner{Net: n, Lists: lists, Seed: uint64(i) + 1}
+		if err := r.Run(t0, t0.Add(time.Hour), col.Sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	probes := float64(col.Groups()[""].Total())
+	b.ReportMetric(probes/b.Elapsed().Seconds(), "probes/sec")
+	b.ReportMetric(probes/float64(b.N), "probes/run")
 }

@@ -7,7 +7,7 @@ package metrics
 import (
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
 	"time"
 )
 
@@ -21,7 +21,10 @@ const (
 	histGrowth = 1.05
 )
 
-var latencyBounds = makeBounds(histMin, histMax, histGrowth)
+var (
+	latencyBounds = makeBounds(histMin, histMax, histGrowth)
+	latencyIndex  = makeBucketIndex(latencyBounds)
+)
 
 func makeBounds(min, max time.Duration, growth float64) []int64 {
 	var bounds []int64
@@ -34,12 +37,83 @@ func makeBounds(min, max time.Duration, growth float64) []int64 {
 	return bounds
 }
 
+// Observe sits on the fleet-simulation and ingest hot paths (hundreds of
+// millions of records per analysis window), so bucketing must be O(1)
+// rather than a binary search per observation. bucketIndex maps a value
+// to its bucket through a precomputed exponent table: the key combines
+// the value's bit length with its top mantBits mantissa bits, so one
+// table cell spans a value ratio of at most (2^mantBits+1)/2^mantBits =
+// 33/32 ≈ 1.031 — finer than the 1.05 bucket growth, leaving at most one
+// geometric boundary per cell (two near the top, where makeBounds appends
+// the exact histMax cap) to resolve with a comparison or two.
+const (
+	mantBits = 5
+	mantMask = 1<<mantBits - 1
+)
+
+// bucketIndex holds, per (bit length, mantissa) key, the bucket index of
+// the smallest value mapping to that key. The true index for any value
+// is then reached by advancing past at most two bounds.
+type bucketIndex struct {
+	idx [64 << mantBits]int32
+}
+
+// key returns the table cell for a non-negative value.
+func (bucketIndex) key(u uint64) int {
+	e := bits.Len64(u)
+	if e == 0 {
+		return 0
+	}
+	e--
+	var m uint64
+	if e >= mantBits {
+		m = (u >> (uint(e) - mantBits)) & mantMask
+	} else {
+		m = (u << (mantBits - uint(e))) & mantMask
+	}
+	return e<<mantBits | int(m)
+}
+
+func makeBucketIndex(bounds []int64) *bucketIndex {
+	t := &bucketIndex{}
+	for key := range t.idx {
+		e, m := key>>mantBits, uint64(key&mantMask)
+		// Smallest value in the cell: leading one at bit e, mantissa m,
+		// zeros below (the inverse of key()). Cells for bit lengths a
+		// non-negative int64 cannot produce get a conservative entry;
+		// find()'s fix-up loop never reads past what it needs.
+		var umin uint64
+		if e >= mantBits {
+			umin = 1<<uint(e) | m<<(uint(e)-mantBits)
+		} else {
+			umin = 1<<uint(e) | m>>(mantBits-uint(e))
+		}
+		i := 0
+		for i < len(bounds) && umin <= math.MaxInt64 && bounds[i] < int64(umin) {
+			i++
+		}
+		t.idx[key] = int32(i)
+	}
+	return t
+}
+
+// find returns the smallest i with bounds[i] >= ns (sort.Search
+// semantics), in constant time.
+func (t *bucketIndex) find(bounds []int64, ns int64) int {
+	i := int(t.idx[t.key(uint64(ns))])
+	for i < len(bounds) && bounds[i] < ns {
+		i++
+	}
+	return i
+}
+
 // Histogram records duration observations in geometric buckets and answers
 // percentile queries with bounded relative error. The zero value is NOT
 // ready to use; call NewLatencyHistogram. Histogram is not safe for
 // concurrent use; callers that share one across goroutines must lock.
 type Histogram struct {
 	bounds []int64 // upper bound (ns) of each bucket, ascending
+	index  *bucketIndex
 	counts []uint64
 	count  uint64
 	sum    int64
@@ -52,6 +126,7 @@ type Histogram struct {
 func NewLatencyHistogram() *Histogram {
 	return &Histogram{
 		bounds: latencyBounds,
+		index:  latencyIndex,
 		counts: make([]uint64, len(latencyBounds)+1),
 		min:    math.MaxInt64,
 	}
@@ -63,7 +138,7 @@ func (h *Histogram) Observe(d time.Duration) {
 	if ns < 0 {
 		ns = 0
 	}
-	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= ns })
+	i := h.index.find(h.bounds, ns)
 	h.counts[i]++
 	h.count++
 	h.sum += ns

@@ -255,3 +255,54 @@ func TestCDFConsistentWithPercentiles(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBucketIndexMatchesSearch pins the O(1) bucket index to the binary
+// search it replaced: for every boundary value (and its neighbors), plus
+// random values over the full 0..120s range and beyond, find must return
+// exactly what sort.Search did.
+func TestBucketIndexMatchesSearch(t *testing.T) {
+	ref := func(ns int64) int {
+		return sort.Search(len(latencyBounds), func(i int) bool { return latencyBounds[i] >= ns })
+	}
+	check := func(ns int64) {
+		t.Helper()
+		if got, want := latencyIndex.find(latencyBounds, ns), ref(ns); got != want {
+			t.Fatalf("find(%d) = %d, want %d", ns, got, want)
+		}
+	}
+	check(0)
+	check(1)
+	for _, b := range latencyBounds {
+		check(b - 1)
+		check(b)
+		check(b + 1)
+	}
+	last := latencyBounds[len(latencyBounds)-1]
+	check(last * 2) // past the top bucket
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200000; i++ {
+		check(rng.Int63n(last + last/2))
+	}
+}
+
+// TestBucketIndexConservative verifies the table invariant find relies
+// on: every cell's entry is a lower bound for the true index of every
+// value mapping to that cell, and the fix-up loop runs a bounded number
+// of steps — one for the geometric bounds, plus one more near the top
+// where makeBounds appends the exact 120s cap right after the last
+// geometric bound (those two can share a cell).
+func TestBucketIndexConservative(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	last := latencyBounds[len(latencyBounds)-1]
+	for i := 0; i < 200000; i++ {
+		ns := rng.Int63n(last * 2)
+		start := int(latencyIndex.idx[latencyIndex.key(uint64(ns))])
+		want := sort.Search(len(latencyBounds), func(i int) bool { return latencyBounds[i] >= ns })
+		if start > want {
+			t.Fatalf("table entry %d overshoots index %d for %d", start, want, ns)
+		}
+		if want-start > 2 {
+			t.Fatalf("table entry %d needs %d fix-up steps for %d (cell spans >2 bounds)", start, want-start, ns)
+		}
+	}
+}

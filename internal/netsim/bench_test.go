@@ -64,6 +64,45 @@ func BenchmarkProbeWithPayload(b *testing.B) {
 	benchProbe(b, top.DCs[0].Podsets[0].Pods[0].Servers[0], top.DCs[0].Podsets[1].Pods[0].Servers[0], 1000)
 }
 
+// BenchmarkProbeReference measures the retained uncached path, the
+// baseline the plan cache is compared against (see BENCH_PR3.json).
+func BenchmarkProbeReference(b *testing.B) {
+	n := benchNetwork(b)
+	top := n.Topology()
+	src := top.DCs[0].Podsets[0].Pods[0].Servers[0]
+	dst := top.DCs[0].Podsets[1].Pods[0].Servers[0]
+	rng := rand.New(rand.NewPCG(1, 2))
+	start := time.Unix(1751328000, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.probeReference(ProbeSpec{
+			Src: src, Dst: dst,
+			SrcPort: uint16(32768 + i%28000), DstPort: 8765,
+			Start: start,
+		}, rng)
+	}
+}
+
+// BenchmarkProbePairProber measures the caller-owned handle the fleet
+// runner uses: plan revalidation is a pointer compare, no map lookup.
+func BenchmarkProbePairProber(b *testing.B) {
+	n := benchNetwork(b)
+	top := n.Topology()
+	src := top.DCs[0].Podsets[0].Pods[0].Servers[0]
+	dst := top.DCs[0].Podsets[1].Pods[0].Servers[0]
+	pr := n.PairProber(src, dst)
+	rng := rand.New(rand.NewPCG(1, 2))
+	start := time.Unix(1751328000, 0)
+	spec := ProbeSpec{Src: src, Dst: dst, DstPort: 8765, Start: start}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.SrcPort = uint16(32768 + i%28000)
+		pr.Probe(&spec, rng)
+	}
+}
+
 func BenchmarkPathResolve(b *testing.B) {
 	n := benchNetwork(b)
 	top := n.Topology()

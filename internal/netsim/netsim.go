@@ -164,13 +164,16 @@ func (ft *faultTable) clone() *faultTable {
 }
 
 // Network is a simulated multi-DC fabric. It is safe for concurrent use:
-// probes are lock-free; fault injection swaps an immutable fault table.
+// probes are lock-free; fault injection swaps an immutable fault table,
+// which also invalidates the per-pair probe plan cache (plans embed the
+// fault-table pointer they were built from).
 type Network struct {
 	top    *topology.Topology
 	cfg    Config
 	qosLow float64
 	mu     sync.Mutex // serializes fault mutation
 	faults atomic.Pointer[faultTable]
+	plans  atomic.Pointer[planCache]
 }
 
 // New builds a simulated network over the topology.

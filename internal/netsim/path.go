@@ -6,24 +6,38 @@ import (
 	"pingmesh/internal/topology"
 )
 
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
 // hash5 hashes a five-tuple plus a per-ECMP-stage salt with FNV-1a. Every
 // ECMP stage of the fabric uses the same header fields but a different
-// salt, matching how successive switches hash independently.
+// salt, matching how successive switches hash independently. It is split
+// into an address prefix and a port suffix so the probe plan cache can
+// precompute the per-pair prefix once.
 func hash5(src, dst netip.Addr, sport, dport uint16, salt uint64) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset) ^ (salt * prime)
+	return hash5Ports(hash5Prefix(src, dst, salt), sport, dport)
+}
+
+// hash5Prefix folds the stage salt and both addresses; the result is
+// constant per (pair, stage).
+func hash5Prefix(src, dst netip.Addr, salt uint64) uint64 {
+	h := uint64(fnvOffset) ^ (salt * fnvPrime)
 	s4, d4 := src.As4(), dst.As4()
 	for _, b := range s4 {
-		h = (h ^ uint64(b)) * prime
+		h = (h ^ uint64(b)) * fnvPrime
 	}
 	for _, b := range d4 {
-		h = (h ^ uint64(b)) * prime
+		h = (h ^ uint64(b)) * fnvPrime
 	}
+	return h
+}
+
+// hash5Ports folds the transport ports into a prefix from hash5Prefix.
+func hash5Ports(h uint64, sport, dport uint16) uint64 {
 	for _, b := range [...]byte{byte(sport >> 8), byte(sport), byte(dport >> 8), byte(dport)} {
-		h = (h ^ uint64(b)) * prime
+		h = (h ^ uint64(b)) * fnvPrime
 	}
 	return h
 }

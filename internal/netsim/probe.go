@@ -72,9 +72,14 @@ const (
 	ErrPayloadTimeout = "payload-timeout"
 )
 
-// Probe simulates one TCP/HTTP probe. rng must not be shared across
-// goroutines; the caller owns sharding.
-func (n *Network) Probe(spec ProbeSpec, rng *rand.Rand) Result {
+// probeReference simulates one TCP/HTTP probe by re-deriving route, drop
+// and latency state from the fault table on every call. It is the
+// semantic reference for the plan-cached fast path in plan.go: the two
+// must stay byte-identical, including the exact sequence of rng draws
+// (see TestProbePlanDifferential). Keep every floating-point expression
+// here in sync with its cached counterpart — the order of operations
+// matters for bit-exactness.
+func (n *Network) probeReference(spec ProbeSpec, rng *rand.Rand) Result {
 	ft := n.faults.Load()
 	ss, ds := n.top.Server(spec.Src), n.top.Server(spec.Dst)
 	if ft.podsetDown[psKey{ss.DC, ss.Podset}] || ft.podsetDown[psKey{ds.DC, ds.Podset}] {

@@ -7,8 +7,11 @@
 #                                      concurrent; the stress tests in
 #                                      internal/controller are designed to
 #                                      surface handler-vs-regeneration races)
-#   3. ingest alloc-guard smoke       (the streaming scope/probe hot path
-#                                      must stay allocation-free per record)
+#   3. alloc-guard smoke              (the streaming scope/probe ingest path
+#                                      must stay allocation-free per record;
+#                                      the netsim plan-cached probe path and
+#                                      the fleet runner's pooled batches must
+#                                      stay allocation-free per probe)
 #   4. short fuzz pass over the pinglist wire format and the streaming
 #      record decoder (optional, FUZZ=1)
 #
@@ -26,8 +29,9 @@ go test $PKGS
 echo "== tier 2: go test -race"
 go test -race $PKGS
 
-echo "== tier 3: ingest alloc-guard smoke"
+echo "== tier 3: alloc-guard smoke"
 go test ./internal/scope ./internal/probe ./internal/analysis \
+    ./internal/netsim ./internal/fleet \
     -run 'ZeroAlloc' -count=1 -v | grep -E '^(=== RUN|--- (PASS|FAIL)|ok|FAIL)'
 
 if [ "${FUZZ:-0}" = "1" ]; then
