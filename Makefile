@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race ci fuzz bench bench-ingest bench-fleet clean
+.PHONY: all build test race ci fuzz bench bench-ingest bench-fleet bench-portal clean
 
 all: build test
 
@@ -36,6 +36,13 @@ bench-ingest:
 bench-fleet:
 	$(GO) test -run '^$$' -bench 'BenchmarkFleetRun$$|BenchmarkProbe' \
 		-benchmem ./internal/fleet ./internal/netsim
+
+# Read-side serving hot path: cached SLA/heatmap reads, 304 revalidations,
+# /metrics scrapes, and the per-cycle snapshot render cost. BENCH_PR4.json
+# records the tracked numbers.
+bench-portal:
+	$(GO) test -run '^$$' -bench 'BenchmarkPortal|BenchmarkServe|BenchmarkExposition' \
+		-benchmem ./internal/portal ./internal/httpcache ./internal/metrics
 
 clean:
 	$(GO) clean -testcache

@@ -1,0 +1,107 @@
+// Command pingmesh-portal serves the read-side portal against a live
+// simulated fleet: a background loop keeps probing simulated windows and
+// running the DSA pipeline, and every completed cycle republishes the
+// portal's snapshot. Point a browser (or curl) at the address and explore:
+//
+//	GET /              service index: epoch, scopes, heatmaps, endpoints
+//	GET /sla           latest SLA for every scope
+//	GET /sla/dc/DC1    one scope (also pod/..., podset/..., service/...)
+//	GET /heatmap/DC1   pod-pair matrix + Figure 8 pattern (add .svg to draw)
+//	GET /alerts        recent SLA violations, newest first
+//	GET /triage?src=dc1-ps0-pod0-s0&dst=dc1-ps2-pod1-s1
+//	GET /metrics       Prometheus text exposition
+//
+// Usage:
+//
+//	pingmesh-portal [-addr :8080] [-window 30m] [-interval 2s]
+//	                [-fault none|spine-degrade|podset-down|podset-storm] [-fault-after 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"pingmesh"
+	"pingmesh/internal/netsim"
+	"pingmesh/internal/topology"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		window     = flag.Duration("window", 30*time.Minute, "simulated probing window per cycle")
+		interval   = flag.Duration("interval", 2*time.Second, "real time between simulated cycles")
+		fault      = flag.String("fault", "none", "fault to inject: none, spine-degrade, podset-down, podset-storm")
+		faultAfter = flag.Int("fault-after", 2, "inject the fault after this many cycles")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		topoPath   = flag.String("topology", "", "optional topology spec JSON (default: built-in 36-server DC)")
+	)
+	flag.Parse()
+
+	spec := pingmesh.TopologySpec{DCs: []pingmesh.DCSpec{
+		{Name: "DC1", Podsets: 3, PodsPerPodset: 4, ServersPerPod: 3, LeavesPerPodset: 3, Spines: 6},
+	}}
+	if *topoPath != "" {
+		f, err := os.Open(*topoPath)
+		if err != nil {
+			log.Fatalf("open topology: %v", err)
+		}
+		spec, err = topology.ReadSpec(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("parse topology: %v", err)
+		}
+	}
+	tb, err := pingmesh.NewSimTestbed(spec, pingmesh.SimOptions{
+		Seed: *seed,
+		// Testbed cells aggregate few server pairs; lower the per-cell floor
+		// so heatmaps fill in within one window.
+		HeatmapMinProbes: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := tb.NewPortal()
+
+	go func() {
+		for cycle := 0; ; cycle++ {
+			if cycle == *faultAfter {
+				injectFault(tb, *fault)
+			}
+			from := tb.Clock.Now()
+			if err := tb.RunWindow(*window); err != nil {
+				log.Fatalf("run window: %v", err)
+			}
+			if err := tb.AnalyzeWindow(from, tb.Clock.Now()); err != nil {
+				log.Fatalf("analyze window: %v", err)
+			}
+			log.Printf("cycle %d: simulated %v, epoch %d published", cycle, *window, p.Epoch())
+			time.Sleep(*interval)
+		}
+	}()
+
+	log.Printf("pingmesh-portal: %d servers, serving on %s", tb.Top.NumServers(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, p.Handler()))
+}
+
+func injectFault(tb *pingmesh.SimTestbed, fault string) {
+	switch fault {
+	case "none":
+	case "spine-degrade":
+		tb.Net.SetTierDegraded(0, pingmesh.TierSpine, netsim.Degradation{ExtraLatencyMean: 10 * time.Millisecond})
+		log.Println("injected: spine tier degraded (+10ms)")
+	case "podset-down":
+		tb.Net.SetPodsetDown(0, 1, true)
+		log.Println("injected: podset 1 powered down")
+	case "podset-storm":
+		tb.Net.SetPodsetDegraded(0, 1, netsim.Degradation{ExtraLatencyMean: 12 * time.Millisecond})
+		log.Println("injected: broadcast storm in podset 1")
+	default:
+		fmt.Fprintf(os.Stderr, "unknown fault %q\n", fault)
+		os.Exit(2)
+	}
+}

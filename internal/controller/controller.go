@@ -15,10 +15,6 @@
 package controller
 
 import (
-	"bytes"
-	"compress/gzip"
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"net/http"
 	"os"
@@ -30,6 +26,7 @@ import (
 	"time"
 
 	"pingmesh/internal/core"
+	"pingmesh/internal/httpcache"
 	"pingmesh/internal/metrics"
 	"pingmesh/internal/pinglist"
 	"pingmesh/internal/simclock"
@@ -46,18 +43,13 @@ type Controller struct {
 	gen   atomic.Uint64         // version counter
 }
 
-// fileEntry is one server's pinglist, marshaled once per generation with
-// its precomputed gzip body and strong ETag.
-type fileEntry struct {
-	data   []byte // marshaled XML
-	gzData []byte // gzip-compressed XML, served on Accept-Encoding: gzip
-	etag   string // strong ETag: quoted hex of the content hash
-}
-
-// state is one immutable generation of pinglist files.
+// state is one immutable generation of pinglist files. Each file is an
+// httpcache.Body: marshaled XML with its precomputed gzip variant and
+// strong ETag, shared with the portal's render cache machinery.
 type state struct {
-	version string
-	files   map[string]*fileEntry // server name -> entry
+	version  string
+	versionH []string                   // precomputed X-Pingmesh-Version value
+	files    map[string]*httpcache.Body // server name -> body
 }
 
 // New builds a controller and runs the first generation. clock may be nil
@@ -75,24 +67,19 @@ func New(top *topology.Topology, cfg core.GeneratorConfig, clock simclock.Clock)
 
 // etagFor computes the strong ETag for a marshaled pinglist. Content-hash
 // based, so identical files get identical ETags on every replica.
-func etagFor(data []byte) string {
-	sum := sha256.Sum256(data)
-	return `"` + hex.EncodeToString(sum[:16]) + `"`
-}
+func etagFor(data []byte) string { return httpcache.ETagFor(data) }
 
 // buildEntry marshals one pinglist and precomputes its gzip body and ETag.
-func buildEntry(f *pinglist.File) (*fileEntry, error) {
+func buildEntry(f *pinglist.File) (*httpcache.Body, error) {
 	data, err := pinglist.Marshal(f)
 	if err != nil {
 		return nil, fmt.Errorf("marshal pinglist for %s: %w", f.Server, err)
 	}
-	var buf bytes.Buffer
-	zw, _ := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
-	zw.Write(data)
-	if err := zw.Close(); err != nil {
-		return nil, fmt.Errorf("gzip pinglist for %s: %w", f.Server, err)
+	b, err := httpcache.New("application/xml", data)
+	if err != nil {
+		return nil, fmt.Errorf("pinglist for %s: %w", f.Server, err)
 	}
-	return &fileEntry{data: data, gzData: buf.Bytes(), etag: etagFor(data)}, nil
+	return b, nil
 }
 
 // UpdateTopology regenerates every pinglist from a new network graph and
@@ -114,7 +101,7 @@ func (c *Controller) UpdateTopology(top *topology.Topology) error {
 	for id := range lists {
 		ids = append(ids, id)
 	}
-	entries := make([]*fileEntry, len(ids))
+	entries := make([]*httpcache.Body, len(ids))
 	errs := make([]error, len(ids))
 	workers := runtime.GOMAXPROCS(0)
 	if c.cfg.Parallelism > 0 {
@@ -147,7 +134,7 @@ func (c *Controller) UpdateTopology(top *topology.Topology) error {
 		wg.Wait()
 	}
 	marshalWall := time.Since(marshalStart)
-	files := make(map[string]*fileEntry, len(ids))
+	files := make(map[string]*httpcache.Body, len(ids))
 	for i, id := range ids {
 		if errs[i] != nil {
 			return fmt.Errorf("controller: %w", errs[i])
@@ -155,7 +142,7 @@ func (c *Controller) UpdateTopology(top *topology.Topology) error {
 		files[top.Server(id).Name] = entries[i]
 	}
 
-	c.state.Store(&state{version: version, files: files})
+	c.state.Store(&state{version: version, versionH: []string{version}, files: files})
 	c.reg.Counter("controller.generations").Inc()
 	c.reg.Gauge("controller.pinglists").Set(int64(len(files)))
 	c.reg.Gauge("controller.last_generation_ms").Set(int64(c.clock.Since(start) / time.Millisecond))
@@ -171,7 +158,7 @@ func (c *Controller) UpdateTopology(top *topology.Topology) error {
 // that poll and find no pinglist fail closed and stop probing — the
 // paper's emergency stop for the whole fleet (§3.4.2).
 func (c *Controller) Clear() {
-	c.state.Store(&state{version: "cleared", files: map[string]*fileEntry{}})
+	c.state.Store(&state{version: "cleared", versionH: []string{"cleared"}, files: map[string]*httpcache.Body{}})
 	c.reg.Gauge("controller.pinglists").Set(0)
 }
 
@@ -186,7 +173,7 @@ func (c *Controller) PinglistCount() int { return len(c.state.Load().files) }
 // the server is unknown. Exposed for tests and replica-agreement checks.
 func (c *Controller) ETag(server string) string {
 	if e, ok := c.state.Load().files[server]; ok {
-		return e.etag
+		return e.ETag()
 	}
 	return ""
 }
@@ -203,48 +190,11 @@ func (c *Controller) SaveToDir(dir string) error {
 	}
 	for server, e := range st.files {
 		path := filepath.Join(dir, server+".xml")
-		if err := os.WriteFile(path, e.data, 0o644); err != nil {
+		if err := os.WriteFile(path, e.Data(), 0o644); err != nil {
 			return fmt.Errorf("controller: write %s: %w", path, err)
 		}
 	}
 	return nil
-}
-
-// etagMatches reports whether an If-None-Match header value matches the
-// entry's strong ETag. Handles "*", comma-separated candidate lists, and
-// weak validators (W/ prefixed — a weak match suffices for GET
-// revalidation per RFC 9110 §13.1.2).
-func etagMatches(header, etag string) bool {
-	if header == "" {
-		return false
-	}
-	if strings.TrimSpace(header) == "*" {
-		return true
-	}
-	for _, cand := range strings.Split(header, ",") {
-		cand = strings.TrimSpace(cand)
-		cand = strings.TrimPrefix(cand, "W/")
-		if cand == etag {
-			return true
-		}
-	}
-	return false
-}
-
-// acceptsGzip reports whether the request advertises gzip support. A plain
-// substring check would wrongly match "gzip;q=0".
-func acceptsGzip(r *http.Request) bool {
-	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
-		enc, params, _ := strings.Cut(strings.TrimSpace(part), ";")
-		if !strings.EqualFold(strings.TrimSpace(enc), "gzip") {
-			continue
-		}
-		if q, ok := strings.CutPrefix(strings.TrimSpace(params), "q="); ok && strings.TrimSpace(q) == "0" {
-			return false
-		}
-		return true
-	}
-	return false
 }
 
 // Handler returns the RESTful web API:
@@ -253,6 +203,9 @@ func acceptsGzip(r *http.Request) bool {
 //	                        supports If-None-Match → 304 and gzip bodies
 //	GET /version            current generation id
 //	GET /healthz            liveness for the SLB health prober
+//
+// Conditional-GET and gzip negotiation are the shared httpcache protocol,
+// so the steady-state revalidation path allocates nothing.
 func (c *Controller) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/pinglist/", func(w http.ResponseWriter, r *http.Request) {
@@ -268,25 +221,14 @@ func (c *Controller) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		h := w.Header()
-		h.Set("ETag", e.etag)
-		h.Set("X-Pingmesh-Version", st.version)
-		h.Set("Vary", "Accept-Encoding")
-		if etagMatches(r.Header.Get("If-None-Match"), e.etag) {
+		w.Header()["X-Pingmesh-Version"] = st.versionH
+		res := e.Serve(w, r)
+		if res.Status == http.StatusNotModified {
 			c.reg.Counter("controller.not_modified").Inc()
-			w.WriteHeader(http.StatusNotModified)
 			return
 		}
 		c.reg.Counter("controller.pinglist_serves").Inc()
-		h.Set("Content-Type", "application/xml")
-		body := e.data
-		if acceptsGzip(r) {
-			h.Set("Content-Encoding", "gzip")
-			body = e.gzData
-		}
-		h.Set("Content-Length", fmt.Sprint(len(body)))
-		w.Write(body)
-		c.reg.Counter("controller.bytes_served").Add(int64(len(body)))
+		c.reg.Counter("controller.bytes_served").Add(int64(res.Bytes))
 	})
 	mux.HandleFunc("/version", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, c.Version())

@@ -19,6 +19,7 @@ import (
 	"pingmesh/internal/analysis"
 	"pingmesh/internal/blackhole"
 	"pingmesh/internal/cosmos"
+	"pingmesh/internal/metrics"
 	"pingmesh/internal/probe"
 	"pingmesh/internal/reportdb"
 	"pingmesh/internal/scope"
@@ -61,6 +62,22 @@ const (
 	TableBlackholes = "blackholes" // black-hole candidates
 )
 
+// Cycle kinds passed to the OnCycle publication hook.
+const (
+	Cycle10Min = "10min"
+	Cycle1Hour = "1hour"
+	Cycle1Day  = "1day"
+)
+
+// HeatmapResult is the retained output of one hourly heatmap job for one
+// DC: the matrix, its Figure 8 classification, and the window it covers.
+// The heatmap is immutable once published.
+type HeatmapResult struct {
+	Heatmap        *viz.Heatmap
+	Classification viz.Classification
+	From, To       time.Time
+}
+
 // Pipeline is a running DSA instance.
 type Pipeline struct {
 	cfg    Config
@@ -69,8 +86,10 @@ type Pipeline struct {
 	db     *reportdb.DB
 	keyer  *analysis.Keyer
 
-	mu     sync.Mutex
-	alerts []analysis.Alert
+	mu       sync.Mutex
+	alerts   []analysis.Alert
+	heatmaps map[string]HeatmapResult // latest per DC name
+	onCycle  func(kind string, from, to time.Time)
 }
 
 // New builds a pipeline and creates its tables.
@@ -94,11 +113,12 @@ func New(cfg Config) (*Pipeline, error) {
 		cfg.Retention = 60 * 24 * time.Hour
 	}
 	p := &Pipeline{
-		cfg:    cfg,
-		engine: &scope.Engine{},
-		jm:     scope.NewJobManager(cfg.Clock),
-		db:     reportdb.New(),
-		keyer:  &analysis.Keyer{Top: cfg.Top},
+		cfg:      cfg,
+		engine:   &scope.Engine{},
+		jm:       scope.NewJobManager(cfg.Clock),
+		db:       reportdb.New(),
+		keyer:    &analysis.Keyer{Top: cfg.Top},
+		heatmaps: make(map[string]HeatmapResult),
 	}
 	for _, t := range []struct {
 		name string
@@ -123,6 +143,45 @@ func (p *Pipeline) DB() *reportdb.DB { return p.db }
 // JobMetrics exposes the job manager's watchdog counters.
 func (p *Pipeline) JobMetrics() map[string]int64 {
 	return p.jm.Metrics().Snapshot().Counters
+}
+
+// JobRegistry exposes the job manager's metrics registry, for scrape
+// surfaces like the portal's /metrics exposition.
+func (p *Pipeline) JobRegistry() *metrics.Registry { return p.jm.Metrics() }
+
+// Thresholds returns the SLA alerting thresholds the pipeline runs with.
+func (p *Pipeline) Thresholds() analysis.Thresholds { return p.cfg.Thresholds }
+
+// SetOnCycle installs the snapshot publication hook: fn runs after every
+// successful analysis cycle (kind is Cycle10Min/Cycle1Hour/Cycle1Day) with
+// the window it processed. The read-side portal republishes its snapshot
+// from here. fn runs on the job's goroutine; keep it short.
+func (p *Pipeline) SetOnCycle(fn func(kind string, from, to time.Time)) {
+	p.mu.Lock()
+	p.onCycle = fn
+	p.mu.Unlock()
+}
+
+func (p *Pipeline) fireCycle(kind string, from, to time.Time) {
+	p.mu.Lock()
+	fn := p.onCycle
+	p.mu.Unlock()
+	if fn != nil {
+		fn(kind, from, to)
+	}
+}
+
+// Heatmaps returns the latest hourly heatmap of every DC, keyed by DC
+// name. The map is a copy; the heatmaps themselves are shared and
+// immutable.
+func (p *Pipeline) Heatmaps() map[string]HeatmapResult {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]HeatmapResult, len(p.heatmaps))
+	for k, v := range p.heatmaps {
+		out[k] = v
+	}
+	return out
 }
 
 // Alerts returns every alert fired so far, oldest first.
@@ -198,6 +257,7 @@ func (p *Pipeline) RunTenMinute(from, to time.Time) error {
 		p.insertSLA("service/"+svc.Name, from, to, st)
 		p.fireAlerts(map[string]*analysis.LatencyStats{"service/" + svc.Name: st}, to)
 	}
+	p.fireCycle(Cycle10Min, from, to)
 	return nil
 }
 
@@ -225,6 +285,11 @@ func (p *Pipeline) RunHourly(from, to time.Time) error {
 		}); err != nil {
 			return err
 		}
+		p.mu.Lock()
+		p.heatmaps[p.cfg.Top.DCs[di].Name] = HeatmapResult{
+			Heatmap: h, Classification: cls, From: from, To: to,
+		}
+		p.mu.Unlock()
 	}
 
 	podRes, err := p.engine.Run(scope.Job{
@@ -240,6 +305,7 @@ func (p *Pipeline) RunHourly(from, to time.Time) error {
 	for scopeName, st := range podRes.Groups {
 		p.insertSLA("pod/"+scopeName, from, to, st)
 	}
+	p.fireCycle(Cycle1Hour, from, to)
 	return nil
 }
 
@@ -295,6 +361,7 @@ func (p *Pipeline) RunDaily(from, to time.Time) error {
 	}
 
 	p.ageOut(to)
+	p.fireCycle(Cycle1Day, from, to)
 	return nil
 }
 

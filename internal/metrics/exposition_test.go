@@ -1,0 +1,198 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("agent.probes").Add(42)
+	r.Gauge("agent.peers").Set(7)
+	h := r.Histogram("agent.rtt")
+	h.Observe(500 * time.Microsecond)
+	h.Observe(500 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+
+	e := NewExposition()
+	e.Add("", r)
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE pingmesh_agent_probes counter\n",
+		"pingmesh_agent_probes 42\n",
+		"# TYPE pingmesh_agent_peers gauge\n",
+		"pingmesh_agent_peers 7\n",
+		"# TYPE pingmesh_agent_rtt histogram\n",
+		`pingmesh_agent_rtt_bucket{le="+Inf"} 3` + "\n",
+		"pingmesh_agent_rtt_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Sum is 3ms in seconds.
+	if !strings.Contains(out, "pingmesh_agent_rtt_sum 0.003\n") {
+		t.Errorf("exposition sum wrong:\n%s", out)
+	}
+	// Buckets are cumulative and non-decreasing.
+	var prev uint64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "pingmesh_agent_rtt_bucket") {
+			continue
+		}
+		var v uint64
+		if _, err := fmtSscan(line[strings.LastIndexByte(line, ' ')+1:], &v); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative: %q after %d", line, prev)
+		}
+		prev = v
+	}
+}
+
+// fmtSscan avoids importing fmt just for one parse.
+func fmtSscan(s string, v *uint64) (int, error) {
+	var x uint64
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, io.ErrUnexpectedEOF
+		}
+		x = x*10 + uint64(s[i]-'0')
+	}
+	*v = x
+	return 1, nil
+}
+
+func TestExpositionStableOrderAndPrefix(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zebra")
+	r.Counter("alpha")
+	r.Gauge("mid.gauge")
+
+	e := NewExposition()
+	e.Add("replica-0", r)
+	var a, b bytes.Buffer
+	e.WriteTo(&a)
+	e.WriteTo(&b)
+	if a.String() != b.String() {
+		t.Fatal("exposition output not stable across scrapes")
+	}
+	ia := strings.Index(a.String(), "pingmesh_replica_0_alpha")
+	iz := strings.Index(a.String(), "pingmesh_replica_0_zebra")
+	im := strings.Index(a.String(), "pingmesh_replica_0_mid_gauge")
+	if ia < 0 || iz < 0 || im < 0 {
+		t.Fatalf("prefixed names missing:\n%s", a.String())
+	}
+	if !(ia < im && im < iz) {
+		t.Fatalf("metrics not in name order: alpha@%d mid@%d zebra@%d", ia, im, iz)
+	}
+}
+
+func TestRegistryVisitOrder(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"c", "a", "b", "d"} {
+		r.Counter(n)
+	}
+	r.Gauge("aa")
+	r.Histogram("bb")
+	got := r.Names()
+	want := []string{"a", "aa", "b", "bb", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSnapshotInto(t *testing.T) {
+	l := NewLockedLatencyHistogram()
+	l.Observe(time.Millisecond)
+	l.Observe(2 * time.Millisecond)
+
+	dst := l.SnapshotInto(nil)
+	if dst.Count() != 2 {
+		t.Fatalf("count = %d", dst.Count())
+	}
+	l.Observe(5 * time.Millisecond)
+	got := l.SnapshotInto(dst)
+	if got != dst {
+		t.Fatal("SnapshotInto did not reuse dst")
+	}
+	if dst.Count() != 3 || dst.Max() != 5*time.Millisecond {
+		t.Fatalf("reused snapshot count=%d max=%v", dst.Count(), dst.Max())
+	}
+	// The snapshot is a copy: further observations don't leak in.
+	l.Observe(30 * time.Millisecond)
+	if dst.Count() != 3 {
+		t.Fatal("snapshot aliases the live histogram")
+	}
+}
+
+// nopWriter discards writes without retaining the buffer.
+type nopWriter struct{ n int }
+
+func (w *nopWriter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
+
+// TestExpositionScrapeZeroAlloc proves a steady-state /metrics scrape over
+// counters, gauges and histograms performs no allocations (CI tier 3).
+func TestExpositionScrapeZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"a.one", "b.two", "c.three"} {
+		r.Counter(n).Add(3)
+		r.Gauge(n + ".g").Set(9)
+	}
+	h := r.Histogram("lat.rtt")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * 37 * time.Microsecond)
+	}
+	e := NewExposition()
+	e.Add("", r)
+	w := &nopWriter{}
+	e.WriteTo(w) // warm up buffer + scratch
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := e.WriteTo(w); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("scrape allocates %v per op, want 0", allocs)
+	}
+}
+
+// BenchmarkExpositionWrite measures a full scrape over a realistic mix of
+// counters, gauges and histograms.
+func BenchmarkExpositionWrite(b *testing.B) {
+	reg := NewRegistry()
+	for i := 0; i < 20; i++ {
+		reg.Counter(fmt.Sprintf("c%02d.requests", i)).Add(int64(i) * 1000)
+		reg.Gauge(fmt.Sprintf("g%02d.depth", i)).Set(int64(i))
+	}
+	for i := 0; i < 5; i++ {
+		h := reg.Histogram(fmt.Sprintf("h%d.latency", i))
+		for j := 0; j < 1000; j++ {
+			h.Observe(time.Duration(j) * time.Microsecond)
+		}
+	}
+	e := NewExposition()
+	e.Add("", reg)
+	w := &nopWriter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.WriteTo(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -260,6 +260,19 @@ func (h *Histogram) Clone() *Histogram {
 	return &c
 }
 
+// CopyInto overwrites dst with h's contents without allocating. Both
+// histograms must share a bucket layout (same constructor); CopyInto
+// panics on a mismatch, like Merge.
+func (h *Histogram) CopyInto(dst *Histogram) {
+	if len(dst.counts) != len(h.counts) {
+		panic(fmt.Sprintf("metrics: copying histogram with %d buckets into %d", len(h.counts), len(dst.counts)))
+	}
+	counts := dst.counts
+	*dst = *h
+	dst.counts = counts
+	copy(dst.counts, h.counts)
+}
+
 // Reset discards all observations.
 func (h *Histogram) Reset() {
 	for i := range h.counts {

@@ -58,6 +58,21 @@ func (l *LockedHistogram) Snapshot() *Histogram {
 	return l.h.Clone()
 }
 
+// SnapshotInto copies the live histogram into dst and returns dst,
+// avoiding Snapshot's per-call clone on hot scrape paths (the exposition
+// writer reuses one scratch histogram across every scrape). A nil dst
+// allocates a fresh copy; a non-nil dst must share the live histogram's
+// bucket layout.
+func (l *LockedHistogram) SnapshotInto(dst *Histogram) *Histogram {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if dst == nil {
+		return l.h.Clone()
+	}
+	l.h.CopyInto(dst)
+	return dst
+}
+
 // SnapshotAndReset returns a copy and clears the live histogram, for
 // interval-based collection (the PA service collects every 5 minutes).
 func (l *LockedHistogram) SnapshotAndReset() *Histogram {
@@ -69,12 +84,34 @@ func (l *LockedHistogram) SnapshotAndReset() *Histogram {
 }
 
 // Registry holds named counters, gauges, and histograms for one component.
-// The Autopilot Perfcounter Aggregator collects Snapshot()s periodically.
+// The Autopilot Perfcounter Aggregator collects Snapshot()s periodically,
+// and the exposition writer walks it with Visit.
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*LockedHistogram
+	// entries is every metric in name order, maintained at registration
+	// time so Visit iterates stably without sorting (and therefore without
+	// allocating) on every scrape.
+	entries []metricEntry
+}
+
+// metricEntry is one registered metric: exactly one of c, g, h is set.
+type metricEntry struct {
+	name string
+	c    *Counter
+	g    *Gauge
+	h    *LockedHistogram
+}
+
+// insertEntry places e at its sorted position. Called with r.mu held, only
+// when a new metric is created.
+func (r *Registry) insertEntry(e metricEntry) {
+	i := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].name >= e.name })
+	r.entries = append(r.entries, metricEntry{})
+	copy(r.entries[i+1:], r.entries[i:])
+	r.entries[i] = e
 }
 
 // NewRegistry returns an empty Registry.
@@ -94,6 +131,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if !ok {
 		c = &Counter{}
 		r.counters[name] = c
+		r.insertEntry(metricEntry{name: name, c: c})
 	}
 	return c
 }
@@ -106,6 +144,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
+		r.insertEntry(metricEntry{name: name, g: g})
 	}
 	return g
 }
@@ -118,8 +157,35 @@ func (r *Registry) Histogram(name string) *LockedHistogram {
 	if !ok {
 		h = NewLockedLatencyHistogram()
 		r.histograms[name] = h
+		r.insertEntry(metricEntry{name: name, h: h})
 	}
 	return h
+}
+
+// Visitor receives every metric of a registry in stable (name) order.
+type Visitor interface {
+	VisitCounter(name string, c *Counter)
+	VisitGauge(name string, g *Gauge)
+	VisitHistogram(name string, h *LockedHistogram)
+}
+
+// Visit walks every registered metric in name order. Registration from
+// other goroutines blocks for the duration of the walk; the visitor must
+// not call back into the registry.
+func (r *Registry) Visit(v Visitor) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.entries {
+		e := &r.entries[i]
+		switch {
+		case e.c != nil:
+			v.VisitCounter(e.name, e.c)
+		case e.g != nil:
+			v.VisitGauge(e.name, e.g)
+		case e.h != nil:
+			v.VisitHistogram(e.name, e.h)
+		}
+	}
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry.
@@ -155,16 +221,9 @@ func (r *Registry) Snapshot() Snapshot {
 func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var names []string
-	for n := range r.counters {
-		names = append(names, n)
+	names := make([]string, len(r.entries))
+	for i := range r.entries {
+		names[i] = r.entries[i].name
 	}
-	for n := range r.gauges {
-		names = append(names, n)
-	}
-	for n := range r.histograms {
-		names = append(names, n)
-	}
-	sort.Strings(names)
 	return names
 }

@@ -1,0 +1,164 @@
+package portal
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// nopResponseWriter is a reusable ResponseWriter with a persistent header
+// map, modeling a keep-alive connection: net/http reuses header storage
+// across requests, so steady-state serving must not allocate any.
+type nopResponseWriter struct {
+	h http.Header
+	n int
+}
+
+func (w *nopResponseWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = make(http.Header, 8)
+	}
+	return w.h
+}
+func (w *nopResponseWriter) WriteHeader(int) {}
+func (w *nopResponseWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+func (w *nopResponseWriter) reset() {
+	for k := range w.h {
+		delete(w.h, k)
+	}
+	w.n = 0
+}
+
+// benchPortal builds a loaded portal once per benchmark binary.
+var benchPortalCache *Portal
+
+func benchPortal(tb testing.TB) *Portal {
+	if benchPortalCache == nil {
+		benchPortalCache = buildRig(tb, nil).portal
+	}
+	return benchPortalCache
+}
+
+func cachedReq(tb testing.TB, p *Portal, path string, revalidate bool) *http.Request {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if revalidate {
+		b, ok := p.state.Load().bodies[path]
+		if !ok {
+			tb.Fatalf("no cached body for %s", path)
+		}
+		req.Header.Set("If-None-Match", b.ETag())
+	}
+	return req
+}
+
+// BenchmarkPortalSLACached measures a full-body cached SLA read.
+func BenchmarkPortalSLACached(b *testing.B) {
+	p := benchPortal(b)
+	req := cachedReq(b, p, "/sla/dc/DC1", false)
+	w := &nopResponseWriter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ServeCached(w, req)
+	}
+	b.SetBytes(int64(w.n / b.N))
+}
+
+// BenchmarkPortalHeatmapCached measures a full-body cached heatmap (SVG)
+// read.
+func BenchmarkPortalHeatmapCached(b *testing.B) {
+	p := benchPortal(b)
+	req := cachedReq(b, p, "/heatmap/DC1.svg", false)
+	w := &nopResponseWriter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ServeCached(w, req)
+	}
+	b.SetBytes(int64(w.n / b.N))
+}
+
+// BenchmarkPortalNotModified measures the steady-state dashboard poll: an
+// If-None-Match revalidation answered 304 with zero body bytes.
+func BenchmarkPortalNotModified(b *testing.B) {
+	p := benchPortal(b)
+	req := cachedReq(b, p, "/sla/dc/DC1", true)
+	w := &nopResponseWriter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ServeCached(w, req)
+	}
+	if w.n != 0 {
+		b.Fatalf("304 path wrote %d body bytes", w.n)
+	}
+}
+
+// BenchmarkPortalMetricsScrape measures a full /metrics exposition.
+func BenchmarkPortalMetricsScrape(b *testing.B) {
+	p := benchPortal(b)
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := &nopResponseWriter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ServeMetrics(w, req)
+	}
+}
+
+// BenchmarkPortalRefresh measures snapshot assembly + full render: the
+// cost paid once per analysis cycle.
+func BenchmarkPortalRefresh(b *testing.B) {
+	p := benchPortal(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestServeCachedZeroAlloc is the tier-3 guard for the acceptance
+// criterion: steady-state reads — 304 revalidations and full cached 200s —
+// allocate nothing per request.
+func TestServeCachedZeroAlloc(t *testing.T) {
+	p := benchPortal(t)
+	w := &nopResponseWriter{}
+
+	for _, tc := range []struct {
+		name       string
+		path       string
+		revalidate bool
+	}{
+		{"not-modified", "/sla/dc/DC1", true},
+		{"cached-sla", "/sla/dc/DC1", false},
+		{"cached-svg", "/heatmap/DC1.svg", false},
+		{"cached-index", "/", false},
+	} {
+		req := cachedReq(t, p, tc.path, tc.revalidate)
+		p.ServeCached(w, req) // warm the header map
+		if allocs := testing.AllocsPerRun(200, func() {
+			p.ServeCached(w, req)
+		}); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestMetricsScrapeZeroAlloc guards the /metrics path: the exposition
+// reuses its buffers, so scrapes allocate nothing in steady state.
+func TestMetricsScrapeZeroAlloc(t *testing.T) {
+	p := benchPortal(t)
+	w := &nopResponseWriter{}
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	p.ServeMetrics(w, req) // warm buffers and header map
+	if allocs := testing.AllocsPerRun(100, func() {
+		p.ServeMetrics(w, req)
+	}); allocs != 0 {
+		t.Errorf("metrics scrape: %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,400 @@
+// Package portal is the read side of Pingmesh: a stateless web service
+// over the DSA pipeline's outputs (§3.5, §6.3). Every analysis cycle the
+// pipeline's results are assembled into one immutable Snapshot, every
+// response body (JSON and SVG) is rendered and content-hashed once, and
+// the whole epoch is swapped in with a single atomic pointer store.
+// Request handling is then a map lookup plus the shared httpcache serving
+// path — cached reads and 304 revalidations allocate nothing, so any
+// number of dashboards can poll the portal without touching the pipeline.
+package portal
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pingmesh/internal/dsa"
+	"pingmesh/internal/httpcache"
+	"pingmesh/internal/metrics"
+	"pingmesh/internal/simclock"
+	"pingmesh/internal/topology"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultAlertLimit  = 100
+	DefaultAlertWindow = 24 * time.Hour
+)
+
+// MetricSource names a metrics registry exposed on /metrics. Prefix is
+// prepended to every metric name after the pingmesh_ namespace (use "" to
+// expose names as-is).
+type MetricSource struct {
+	Prefix   string
+	Registry *metrics.Registry
+}
+
+// Config wires a portal to a pipeline.
+type Config struct {
+	Pipeline *dsa.Pipeline
+	Top      *topology.Topology
+	Clock    simclock.Clock
+	// AlertLimit caps the /alerts feed (DefaultAlertLimit if 0).
+	AlertLimit int
+	// AlertWindow bounds feed recency (DefaultAlertWindow if 0).
+	AlertWindow time.Duration
+	// Metrics lists additional registries for /metrics; the portal's own
+	// registry is always included.
+	Metrics []MetricSource
+}
+
+// state is one published epoch: the snapshot plus every pre-rendered
+// response body, keyed by exact request path. Immutable after Store.
+type state struct {
+	snap   *Snapshot
+	bodies map[string]*httpcache.Body
+	epochH []string // precomputed X-Pingmesh-Epoch header value
+}
+
+// Portal serves DSA results over HTTP. Create with New, publish epochs
+// with Refresh, serve with Handler.
+type Portal struct {
+	cfg Config
+	reg *metrics.Registry
+	exp *metrics.Exposition
+
+	refreshMu sync.Mutex // serializes Refresh; readers never take it
+	epoch     uint64     // guarded by refreshMu
+	state     atomic.Pointer[state]
+
+	// Hot-path counters resolved once so request handling stays
+	// allocation-free.
+	cServes      *metrics.Counter
+	cNotModified *metrics.Counter
+	cBytes       *metrics.Counter
+	cNotFound    *metrics.Counter
+	cTriage      *metrics.Counter
+	cScrapes     *metrics.Counter
+	gEpoch       *metrics.Gauge
+	gBodies      *metrics.Gauge
+	gBodyBytes   *metrics.Gauge
+}
+
+// New returns a portal serving empty responses until the first Refresh.
+func New(cfg Config) *Portal {
+	if cfg.AlertLimit <= 0 {
+		cfg.AlertLimit = DefaultAlertLimit
+	}
+	if cfg.AlertWindow <= 0 {
+		cfg.AlertWindow = DefaultAlertWindow
+	}
+	p := &Portal{cfg: cfg, reg: metrics.NewRegistry(), exp: metrics.NewExposition()}
+	p.exp.Add("", p.reg)
+	for _, src := range cfg.Metrics {
+		p.exp.Add(src.Prefix, src.Registry)
+	}
+	p.cServes = p.reg.Counter("portal.serves")
+	p.cNotModified = p.reg.Counter("portal.not_modified")
+	p.cBytes = p.reg.Counter("portal.bytes_served")
+	p.cNotFound = p.reg.Counter("portal.not_found")
+	p.cTriage = p.reg.Counter("portal.triage_requests")
+	p.cScrapes = p.reg.Counter("portal.metrics_scrapes")
+	p.gEpoch = p.reg.Gauge("portal.epoch")
+	p.gBodies = p.reg.Gauge("portal.cached_bodies")
+	p.gBodyBytes = p.reg.Gauge("portal.cached_body_bytes")
+	p.state.Store(&state{bodies: map[string]*httpcache.Body{}, epochH: []string{"0"}})
+	return p
+}
+
+// Metrics returns the portal's own registry (request counters, epoch).
+func (p *Portal) Metrics() *metrics.Registry { return p.reg }
+
+// Snapshot returns the currently published snapshot (nil before the first
+// Refresh).
+func (p *Portal) Snapshot() *Snapshot { return p.state.Load().snap }
+
+// Epoch returns the published epoch number (0 before the first Refresh).
+func (p *Portal) Epoch() uint64 {
+	if s := p.state.Load().snap; s != nil {
+		return s.Epoch
+	}
+	return 0
+}
+
+// Refresh builds a new snapshot from the pipeline, renders every response
+// body, and atomically publishes the epoch. Concurrent calls serialize;
+// readers always see either the old epoch or the new one, never a mix.
+func (p *Portal) Refresh() error {
+	p.refreshMu.Lock()
+	defer p.refreshMu.Unlock()
+
+	snap, err := BuildSnapshot(p.cfg.Pipeline, p.cfg.Clock.Now(), p.cfg.AlertWindow, p.cfg.AlertLimit)
+	if err != nil {
+		return err
+	}
+	snap.Epoch = p.epoch + 1
+	st, err := renderState(snap)
+	if err != nil {
+		return err
+	}
+	p.epoch = snap.Epoch
+	p.state.Store(st)
+
+	p.gEpoch.Set(int64(snap.Epoch))
+	p.gBodies.Set(int64(len(st.bodies)))
+	var total int64
+	for _, b := range st.bodies {
+		total += int64(len(b.Data()))
+	}
+	p.gBodyBytes.Set(total)
+	return nil
+}
+
+const (
+	ctJSON = "application/json"
+	ctSVG  = "image/svg+xml"
+)
+
+// indexDoc is the "/" body: service discovery plus epoch provenance.
+type indexDoc struct {
+	Service     string    `json:"service"`
+	Epoch       uint64    `json:"epoch"`
+	PublishedAt time.Time `json:"published_at"`
+	Scopes      []string  `json:"scopes"`
+	Heatmaps    []string  `json:"heatmaps"`
+	Alerts      int       `json:"alerts"`
+	Endpoints   []string  `json:"endpoints"`
+}
+
+// renderState renders every cacheable body for a snapshot. All rendering
+// cost is paid here, once per analysis cycle, never per request.
+func renderState(snap *Snapshot) (*state, error) {
+	st := &state{
+		snap:   snap,
+		bodies: make(map[string]*httpcache.Body, len(snap.SLA)+2*len(snap.Heatmaps)+3),
+		epochH: []string{strconv.FormatUint(snap.Epoch, 10)},
+	}
+	put := func(path, ctype string, v any) error {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("portal: render %s: %w", path, err)
+		}
+		data = append(data, '\n')
+		b, err := httpcache.New(ctype, data)
+		if err != nil {
+			return fmt.Errorf("portal: render %s: %w", path, err)
+		}
+		st.bodies[path] = b
+		return nil
+	}
+
+	scopes := snap.sortedScopes()
+	index := make([]SLAEntry, 0, len(scopes))
+	for _, sc := range scopes {
+		e := snap.SLA[sc]
+		index = append(index, e)
+		if err := put("/sla/"+sc, ctJSON, e); err != nil {
+			return nil, err
+		}
+	}
+	if err := put("/sla", ctJSON, index); err != nil {
+		return nil, err
+	}
+	if snap.Alerts == nil {
+		snap.Alerts = []AlertEntry{}
+	}
+	if err := put("/alerts", ctJSON, snap.Alerts); err != nil {
+		return nil, err
+	}
+
+	var heatmapNames []string
+	for dc, hv := range snap.Heatmaps {
+		heatmapNames = append(heatmapNames, dc)
+		if err := put("/heatmap/"+dc, ctJSON, heatmapDoc(hv)); err != nil {
+			return nil, err
+		}
+		svg, err := httpcache.New(ctSVG, hv.Heatmap.AppendSVG(nil))
+		if err != nil {
+			return nil, fmt.Errorf("portal: render heatmap svg %s: %w", dc, err)
+		}
+		st.bodies["/heatmap/"+dc+".svg"] = svg
+	}
+	sortStrings(heatmapNames)
+
+	idx := indexDoc{
+		Service:     "pingmesh-portal",
+		Epoch:       snap.Epoch,
+		PublishedAt: snap.PublishedAt,
+		Scopes:      scopes,
+		Heatmaps:    heatmapNames,
+		Alerts:      len(snap.Alerts),
+		Endpoints: []string{
+			"/sla", "/sla/{scope}", "/heatmap/{dc}", "/heatmap/{dc}.svg",
+			"/alerts", "/triage?src=&dst=", "/metrics", "/healthz",
+		},
+	}
+	if err := put("/", ctJSON, idx); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// heatmapJSON is the wire form of a heatmap: the §6.3 matrix plus the
+// Figure 8 classification. P99Ns uses -1 for cells without data.
+type heatmapJSON struct {
+	DC          string    `json:"dc"`
+	Pattern     string    `json:"pattern"`
+	Podset      int       `json:"podset"`
+	WindowStart time.Time `json:"window_start"`
+	WindowEnd   time.Time `json:"window_end"`
+	Pods        []string  `json:"pods"`
+	Podsets     []int     `json:"podsets"`
+	P99Ns       [][]int64 `json:"p99_ns"`
+	Probes      [][]int64 `json:"probes"`
+}
+
+func heatmapDoc(hv HeatmapView) heatmapJSON {
+	h := hv.Heatmap
+	doc := heatmapJSON{
+		DC:          hv.DC,
+		Pattern:     hv.Classification.Pattern.String(),
+		Podset:      hv.Classification.Podset,
+		WindowStart: hv.From,
+		WindowEnd:   hv.To,
+		Podsets:     h.Podsets,
+		Pods:        make([]string, len(h.Pods)),
+		P99Ns:       make([][]int64, len(h.Cells)),
+		Probes:      make([][]int64, len(h.Cells)),
+	}
+	for i, p := range h.Pods {
+		doc.Pods[i] = p.String()
+	}
+	for i, row := range h.Cells {
+		p99s := make([]int64, len(row))
+		probes := make([]int64, len(row))
+		for j, c := range row {
+			if c.HasData {
+				p99s[j] = int64(c.P99)
+				probes[j] = int64(c.Probes)
+			} else {
+				p99s[j] = -1
+			}
+		}
+		doc.P99Ns[i] = p99s
+		doc.Probes[i] = probes
+	}
+	return doc
+}
+
+// Handler returns the portal's HTTP handler.
+func (p *Portal) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/triage", p.serveTriage)
+	mux.HandleFunc("/metrics", p.ServeMetrics)
+	mux.HandleFunc("/healthz", p.serveHealthz)
+	mux.HandleFunc("/", p.ServeCached)
+	return mux
+}
+
+// Precomputed header values for the dynamic endpoints, mirroring the
+// httpcache trick: canonical MIME keys assigned whole so the hot path
+// never allocates header storage.
+var (
+	promContentType = []string{"text/plain; version=0.0.4; charset=utf-8"}
+	jsonContentType = []string{ctJSON}
+	epochHeaderKey  = "X-Pingmesh-Epoch"
+)
+
+// ServeCached serves any pre-rendered body by exact path: /, /sla,
+// /sla/{scope}, /heatmap/{dc}, /heatmap/{dc}.svg, /alerts. Exported (and
+// reached directly by the alloc guards) because this is the portal's
+// steady-state path: one atomic load, one map lookup, zero allocations.
+func (p *Portal) ServeCached(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header()["Allow"] = allowGetHead
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	st := p.state.Load()
+	b, ok := st.bodies[r.URL.Path]
+	if !ok {
+		p.cNotFound.Inc()
+		http.NotFound(w, r)
+		return
+	}
+	w.Header()[epochHeaderKey] = st.epochH
+	res := b.Serve(w, r)
+	if res.Status == http.StatusNotModified {
+		p.cNotModified.Inc()
+		return
+	}
+	p.cServes.Inc()
+	p.cBytes.Add(int64(res.Bytes))
+}
+
+var allowGetHead = []string{"GET, HEAD"}
+
+// ServeMetrics writes the Prometheus text exposition of every configured
+// registry. Exported for the alloc guard: a scrape reuses the exposition's
+// buffers and allocates nothing in steady state.
+func (p *Portal) ServeMetrics(w http.ResponseWriter, r *http.Request) {
+	p.cScrapes.Inc()
+	w.Header()["Content-Type"] = promContentType
+	p.exp.WriteTo(w)
+}
+
+// serveTriage answers GET /triage?src=&dst= with the §4.3 decision. This
+// endpoint is dynamic (the pair space is quadratic; pre-rendering it would
+// defeat the snapshot budget) but still reads only the immutable snapshot.
+func (p *Portal) serveTriage(w http.ResponseWriter, r *http.Request) {
+	p.cTriage.Inc()
+	q := r.URL.Query()
+	src, dst := q.Get("src"), q.Get("dst")
+	if src == "" || dst == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": "usage: /triage?src=<server|addr|podref>&dst=<server|addr|podref>",
+		})
+		return
+	}
+	st := p.state.Load()
+	if st.snap == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"error": "no snapshot published yet",
+		})
+		return
+	}
+	w.Header()[epochHeaderKey] = st.epochH
+	writeJSON(w, http.StatusOK, st.snap.Triage(p.cfg.Top, src, dst))
+}
+
+func (p *Portal) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	st := p.state.Load()
+	status := "waiting-for-first-snapshot"
+	code := http.StatusOK
+	if st.snap != nil {
+		status = "ok"
+	}
+	w.Header()[epochHeaderKey] = st.epochH
+	writeJSON(w, code, map[string]string{"status": status})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header()["Content-Type"] = jsonContentType
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// sortStrings is a tiny insertion sort: heatmap name lists are a handful
+// of DCs and this keeps the render path free of sort's interface boxing.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package reportdb
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// alertFeedDB builds an alerts-shaped table: the portal's alert feed is
+// the canonical read — Where (recency cutoff) + OrderByDesc("at") +
+// Limit(100) over a table that only grows.
+func alertFeedDB(b testing.TB, rows int) (*DB, time.Time) {
+	db := New()
+	if err := db.CreateTable("alerts", "scope", "at", "reason", "drop_rate", "p99"); err != nil {
+		b.Fatal(err)
+	}
+	base := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < rows; i++ {
+		if err := db.Insert("alerts", Row{
+			"scope":     "dc/DC1",
+			"at":        base.Add(time.Duration(i) * time.Minute),
+			"reason":    "drop rate exceeds threshold",
+			"drop_rate": 0.002,
+			"p99":       6 * time.Millisecond,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db, base
+}
+
+// BenchmarkAlertFeedQuery measures the portal's alert-feed query shape.
+func BenchmarkAlertFeedQuery(b *testing.B) {
+	const rows = 10000
+	db, base := alertFeedDB(b, rows)
+	cutoff := base.Add(rows / 2 * time.Minute)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := db.Query("alerts",
+			Where(func(r Row) bool { at, ok := r["at"].(time.Time); return ok && !at.Before(cutoff) }),
+			OrderByDesc("at"),
+			Limit(100))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != 100 {
+			b.Fatalf("got %d rows", len(out))
+		}
+	}
+}
+
+func TestOrderByUnknownColumn(t *testing.T) {
+	db, _ := alertFeedDB(t, 3)
+	_, err := db.Query("alerts", OrderBy("no_such_column"))
+	if err == nil {
+		t.Fatal("OrderBy on unknown column returned no error")
+	}
+	var uce *UnknownColumnError
+	if !errors.As(err, &uce) {
+		t.Fatalf("error %T is not *UnknownColumnError: %v", err, err)
+	}
+	if uce.Table != "alerts" || uce.Column != "no_such_column" {
+		t.Fatalf("error fields = %+v", uce)
+	}
+	if _, err := db.Query("alerts", OrderByDesc("missing")); err == nil {
+		t.Fatal("OrderByDesc on unknown column returned no error")
+	}
+	// Known columns still work, including ones the rows never populated.
+	if _, err := db.Query("alerts", OrderBy("reason")); err != nil {
+		t.Fatal(err)
+	}
+}

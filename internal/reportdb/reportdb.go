@@ -108,6 +108,20 @@ func (db *DB) Truncate(name string) error {
 	return nil
 }
 
+// UnknownColumnError reports a query ordering by a column the table does
+// not declare. Before this existed, such queries silently compared every
+// pair as equal and returned insertion order — a bug that looks like a
+// correct result.
+type UnknownColumnError struct {
+	Table  string
+	Column string
+}
+
+// Error implements error.
+func (e *UnknownColumnError) Error() string {
+	return fmt.Sprintf("reportdb: table %q has no column %q to order by", e.Table, e.Column)
+}
+
 // QueryOpt modifies a query.
 type QueryOpt func(*query)
 
@@ -150,6 +164,10 @@ func (db *DB) Query(name string, opts ...QueryOpt) ([]Row, error) {
 	if !ok {
 		db.mu.RUnlock()
 		return nil, fmt.Errorf("reportdb: no table %q", name)
+	}
+	if q.orderBy != "" && !t.cols[q.orderBy] {
+		db.mu.RUnlock()
+		return nil, &UnknownColumnError{Table: name, Column: q.orderBy}
 	}
 	var out []Row
 	for _, r := range t.rows {

@@ -1,6 +1,7 @@
 package reportdb
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -181,14 +182,15 @@ func TestLimitZeroMeansUnbounded(t *testing.T) {
 	}
 }
 
-func TestOrderByMissingColumnKeepsInsertionOrder(t *testing.T) {
+func TestOrderByMissingColumnIsTypedError(t *testing.T) {
+	// Ordering by an undeclared column used to silently keep insertion
+	// order; it now fails loudly with a typed error (see bench_test.go for
+	// the errors.As form).
 	db := seeded(t)
-	rows, err := db.Query("sla", OrderBy("no_such_column"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rows[0]["scope"] != "dc1" || rows[2]["scope"] != "dc3" {
-		t.Fatalf("order changed on missing column: %v %v", rows[0]["scope"], rows[2]["scope"])
+	_, err := db.Query("sla", OrderBy("no_such_column"))
+	var uce *UnknownColumnError
+	if !errors.As(err, &uce) {
+		t.Fatalf("err = %v, want *UnknownColumnError", err)
 	}
 }
 

@@ -9,6 +9,8 @@ package viz
 
 import (
 	"fmt"
+	"io"
+	"strconv"
 	"strings"
 	"time"
 
@@ -167,26 +169,59 @@ func (h *Heatmap) RenderASCII() string {
 	return b.String()
 }
 
-// RenderSVG draws the matrix as a standalone SVG document.
-func (h *Heatmap) RenderSVG() string {
+// svgFill maps a cell color to its SVG fill, indexable by Color.
+var svgFill = [...]string{White: "#ffffff", Green: "#2e7d32", Yellow: "#f9a825", Red: "#c62828"}
+
+// AppendSVG appends the matrix as a standalone SVG document to dst and
+// returns the extended slice — the append-style form the portal's render
+// cache writes straight into its body buffer, with no intermediate string
+// concatenation. Output is byte-identical to RenderSVG (golden-tested).
+func (h *Heatmap) AppendSVG(dst []byte) []byte {
 	const cell = 12
 	n := len(h.Pods)
-	var b strings.Builder
-	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`, n*cell+2, n*cell+2)
-	b.WriteString("\n")
-	fill := map[Color]string{White: "#ffffff", Green: "#2e7d32", Yellow: "#f9a825", Red: "#c62828"}
+	dst = append(dst, `<svg xmlns="http://www.w3.org/2000/svg" width="`...)
+	dst = strconv.AppendInt(dst, int64(n*cell+2), 10)
+	dst = append(dst, `" height="`...)
+	dst = strconv.AppendInt(dst, int64(n*cell+2), 10)
+	dst = append(dst, `">`...)
+	dst = append(dst, '\n')
 	for i := range h.Cells {
 		for j := range h.Cells[i] {
 			c := h.Cells[i][j]
-			title := "no data"
+			dst = append(dst, `<rect x="`...)
+			dst = strconv.AppendInt(dst, int64(j*cell+1), 10)
+			dst = append(dst, `" y="`...)
+			dst = strconv.AppendInt(dst, int64(i*cell+1), 10)
+			dst = append(dst, `" width="`...)
+			dst = strconv.AppendInt(dst, cell, 10)
+			dst = append(dst, `" height="`...)
+			dst = strconv.AppendInt(dst, cell, 10)
+			dst = append(dst, `" fill="`...)
+			dst = append(dst, svgFill[h.Color(i, j)]...)
+			dst = append(dst, `" stroke="#ddd"><title>`...)
+			dst = h.Pods[i].AppendTo(dst)
+			dst = append(dst, `-&gt;`...)
+			dst = h.Pods[j].AppendTo(dst)
+			dst = append(dst, ':', ' ')
 			if c.HasData {
-				title = c.P99.String()
+				dst = append(dst, c.P99.String()...)
+			} else {
+				dst = append(dst, "no data"...)
 			}
-			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#ddd"><title>%s-&gt;%s: %s</title></rect>`,
-				j*cell+1, i*cell+1, cell, cell, fill[h.Color(i, j)], h.Pods[i], h.Pods[j], title)
-			b.WriteString("\n")
+			dst = append(dst, `</title></rect>`...)
+			dst = append(dst, '\n')
 		}
 	}
-	b.WriteString("</svg>\n")
-	return b.String()
+	dst = append(dst, "</svg>\n"...)
+	return dst
+}
+
+// WriteSVG writes the SVG document to w.
+func (h *Heatmap) WriteSVG(w io.Writer) (int, error) {
+	return w.Write(h.AppendSVG(nil))
+}
+
+// RenderSVG draws the matrix as a standalone SVG document.
+func (h *Heatmap) RenderSVG() string {
+	return string(h.AppendSVG(nil))
 }

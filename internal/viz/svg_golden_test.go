@@ -1,0 +1,123 @@
+package viz
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"pingmesh/internal/analysis"
+	"pingmesh/internal/topology"
+)
+
+// renderSVGReference is the pre-refactor fmt-based renderer, kept verbatim
+// as the golden reference: AppendSVG must stay byte-identical so
+// cmd/pingmesh-viz output never shifts under the append-style rewrite.
+func renderSVGReference(h *Heatmap) string {
+	const cell = 12
+	n := len(h.Pods)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`, n*cell+2, n*cell+2)
+	b.WriteString("\n")
+	fill := map[Color]string{White: "#ffffff", Green: "#2e7d32", Yellow: "#f9a825", Red: "#c62828"}
+	for i := range h.Cells {
+		for j := range h.Cells[i] {
+			c := h.Cells[i][j]
+			title := "no data"
+			if c.HasData {
+				title = c.P99.String()
+			}
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#ddd"><title>%s-&gt;%s: %s</title></rect>`,
+				j*cell+1, i*cell+1, cell, cell, fill[h.Color(i, j)], h.Pods[i], h.Pods[j], title)
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// goldenHeatmap builds a matrix exercising every color, multi-digit pod
+// refs, and sub-millisecond durations whose String() forms vary.
+func goldenHeatmap(t *testing.T) *Heatmap {
+	t.Helper()
+	top, err := topology.Build(topology.Spec{DCs: []topology.DCSpec{
+		{Name: "DC1", Podsets: 4, PodsPerPodset: 3, ServersPerPod: 1, LeavesPerPodset: 2, Spines: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := map[string]*analysis.LatencyStats{}
+	h := BuildHeatmap(top, 0, groups, 1)
+	// Fill cells directly: BuildHeatmap's shape with hand-picked values.
+	durations := []time.Duration{
+		0, // no data
+		312 * time.Microsecond,
+		time.Millisecond + 500*time.Microsecond,
+		4*time.Millisecond + 123*time.Microsecond,
+		5 * time.Millisecond,
+		17*time.Millisecond + 250*time.Microsecond,
+		1712 * time.Millisecond,
+	}
+	k := 0
+	for i := range h.Cells {
+		for j := range h.Cells[i] {
+			d := durations[k%len(durations)]
+			k++
+			if d == 0 {
+				continue
+			}
+			h.Cells[i][j] = Cell{P99: d, Probes: uint64(k), HasData: true}
+		}
+	}
+	return h
+}
+
+// TestAppendSVGGolden pins AppendSVG/WriteSVG/RenderSVG byte-identical to
+// the legacy renderer.
+func TestAppendSVGGolden(t *testing.T) {
+	h := goldenHeatmap(t)
+	want := renderSVGReference(h)
+
+	if got := h.RenderSVG(); got != want {
+		t.Fatalf("RenderSVG diverged from reference:\ngot  %d bytes\nwant %d bytes\nfirst diff at %d",
+			len(got), len(want), firstDiff(got, want))
+	}
+	if got := string(h.AppendSVG(nil)); got != want {
+		t.Fatal("AppendSVG(nil) diverged from reference")
+	}
+	// Appending after existing content preserves the prefix.
+	pre := []byte("PREFIX")
+	out := h.AppendSVG(pre)
+	if !bytes.HasPrefix(out, []byte("PREFIX")) || string(out[6:]) != want {
+		t.Fatal("AppendSVG(dst) does not append to dst")
+	}
+	var buf bytes.Buffer
+	if _, err := h.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != want {
+		t.Fatal("WriteSVG diverged from reference")
+	}
+}
+
+// TestAppendSVGGoldenEmpty covers the degenerate empty matrix.
+func TestAppendSVGGoldenEmpty(t *testing.T) {
+	h := &Heatmap{DC: "empty"}
+	if got, want := h.RenderSVG(), renderSVGReference(h); got != want {
+		t.Fatalf("empty heatmap: got %q want %q", got, want)
+	}
+}
+
+func firstDiff(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

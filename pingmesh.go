@@ -36,6 +36,7 @@ import (
 	"pingmesh/internal/metrics"
 	"pingmesh/internal/netsim"
 	"pingmesh/internal/pinglist"
+	"pingmesh/internal/portal"
 	"pingmesh/internal/probe"
 	"pingmesh/internal/reportdb"
 	"pingmesh/internal/scope"
@@ -81,6 +82,12 @@ type (
 	Detection = blackhole.Detection
 	// ReportDB is the report database dashboards read.
 	ReportDB = reportdb.DB
+	// Portal is the read-side web service over the DSA outputs.
+	Portal = portal.Portal
+	// PortalSnapshot is one published epoch of portal data.
+	PortalSnapshot = portal.Snapshot
+	// TriageResult is the §4.3 "is it a network issue?" decision.
+	TriageResult = portal.TriageResult
 	// Tier identifies a switch layer (ToR, Leaf, Spine).
 	Tier = topology.Tier
 )
@@ -107,6 +114,9 @@ type SimOptions struct {
 	Start time.Time
 	// OnDetection receives daily black-hole detection results.
 	OnDetection func(blackhole.Detection)
+	// HeatmapMinProbes overrides the pipeline's per-cell probe floor for
+	// heatmaps (small testbeds need a lower floor than production).
+	HeatmapMinProbes uint64
 }
 
 // SimTestbed is a whole simulated Pingmesh deployment: fabric, controller,
@@ -164,11 +174,12 @@ func NewSimTestbed(spec TopologySpec, opts SimOptions) (*SimTestbed, error) {
 		return nil, err
 	}
 	pipe, err := dsa.New(dsa.Config{
-		Store:       store,
-		Top:         top,
-		Clock:       clock,
-		Services:    opts.Services,
-		OnDetection: opts.OnDetection,
+		Store:            store,
+		Top:              top,
+		Clock:            clock,
+		Services:         opts.Services,
+		OnDetection:      opts.OnDetection,
+		HeatmapMinProbes: opts.HeatmapMinProbes,
 	})
 	if err != nil {
 		return nil, err
@@ -284,6 +295,29 @@ func (tb *SimTestbed) AnalyzeWindow(from, to time.Time) error {
 // DB returns the report database with SLA rows, alerts, patterns, drop
 // rates and black-hole candidates.
 func (tb *SimTestbed) DB() *ReportDB { return tb.Pipeline.DB() }
+
+// NewPortal wires a read-side portal to the testbed's pipeline: every
+// analysis cycle (10-minute, hourly, daily) republishes the portal's
+// snapshot, and /metrics exposes the controller's and the scope jobs'
+// registries alongside the portal's own.
+func (tb *SimTestbed) NewPortal() *Portal {
+	p := portal.New(portal.Config{
+		Pipeline: tb.Pipeline,
+		Top:      tb.Top,
+		Clock:    tb.Clock,
+		Metrics: []portal.MetricSource{
+			{Prefix: "", Registry: tb.Controller.Metrics()},
+			{Prefix: "", Registry: tb.Pipeline.JobRegistry()},
+		},
+	})
+	tb.Pipeline.SetOnCycle(func(kind string, from, to time.Time) {
+		// Publication is best-effort: a refresh failure leaves the previous
+		// epoch serving, which is exactly the stale-but-consistent behavior
+		// the read side wants.
+		p.Refresh()
+	})
+	return p
+}
 
 // Alerts returns the SLA violations fired so far.
 func (tb *SimTestbed) Alerts() []Alert { return tb.Pipeline.Alerts() }

@@ -11,7 +11,10 @@
 #                                      must stay allocation-free per record;
 #                                      the netsim plan-cached probe path and
 #                                      the fleet runner's pooled batches must
-#                                      stay allocation-free per probe)
+#                                      stay allocation-free per probe; the
+#                                      portal's cached reads, 304
+#                                      revalidations and /metrics scrapes
+#                                      must stay allocation-free per request)
 #   4. short fuzz pass over the pinglist wire format and the streaming
 #      record decoder (optional, FUZZ=1)
 #
@@ -32,6 +35,7 @@ go test -race $PKGS
 echo "== tier 3: alloc-guard smoke"
 go test ./internal/scope ./internal/probe ./internal/analysis \
     ./internal/netsim ./internal/fleet \
+    ./internal/httpcache ./internal/metrics ./internal/portal \
     -run 'ZeroAlloc' -count=1 -v | grep -E '^(=== RUN|--- (PASS|FAIL)|ok|FAIL)'
 
 if [ "${FUZZ:-0}" = "1" ]; then
