@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race ci fuzz bench bench-ingest bench-fleet bench-portal clean
+.PHONY: all build test race ci fuzz bench bench-ingest bench-fleet bench-portal bench-trace clean
 
 all: build test
 
@@ -43,6 +43,14 @@ bench-fleet:
 bench-portal:
 	$(GO) test -run '^$$' -bench 'BenchmarkPortal|BenchmarkServe|BenchmarkExposition' \
 		-benchmem ./internal/portal ./internal/httpcache ./internal/metrics
+
+# Tracing overhead: the sampling decision when tracing is off/unsampled
+# (must be one atomic load), the cost of a sampled span, and the in-flight
+# probe table's ingest-side scan. BENCH_PR5.json records the tracked
+# numbers.
+bench-trace:
+	$(GO) test -run '^$$' -bench 'BenchmarkTracer|BenchmarkMatchProbe|BenchmarkHasActiveProbes' \
+		-benchmem ./internal/trace
 
 clean:
 	$(GO) clean -testcache

@@ -22,18 +22,23 @@ import (
 
 	"pingmesh/internal/agent"
 	"pingmesh/internal/controller"
+	"pingmesh/internal/debugsrv"
+	"pingmesh/internal/metrics"
 	"pingmesh/internal/netlib"
+	"pingmesh/internal/trace"
 )
 
 func main() {
 	var (
-		name       = flag.String("name", "", "this server's name, as known to the controller (required)")
-		source     = flag.String("source", "", "this server's IP address (required)")
-		ctrlURL    = flag.String("controller", "", "controller base URL (required)")
-		listen     = flag.String("listen", ":8765", "probe server listen address")
-		logPath    = flag.String("log", "pingmesh.log", "local latency log path")
-		logMax     = flag.Int64("log-max-bytes", 8<<20, "local log size cap")
-		statsEvery = flag.Duration("stats", time.Minute, "perf counter print interval")
+		name        = flag.String("name", "", "this server's name, as known to the controller (required)")
+		source      = flag.String("source", "", "this server's IP address (required)")
+		ctrlURL     = flag.String("controller", "", "controller base URL (required)")
+		listen      = flag.String("listen", ":8765", "probe server listen address")
+		logPath     = flag.String("log", "pingmesh.log", "local latency log path")
+		logMax      = flag.Int64("log-max-bytes", 8<<20, "local log size cap")
+		statsEvery  = flag.Duration("stats", time.Minute, "perf counter print interval")
+		debugAddr   = flag.String("debug-addr", "", "serve pprof, /debug/trace, /health, and /metrics on this address (empty = off)")
+		traceSample = flag.Uint64("trace-sample", 0, "trace 1 in N probes end to end (0 = off)")
 	)
 	flag.Parse()
 	if *name == "" || *source == "" || *ctrlURL == "" {
@@ -59,15 +64,28 @@ func main() {
 	}
 	defer localLog.Close()
 
+	tracer := trace.Default()
+	tracer.SetSampleEvery(*traceSample)
 	a, err := agent.New(agent.Config{
 		ServerName: *name,
 		SourceAddr: addr,
 		Controller: &controller.Client{BaseURL: *ctrlURL},
 		Prober:     agent.NewRealProber(25 * time.Second),
 		LocalLog:   localLog,
+		Tracer:     tracer,
 	})
 	if err != nil {
 		log.Fatalf("agent: %v", err)
+	}
+	if *debugAddr != "" {
+		exp := metrics.NewExposition()
+		exp.Add("", a.Metrics())
+		dbg, err := debugsrv.Serve(*debugAddr, debugsrv.Config{Tracer: tracer, Metrics: exp})
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug server on http://%s\n", dbg.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -20,15 +20,18 @@ import (
 
 	"pingmesh/internal/controller"
 	"pingmesh/internal/core"
+	"pingmesh/internal/debugsrv"
+	"pingmesh/internal/metrics"
 	"pingmesh/internal/topology"
 )
 
 func main() {
 	var (
-		topoPath = flag.String("topology", "", "path to the topology spec JSON (required)")
-		listen   = flag.String("listen", ":8080", "HTTP listen address")
-		saveDir  = flag.String("save-dir", "", "optionally persist generated pinglists to this directory")
-		payload  = flag.Int("payload", 0, "add payload probe variants of this many bytes")
+		topoPath  = flag.String("topology", "", "path to the topology spec JSON (required)")
+		listen    = flag.String("listen", ":8080", "HTTP listen address")
+		saveDir   = flag.String("save-dir", "", "optionally persist generated pinglists to this directory")
+		payload   = flag.Int("payload", 0, "add payload probe variants of this many bytes")
+		debugAddr = flag.String("debug-addr", "", "serve pprof, /health, and /metrics on this address (empty = off)")
 	)
 	flag.Parse()
 	if *topoPath == "" {
@@ -60,6 +63,16 @@ func main() {
 		if err := ctrl.SaveToDir(*saveDir); err != nil {
 			log.Fatalf("save pinglists: %v", err)
 		}
+	}
+	if *debugAddr != "" {
+		exp := metrics.NewExposition()
+		exp.Add("", ctrl.Metrics())
+		dbg, err := debugsrv.Serve(*debugAddr, debugsrv.Config{Metrics: exp})
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug server on http://%s\n", dbg.Addr())
 	}
 	fmt.Printf("pingmesh-controller: %d servers, %d pinglists, version %s, listening on %s\n",
 		top.NumServers(), ctrl.PinglistCount(), ctrl.Version(), *listen)

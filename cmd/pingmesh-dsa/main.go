@@ -19,17 +19,27 @@ import (
 
 	"pingmesh/internal/analysis"
 	"pingmesh/internal/blackhole"
+	"pingmesh/internal/debugsrv"
 	"pingmesh/internal/probe"
 	"pingmesh/internal/topology"
 )
 
 func main() {
 	var (
-		topoPath = flag.String("topology", "", "topology spec JSON for scope/black-hole analysis (optional)")
-		maxDrop  = flag.Float64("alert-drop", 1e-3, "drop rate alert threshold")
-		maxP99   = flag.Duration("alert-p99", 5*time.Millisecond, "P99 latency alert threshold")
+		topoPath  = flag.String("topology", "", "topology spec JSON for scope/black-hole analysis (optional)")
+		maxDrop   = flag.Float64("alert-drop", 1e-3, "drop rate alert threshold")
+		maxP99    = flag.Duration("alert-p99", 5*time.Millisecond, "P99 latency alert threshold")
+		debugAddr = flag.String("debug-addr", "", "serve pprof on this address while the analysis runs (empty = off)")
 	)
 	flag.Parse()
+	if *debugAddr != "" {
+		dbg, err := debugsrv.Serve(*debugAddr, debugsrv.Config{})
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s\n", dbg.Addr())
+	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: pingmesh-dsa [-topology spec.json] file.csv...")
 		os.Exit(2)

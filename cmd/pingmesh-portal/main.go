@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"pingmesh"
+	"pingmesh/internal/debugsrv"
 	"pingmesh/internal/netsim"
 	"pingmesh/internal/topology"
 )
@@ -39,6 +40,7 @@ func main() {
 		faultAfter = flag.Int("fault-after", 2, "inject the fault after this many cycles")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		topoPath   = flag.String("topology", "", "optional topology spec JSON (default: built-in 36-server DC)")
+		debugAddr  = flag.String("debug-addr", "", "serve pprof, /debug/trace, and /health on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -66,6 +68,14 @@ func main() {
 		log.Fatal(err)
 	}
 	p := tb.NewPortal()
+	if *debugAddr != "" {
+		dbg, err := debugsrv.Serve(*debugAddr, debugsrv.Config{Tracer: tb.Tracer})
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer dbg.Close()
+		log.Printf("debug server on http://%s", dbg.Addr())
+	}
 
 	go func() {
 		for cycle := 0; ; cycle++ {

@@ -18,6 +18,7 @@ import (
 
 	"pingmesh"
 	"pingmesh/internal/autopilot"
+	"pingmesh/internal/debugsrv"
 	"pingmesh/internal/dsa"
 	"pingmesh/internal/netsim"
 	"pingmesh/internal/reportdb"
@@ -26,11 +27,12 @@ import (
 
 func main() {
 	var (
-		hours    = flag.Int("hours", 1, "simulated hours of probing")
-		fault    = flag.String("fault", "none", "fault to inject: none, blackhole, spine-drop, podset-down, podset-storm")
-		svg      = flag.String("svg", "", "write the heatmap as SVG to this path")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		topoPath = flag.String("topology", "", "optional topology spec JSON (default: built-in 48-server DC)")
+		hours     = flag.Int("hours", 1, "simulated hours of probing")
+		fault     = flag.String("fault", "none", "fault to inject: none, blackhole, spine-drop, podset-down, podset-storm")
+		svg       = flag.String("svg", "", "write the heatmap as SVG to this path")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		topoPath  = flag.String("topology", "", "optional topology spec JSON (default: built-in 48-server DC)")
+		debugAddr = flag.String("debug-addr", "", "serve pprof, /debug/trace, and /health on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -51,6 +53,14 @@ func main() {
 	tb, err := pingmesh.NewSimTestbed(spec, pingmesh.SimOptions{Seed: *seed})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *debugAddr != "" {
+		dbg, err := debugsrv.Serve(*debugAddr, debugsrv.Config{Tracer: tb.Tracer})
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug server on http://%s\n", dbg.Addr())
 	}
 
 	switch *fault {

@@ -30,6 +30,7 @@ import (
 	"pingmesh/internal/pinglist"
 	"pingmesh/internal/probe"
 	"pingmesh/internal/simclock"
+	"pingmesh/internal/trace"
 )
 
 // Hard safety limits (§3.4.2). These are constants, not configuration, by
@@ -118,6 +119,9 @@ type Config struct {
 	// LocalLog, if non-nil, additionally receives every record (§3.4.2:
 	// the agent writes latency data to size-capped local log files).
 	LocalLog *LocalLog
+	// Tracer, if non-nil, lets sampled probes carry an end-to-end trace
+	// and marks upload freshness. Nil disables tracing entirely.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -160,9 +164,23 @@ func (c *Config) withDefaults() (Config, error) {
 
 // Agent is one server's Pingmesh Agent.
 type Agent struct {
-	cfg   Config
-	clock simclock.Clock
-	reg   *metrics.Registry
+	cfg    Config
+	clock  simclock.Clock
+	reg    *metrics.Registry
+	tracer *trace.Tracer // nil when tracing is disabled
+	tring  *trace.Ring   // the "agent" span ring (nil iff tracer is nil)
+
+	// Perf counters and per-class histograms are resolved once at New so
+	// the record() hot path never builds a metric name (tier-3 guarded:
+	// TestProbeTraceDisabledZeroAlloc).
+	cProbesTotal  *metrics.Counter
+	cProbesFailed *metrics.Counter
+	cProbesOK     *metrics.Counter
+	cDropped      *metrics.Counter
+	cRTT3s        *metrics.Counter
+	cRTT9s        *metrics.Counter
+	hRTT          [3]*metrics.LockedHistogram
+	hPayloadRTT   [3]*metrics.LockedHistogram
 
 	mu            sync.Mutex
 	peers         []peerState
@@ -176,9 +194,11 @@ type Agent struct {
 	uploadKick   chan struct{} // kicks the uploader on buffer-threshold
 
 	// encMu serializes flushes; encBuf is the batch encode buffer reused
-	// across uploads so steady-state encoding allocates nothing.
-	encMu  sync.Mutex
-	encBuf []byte
+	// across uploads so steady-state encoding allocates nothing. flushTIDs
+	// is the per-flush scratch of sampled traces riding in the batch.
+	encMu     sync.Mutex
+	encBuf    []byte
+	flushTIDs []trace.TraceID
 }
 
 type peerState struct {
@@ -194,13 +214,32 @@ func New(cfg Config) (*Agent, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Agent{
+	a := &Agent{
 		cfg:          c,
 		clock:        c.Clock,
 		reg:          metrics.NewRegistry(),
+		tracer:       c.Tracer,
 		peersChanged: make(chan struct{}, 1),
 		uploadKick:   make(chan struct{}, 1),
-	}, nil
+	}
+	if a.tracer != nil {
+		a.tring = a.tracer.Ring("agent")
+		a.reg.GaugeFunc("agent.last_upload_age", func() int64 {
+			return a.tracer.Freshness().AgeMillis(trace.StageUpload)
+		})
+	}
+	// Resolve every per-record metric once: record() must not build names.
+	a.cProbesTotal = a.reg.Counter("agent.probes_total")
+	a.cProbesFailed = a.reg.Counter("agent.probes_failed")
+	a.cProbesOK = a.reg.Counter("agent.probes_ok")
+	a.cDropped = a.reg.Counter("agent.records_dropped")
+	a.cRTT3s = a.reg.Counter("agent.rtt_3s")
+	a.cRTT9s = a.reg.Counter("agent.rtt_9s")
+	for cls := probe.IntraPod; cls <= probe.InterDC; cls++ {
+		a.hRTT[cls] = a.reg.Histogram("agent.rtt." + cls.String())
+		a.hPayloadRTT[cls] = a.reg.Histogram("agent.rtt_payload." + cls.String())
+	}
+	return a, nil
 }
 
 // Metrics returns the agent's perf counters (collected by the Autopilot
@@ -321,7 +360,7 @@ func (a *Agent) record(r probe.Record) {
 		copy(a.buffer, a.buffer[1:])
 		a.buffer = a.buffer[:len(a.buffer)-1]
 		a.dropped++
-		a.reg.Counter("agent.records_dropped").Inc()
+		a.cDropped.Inc()
 	}
 	a.buffer = append(a.buffer, r)
 	n := len(a.buffer)
@@ -331,23 +370,25 @@ func (a *Agent) record(r probe.Record) {
 		a.cfg.LocalLog.Write(&r)
 	}
 
-	a.reg.Counter("agent.probes_total").Inc()
+	a.cProbesTotal.Inc()
 	if !r.Success() {
-		a.reg.Counter("agent.probes_failed").Inc()
+		a.cProbesFailed.Inc()
 		return
 	}
-	a.reg.Counter("agent.probes_ok").Inc()
-	a.reg.Histogram("agent.rtt." + r.Class.String()).Observe(r.RTT)
-	if r.PayloadRTT > 0 {
-		a.reg.Histogram("agent.rtt_payload." + r.Class.String()).Observe(r.PayloadRTT)
+	a.cProbesOK.Inc()
+	if cls := int(r.Class); cls >= 0 && cls < len(a.hRTT) {
+		a.hRTT[cls].Observe(r.RTT)
+		if r.PayloadRTT > 0 {
+			a.hPayloadRTT[cls].Observe(r.PayloadRTT)
+		}
 	}
 	// Count the SYN-retransmit latency signatures the drop-rate heuristic
 	// uses (§4.2): ~3s means one drop, ~9s means correlated drops.
 	switch {
 	case r.RTT >= 2500*time.Millisecond && r.RTT < 6*time.Second:
-		a.reg.Counter("agent.rtt_3s").Inc()
+		a.cRTT3s.Inc()
 	case r.RTT >= 6*time.Second && r.RTT < 15*time.Second:
-		a.reg.Counter("agent.rtt_9s").Inc()
+		a.cRTT9s.Inc()
 	}
 	if n >= a.cfg.UploadThreshold && a.cfg.Uploader != nil {
 		a.kickUpload()

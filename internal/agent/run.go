@@ -8,6 +8,7 @@ import (
 	"pingmesh/internal/controller"
 	"pingmesh/internal/pinglist"
 	"pingmesh/internal/probe"
+	"pingmesh/internal/trace"
 )
 
 // Run starts the agent's three loops — pinglist fetching, probe
@@ -148,8 +149,16 @@ func (a *Agent) scheduleLoop(ctx context.Context) {
 	}
 }
 
-// probeOne executes a single probe and records the outcome.
+// probeOne executes a single probe and records the outcome. The sampling
+// decision is one atomic load when tracing is off or this probe loses the
+// 1-in-N draw; only a sampled probe pays for the trace context.
 func (a *Agent) probeOne(ctx context.Context, t Target) {
+	var tid trace.TraceID
+	if a.tracer != nil {
+		if tid = a.tracer.SampleProbe(); tid != 0 {
+			ctx = trace.NewContext(ctx, a.tracer, tid)
+		}
+	}
 	start := a.clock.Now()
 	out, err := a.cfg.Prober.Probe(ctx, t)
 	rec := probe.Record{
@@ -167,6 +176,12 @@ func (a *Agent) probeOne(ctx context.Context, t Target) {
 	}
 	if err != nil {
 		rec.Err = truncateErr(err)
+	}
+	if tid != 0 {
+		// Register the record's wire identity first, then record the span:
+		// the ingest side can only re-attach the trace via the table.
+		a.tracer.RegisterProbe(tid, rec.Src, rec.SrcPort, rec.Start.UnixNano())
+		a.tring.Span(tid, trace.StageProbe, t.Addr.String(), start, a.clock.Now(), err == nil)
 	}
 	a.record(rec)
 }
@@ -224,10 +239,36 @@ func (a *Agent) flush(ctx context.Context) {
 	// reused verbatim on the next flush.
 	a.encMu.Lock()
 	defer a.encMu.Unlock()
+	// Sampled probes riding in this batch get encode/upload spans. The tid
+	// scratch slice is guarded by encMu and reused across flushes.
+	a.flushTIDs = a.flushTIDs[:0]
+	if a.tracer != nil && a.tracer.HasActiveProbes() {
+		for i := range batch {
+			r := &batch[i]
+			if tid := a.tracer.MatchProbe(r.Src, r.SrcPort, r.Start.UnixNano()); tid != 0 {
+				a.flushTIDs = append(a.flushTIDs, tid)
+			}
+		}
+	}
+	encStart := a.clock.Now()
 	data := probe.AppendBatch(a.encBuf[:0], batch)
 	a.encBuf = data[:0]
+	encEnd := a.clock.Now()
+	for _, tid := range a.flushTIDs {
+		a.tring.SpanAttr(tid, trace.StageEncode, "batch", encStart, encEnd, true, "records", int64(len(batch)))
+	}
 	for attempt := 0; attempt < a.cfg.UploadRetries; attempt++ {
-		if err := a.cfg.Uploader.Upload(ctx, data); err == nil {
+		upStart := a.clock.Now()
+		err := a.cfg.Uploader.Upload(ctx, data)
+		if a.tracer != nil {
+			for _, tid := range a.flushTIDs {
+				a.tring.SpanAttr(tid, trace.StageUpload, "batch", upStart, a.clock.Now(), err == nil, "bytes", int64(len(data)))
+			}
+		}
+		if err == nil {
+			if a.tracer != nil {
+				a.tracer.Freshness().Mark(trace.StageUpload)
+			}
 			a.reg.Counter("agent.uploads_ok").Inc()
 			a.reg.Counter("agent.uploaded_records").Add(int64(len(batch)))
 			return

@@ -1,0 +1,43 @@
+package agent
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pingmesh/internal/probe"
+	"pingmesh/internal/simclock"
+	"pingmesh/internal/trace"
+)
+
+// TestProbeTraceDisabledZeroAlloc guards the tentpole's overhead claim on
+// the probe side: with a tracer attached but sampling off, the whole
+// probe path (sampling decision, probe execution, record buffering,
+// counters and histograms) must not allocate — the tracing layer costs
+// exactly one atomic load per probe (CI tier 3).
+func TestProbeTraceDisabledZeroAlloc(t *testing.T) {
+	clock := simclock.NewSim(epoch)
+	cfg := testConfig(&fakeFetcher{results: []fetchResult{{f: testFile("v1", 1)}}},
+		&fakeProber{rtt: 300 * time.Microsecond}, clock)
+	cfg.Tracer = trace.New(clock) // attached; SampleEvery stays 0 (off)
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := Target{Addr: peerAddr, Port: 8765, Class: probe.IntraPod, Proto: probe.TCP, QoS: probe.QoSHigh}
+	ctx := context.Background()
+
+	// Warm: buffer capacity, histogram buckets.
+	for i := 0; i < 64; i++ {
+		a.probeOne(ctx, tgt)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		a.mu.Lock()
+		a.buffer = a.buffer[:0] // keep capacity; the append must not grow
+		a.mu.Unlock()
+		a.probeOne(ctx, tgt)
+	})
+	if avg != 0 {
+		t.Fatalf("probe path with disabled tracer allocates %.2f allocs/op, want 0", avg)
+	}
+}

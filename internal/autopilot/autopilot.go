@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"pingmesh/internal/simclock"
+	"pingmesh/internal/trace"
 )
 
 // DeviceState is the Device Manager's view of one device.
@@ -104,6 +105,30 @@ type Watchdog struct {
 	Device string
 	// Check returns nil when healthy.
 	Check func() error
+}
+
+// StalenessWatchdogName is the "who watches Pingmesh" alert: it fires when
+// the measurement pipeline's own data goes stale (§3.5 freshness budget).
+const StalenessWatchdogName = "pingmesh-stale"
+
+// StalenessDevice is the Device Manager device the staleness watchdog
+// escalates.
+const StalenessDevice = "pingmesh-pipeline"
+
+// NewStalenessWatchdog returns the watchdog that monitors Pingmesh itself:
+// it checks the tracer's freshness marks against the §3.5 budget (5-minute
+// perfcounter path, 20-minute Cosmos/SCOPE path) and fails when any stage
+// that has run before is now over budget. A pipeline that has not booted
+// yet ("waiting") is healthy — watchdogs run from process start.
+func NewStalenessWatchdog(f *trace.Freshness, b trace.Budget) Watchdog {
+	if b == (trace.Budget{}) {
+		b = trace.DefaultBudget()
+	}
+	return Watchdog{
+		Name:   StalenessWatchdogName,
+		Device: StalenessDevice,
+		Check:  func() error { return f.Check(b).Err() },
+	}
 }
 
 // WatchdogService runs registered watchdogs periodically.

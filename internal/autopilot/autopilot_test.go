@@ -267,6 +267,75 @@ func TestPAPeriodicAndUnregister(t *testing.T) {
 	}
 }
 
+func TestPASeriesPruning(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	pa := NewPA(clock, 5*time.Minute)
+	pa.maxPts = 4
+	reg := metrics.NewRegistry()
+	c := reg.Counter("c")
+	pa.Register("s", reg.Snapshot)
+
+	for i := 0; i < 10; i++ {
+		c.Inc()
+		pa.Collect()
+		clock.Advance(5 * time.Minute)
+	}
+	s := pa.Series("s/counter/c")
+	if len(s) != 4 {
+		t.Fatalf("series length = %d, want maxPts = 4", len(s))
+	}
+	// The retained window must be the newest samples: counts 7..10.
+	for i, p := range s {
+		if want := float64(7 + i); p.Value != want {
+			t.Fatalf("series[%d] = %v, want %v (oldest points should be pruned)", i, p.Value, want)
+		}
+	}
+	// Timestamps stay monotonic across the prune.
+	for i := 1; i < len(s); i++ {
+		if !s[i].At.After(s[i-1].At) {
+			t.Fatalf("timestamps out of order: %v then %v", s[i-1].At, s[i].At)
+		}
+	}
+}
+
+// TestPAConcurrentRegisterUnregister races source churn against the
+// collection tick: agents register and vanish while the PA is sampling
+// (run under -race in CI tier 2).
+func TestPAConcurrentRegisterUnregister(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	pa := NewPA(clock, 5*time.Minute)
+	pa.Start()
+	defer pa.Stop()
+	waitFor(t, func() bool { return clock.PendingTimers() >= 1 })
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			reg := metrics.NewRegistry()
+			cnt := reg.Counter("c")
+			name := fmt.Sprintf("src%d", g)
+			for i := 0; i < 100; i++ {
+				cnt.Inc()
+				pa.Register(name, reg.Snapshot)
+				pa.Collect()
+				pa.Unregister(name)
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		clock.Advance(5 * time.Minute)
+	}
+	wg.Wait()
+	pa.Collect() // all sources unregistered: must not panic
+	for _, key := range []string{"src0/counter/c", "src1/counter/c", "src2/counter/c", "src3/counter/c"} {
+		if len(pa.Series(key)) == 0 {
+			t.Fatalf("no samples collected for %s despite churn", key)
+		}
+	}
+}
+
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)

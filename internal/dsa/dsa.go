@@ -25,6 +25,7 @@ import (
 	"pingmesh/internal/scope"
 	"pingmesh/internal/simclock"
 	"pingmesh/internal/topology"
+	"pingmesh/internal/trace"
 	"pingmesh/internal/viz"
 )
 
@@ -51,6 +52,10 @@ type Config struct {
 	// job ages them out. The paper keeps two months of Pingmesh data
 	// (§4.3). Default 60 days.
 	Retention time.Duration
+	// Tracer, if non-nil, threads sampled end-to-end traces through the
+	// analysis cycles, marks dsa-cycle freshness, and exposes the
+	// dsa.last_cycle_age gauge on the job registry.
+	Tracer *trace.Tracer
 }
 
 // Report database tables the pipeline writes.
@@ -114,11 +119,16 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	p := &Pipeline{
 		cfg:      cfg,
-		engine:   &scope.Engine{},
+		engine:   &scope.Engine{Tracer: cfg.Tracer},
 		jm:       scope.NewJobManager(cfg.Clock),
 		db:       reportdb.New(),
 		keyer:    &analysis.Keyer{Top: cfg.Top},
 		heatmaps: make(map[string]HeatmapResult),
+	}
+	if cfg.Tracer != nil {
+		p.jm.Metrics().GaugeFunc("dsa.last_cycle_age", func() int64 {
+			return cfg.Tracer.Freshness().AgeMillis(trace.StageDSACycle)
+		})
 	}
 	for _, t := range []struct {
 		name string
@@ -205,9 +215,63 @@ func (p *Pipeline) source() scope.Source {
 	return scope.Source{Store: p.cfg.Store, StreamPrefix: p.cfg.StreamPrefix}
 }
 
+// cycleTrace accumulates the sampled traces one analysis cycle touched.
+// Zero value is inert when tracing is disabled.
+type cycleTrace struct {
+	start time.Time
+	ids   []trace.TraceID
+}
+
+func (p *Pipeline) beginCycle() cycleTrace {
+	if p.cfg.Tracer == nil {
+		return cycleTrace{}
+	}
+	return cycleTrace{start: p.cfg.Tracer.Now()}
+}
+
+// observe folds one engine result's traces into the cycle.
+func (cy *cycleTrace) observe(res *scope.Result) {
+	for _, tid := range res.Traces {
+		dup := false
+		for _, have := range cy.ids {
+			if have == tid {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cy.ids = append(cy.ids, tid)
+		}
+	}
+}
+
+// finishCycle closes out a successful analysis cycle: records the
+// dsa-cycle span (pipeline-level plus one per sampled trace), marks
+// freshness, observes the cycle duration, fires the publication hook, and
+// only then completes the cycle's traces — the portal publish triggered by
+// the hook must still see them in flight to stamp its publish span.
+func (p *Pipeline) finishCycle(cy *cycleTrace, kind string, from, to time.Time) {
+	tr := p.cfg.Tracer
+	if tr != nil {
+		end := tr.Now()
+		ring := tr.Ring("dsa")
+		ring.SpanAttr(0, trace.StageDSACycle, kind, cy.start, end, true, "traces", int64(len(cy.ids)))
+		for _, tid := range cy.ids {
+			ring.Span(tid, trace.StageDSACycle, kind, cy.start, end, true)
+		}
+		tr.Freshness().Mark(trace.StageDSACycle)
+		p.jm.Metrics().Histogram("dsa.cycle." + kind + ".duration").Observe(end.Sub(cy.start))
+	}
+	p.fireCycle(kind, from, to)
+	if tr != nil {
+		tr.CompleteProbes(cy.ids)
+	}
+}
+
 // RunTenMinute computes near-real-time SLA per DC and per service over the
 // window and fires threshold alerts.
 func (p *Pipeline) RunTenMinute(from, to time.Time) error {
+	cy := p.beginCycle()
 	res, err := p.engine.Run(scope.Job{
 		Name:   "sla-dc",
 		Source: p.source(),
@@ -220,6 +284,7 @@ func (p *Pipeline) RunTenMinute(from, to time.Time) error {
 	if err != nil {
 		return err
 	}
+	cy.observe(res)
 	for scopeName, st := range res.Groups {
 		p.insertSLA("dc/"+scopeName, from, to, st)
 	}
@@ -237,6 +302,7 @@ func (p *Pipeline) RunTenMinute(from, to time.Time) error {
 	if err != nil {
 		return err
 	}
+	cy.observe(interDC)
 	for scopeName, st := range interDC.Groups {
 		p.insertSLA("interdc/"+scopeName, from, to, st)
 	}
@@ -253,17 +319,19 @@ func (p *Pipeline) RunTenMinute(from, to time.Time) error {
 		if err != nil {
 			return err
 		}
+		cy.observe(svcRes)
 		st := svcRes.Get("")
 		p.insertSLA("service/"+svc.Name, from, to, st)
 		p.fireAlerts(map[string]*analysis.LatencyStats{"service/" + svc.Name: st}, to)
 	}
-	p.fireCycle(Cycle10Min, from, to)
+	p.finishCycle(&cy, Cycle10Min, from, to)
 	return nil
 }
 
 // RunHourly computes pod-level SLA and the pod-pair heatmap with pattern
 // classification for every DC.
 func (p *Pipeline) RunHourly(from, to time.Time) error {
+	cy := p.beginCycle()
 	res, err := p.engine.Run(scope.Job{
 		Name:   "pod-pairs",
 		Source: p.source(),
@@ -274,6 +342,7 @@ func (p *Pipeline) RunHourly(from, to time.Time) error {
 	if err != nil {
 		return err
 	}
+	cy.observe(res)
 	for di := range p.cfg.Top.DCs {
 		h := viz.BuildHeatmap(p.cfg.Top, di, res.Groups, p.cfg.HeatmapMinProbes)
 		cls := h.Classify()
@@ -302,16 +371,18 @@ func (p *Pipeline) RunHourly(from, to time.Time) error {
 	if err != nil {
 		return err
 	}
+	cy.observe(podRes)
 	for scopeName, st := range podRes.Groups {
 		p.insertSLA("pod/"+scopeName, from, to, st)
 	}
-	p.fireCycle(Cycle1Hour, from, to)
+	p.finishCycle(&cy, Cycle1Hour, from, to)
 	return nil
 }
 
 // RunDaily computes per-DC per-class drop rates (the Table 1 rows) and
 // runs black-hole detection over server-pair stats.
 func (p *Pipeline) RunDaily(from, to time.Time) error {
+	cy := p.beginCycle()
 	for _, class := range []probe.Class{probe.IntraPod, probe.IntraDC, probe.InterDC} {
 		class := class
 		res, err := p.engine.Run(scope.Job{
@@ -324,6 +395,7 @@ func (p *Pipeline) RunDaily(from, to time.Time) error {
 		if err != nil {
 			return err
 		}
+		cy.observe(res)
 		for dc, st := range res.Groups {
 			if err := p.db.Insert(TableDropRates, reportdb.Row{
 				"dc":           dc,
@@ -346,6 +418,7 @@ func (p *Pipeline) RunDaily(from, to time.Time) error {
 	if err != nil {
 		return err
 	}
+	cy.observe(pairRes)
 	det := blackhole.Detect(p.cfg.Top, pairRes.Groups, p.cfg.BlackholeConfig)
 	for _, cand := range det.Candidates {
 		if err := p.db.Insert(TableBlackholes, reportdb.Row{
@@ -361,7 +434,7 @@ func (p *Pipeline) RunDaily(from, to time.Time) error {
 	}
 
 	p.ageOut(to)
-	p.fireCycle(Cycle1Day, from, to)
+	p.finishCycle(&cy, Cycle1Day, from, to)
 	return nil
 }
 

@@ -97,12 +97,16 @@ type Registry struct {
 	entries []metricEntry
 }
 
-// metricEntry is one registered metric: exactly one of c, g, h is set.
+// metricEntry is one registered metric: exactly one of c, g, h, gf is set
+// (a gf entry also carries a scratch Gauge the callback is evaluated into
+// at visit time, so Visitor needs no new method and scrapes stay
+// allocation-free).
 type metricEntry struct {
 	name string
 	c    *Counter
 	g    *Gauge
 	h    *LockedHistogram
+	gf   func() int64
 }
 
 // insertEntry places e at its sorted position. Called with r.mu held, only
@@ -149,7 +153,23 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// Histogram returns the histogram with the given name, creating it if needed.
+// GaugeFunc registers a callback gauge: fn is evaluated at Visit and
+// Snapshot time, so values that are a function of "now" (ages, queue
+// depths) are always current without a ticker refreshing them.
+// Re-registering a name replaces the callback. fn must be safe for
+// concurrent use, must not block, and must not call back into the
+// registry.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.entries {
+		if r.entries[i].gf != nil && r.entries[i].name == name {
+			r.entries[i].gf = fn
+			return
+		}
+	}
+	r.insertEntry(metricEntry{name: name, g: &Gauge{}, gf: fn})
+}
 func (r *Registry) Histogram(name string) *LockedHistogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -178,6 +198,9 @@ func (r *Registry) Visit(v Visitor) {
 	for i := range r.entries {
 		e := &r.entries[i]
 		switch {
+		case e.gf != nil:
+			e.g.Set(e.gf())
+			v.VisitGauge(e.name, e.g)
 		case e.c != nil:
 			v.VisitCounter(e.name, e.c)
 		case e.g != nil:
@@ -212,6 +235,11 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for n, h := range r.histograms {
 		s.Histograms[n] = h.Snapshot().Summarize()
+	}
+	for i := range r.entries {
+		if e := &r.entries[i]; e.gf != nil {
+			s.Gauges[e.name] = e.gf()
+		}
 	}
 	return s
 }

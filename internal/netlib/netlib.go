@@ -23,9 +23,12 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptrace"
 	"strconv"
 	"sync"
 	"time"
+
+	"pingmesh/internal/trace"
 )
 
 // MaxPayload is the hard upper bound on probe payload size, mirrored from
@@ -161,7 +164,20 @@ func (p *TCPProber) timeout() time.Duration {
 
 // Probe connects to addr, optionally echoes payloadLen bytes, and returns
 // the timings. Each call uses a brand-new connection and source port.
+// A sampled trace carried in ctx gets a netprobe span; untraced probes
+// pay only a context value miss.
 func (p *TCPProber) Probe(ctx context.Context, addr string, payloadLen int) (Result, error) {
+	if tr, tid := trace.FromContext(ctx); tid != 0 {
+		start := tr.Now()
+		res, err := p.probe(ctx, addr, payloadLen)
+		tr.Ring("netlib").SpanAttr(tid, trace.StageNetProbe, addr, start, tr.Now(), err == nil,
+			"connect_ns", int64(res.ConnectRTT))
+		return res, err
+	}
+	return p.probe(ctx, addr, payloadLen)
+}
+
+func (p *TCPProber) probe(ctx context.Context, addr string, payloadLen int) (Result, error) {
 	if payloadLen < 0 || payloadLen > MaxPayload {
 		return Result{}, fmt.Errorf("netlib: payload %d out of range [0,%d]", payloadLen, MaxPayload)
 	}
@@ -246,16 +262,48 @@ func (p *HTTPProber) init() {
 	})
 }
 
-// Probe issues GET http://addr/ping?size=payloadLen and measures the full
-// request round trip. ConnectRTT and PayloadRTT both report the total
-// (HTTP probes measure user-perceived latency, not handshake latency).
+// Probe issues GET http://addr/ping?size=payloadLen. ConnectRTT is the TCP
+// handshake time observed via net/http/httptrace (ConnectStart to
+// ConnectDone), so the TCP-level vs application-level split of §3.4 holds
+// for HTTP probes too; PayloadRTT is the full request round trip. A
+// sampled trace carried in ctx gets a netprobe span.
 func (p *HTTPProber) Probe(ctx context.Context, addr string, payloadLen int) (Result, error) {
+	if tr, tid := trace.FromContext(ctx); tid != 0 {
+		start := tr.Now()
+		res, err := p.probe(ctx, addr, payloadLen)
+		tr.Ring("netlib").SpanAttr(tid, trace.StageNetProbe, addr, start, tr.Now(), err == nil,
+			"connect_ns", int64(res.ConnectRTT))
+		return res, err
+	}
+	return p.probe(ctx, addr, payloadLen)
+}
+
+func (p *HTTPProber) probe(ctx context.Context, addr string, payloadLen int) (Result, error) {
 	if payloadLen < 0 || payloadLen > MaxPayload {
 		return Result{}, fmt.Errorf("netlib: payload %d out of range [0,%d]", payloadLen, MaxPayload)
 	}
 	p.init()
 	url := fmt.Sprintf("http://%s/ping?size=%d", addr, payloadLen)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	// Keep-alives are off, so every request dials a fresh connection and
+	// the httptrace connect callbacks fire exactly once per probe. The
+	// callbacks run sequentially during client.Do's dial, before Do
+	// returns, so plain (non-atomic) captures are safe.
+	var connStart, connDone time.Time
+	var srcPort uint16
+	ct := &httptrace.ClientTrace{
+		ConnectStart: func(network, address string) { connStart = time.Now() },
+		ConnectDone: func(network, address string, err error) {
+			if err == nil {
+				connDone = time.Now()
+			}
+		},
+		GotConn: func(info httptrace.GotConnInfo) {
+			if ta, ok := info.Conn.LocalAddr().(*net.TCPAddr); ok {
+				srcPort = uint16(ta.Port)
+			}
+		},
+	}
+	req, err := http.NewRequestWithContext(httptrace.WithClientTrace(ctx, ct), http.MethodGet, url, nil)
 	if err != nil {
 		return Result{}, fmt.Errorf("netlib: build request: %w", err)
 	}
@@ -272,5 +320,13 @@ func (p *HTTPProber) Probe(ctx context.Context, addr string, payloadLen int) (Re
 	if resp.StatusCode != http.StatusOK {
 		return Result{}, fmt.Errorf("netlib: http probe %s: status %d", addr, resp.StatusCode)
 	}
-	return Result{ConnectRTT: elapsed, PayloadRTT: elapsed}, nil
+	res := Result{PayloadRTT: elapsed, SrcPort: srcPort}
+	if !connStart.IsZero() && !connDone.IsZero() {
+		res.ConnectRTT = connDone.Sub(connStart)
+	} else {
+		// No dial observed (should not happen with keep-alives off):
+		// fall back to the old total-time behavior rather than report 0.
+		res.ConnectRTT = elapsed
+	}
+	return res, nil
 }

@@ -124,11 +124,44 @@ func TestHTTPProbe(t *testing.T) {
 	if err != nil {
 		t.Fatalf("HTTP Probe: %v", err)
 	}
-	if res.ConnectRTT <= 0 || res.PayloadRTT != res.ConnectRTT {
+	// ConnectRTT is the handshake alone (httptrace ConnectStart→ConnectDone);
+	// PayloadRTT is the whole request, which includes the handshake.
+	if res.ConnectRTT <= 0 || res.PayloadRTT <= 0 {
 		t.Fatalf("unexpected result: %+v", res)
+	}
+	if res.ConnectRTT >= res.PayloadRTT {
+		t.Fatalf("ConnectRTT %v not below total request time %v: %+v", res.ConnectRTT, res.PayloadRTT, res)
+	}
+	if res.SrcPort == 0 {
+		t.Fatalf("missing source port: %+v", res)
 	}
 	if _, err := p.Probe(context.Background(), addr, MaxPayload+1); err == nil {
 		t.Fatal("HTTP probe accepted oversized payload")
+	}
+}
+
+// TestHTTPProbeConnectExcludesServerTime pins the §3.4 split for HTTP
+// probes: a slow application handler must inflate PayloadRTT (the
+// user-perceived request time) but not ConnectRTT (the TCP handshake).
+// Before the httptrace fix, ConnectRTT reported the total request time and
+// this test fails by ~50ms.
+func TestHTTPProbeConnectExcludesServerTime(t *testing.T) {
+	const serverDelay = 50 * time.Millisecond
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(serverDelay)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	p := &HTTPProber{Timeout: 5 * time.Second}
+	res, err := p.Probe(context.Background(), srv.Listener.Addr().String(), 0)
+	if err != nil {
+		t.Fatalf("HTTP Probe: %v", err)
+	}
+	if res.PayloadRTT < serverDelay {
+		t.Fatalf("PayloadRTT %v should include the %v handler delay", res.PayloadRTT, serverDelay)
+	}
+	if res.ConnectRTT >= serverDelay {
+		t.Fatalf("ConnectRTT %v includes server processing time (want loopback handshake ≪ %v)", res.ConnectRTT, serverDelay)
 	}
 }
 

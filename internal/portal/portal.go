@@ -22,6 +22,7 @@ import (
 	"pingmesh/internal/metrics"
 	"pingmesh/internal/simclock"
 	"pingmesh/internal/topology"
+	"pingmesh/internal/trace"
 )
 
 // Defaults for Config zero values.
@@ -50,6 +51,12 @@ type Config struct {
 	// Metrics lists additional registries for /metrics; the portal's own
 	// registry is always included.
 	Metrics []MetricSource
+	// Tracer, if non-nil, records publish spans, marks snapshot freshness,
+	// and enables /health and /debug/trace.
+	Tracer *trace.Tracer
+	// Budget is the freshness budget /health evaluates; zero value means
+	// trace.DefaultBudget().
+	Budget trace.Budget
 }
 
 // state is one published epoch: the snapshot plus every pre-rendered
@@ -92,7 +99,18 @@ func New(cfg Config) *Portal {
 	if cfg.AlertWindow <= 0 {
 		cfg.AlertWindow = DefaultAlertWindow
 	}
+	if cfg.Budget == (trace.Budget{}) {
+		cfg.Budget = trace.DefaultBudget()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.NewReal()
+	}
 	p := &Portal{cfg: cfg, reg: metrics.NewRegistry(), exp: metrics.NewExposition()}
+	if cfg.Tracer != nil {
+		p.reg.GaugeFunc("portal.snapshot_age", func() int64 {
+			return cfg.Tracer.Freshness().AgeMillis(trace.StagePublish)
+		})
+	}
 	p.exp.Add("", p.reg)
 	for _, src := range cfg.Metrics {
 		p.exp.Add(src.Prefix, src.Registry)
@@ -132,6 +150,11 @@ func (p *Portal) Refresh() error {
 	p.refreshMu.Lock()
 	defer p.refreshMu.Unlock()
 
+	tr := p.cfg.Tracer
+	var pubStart time.Time
+	if tr != nil {
+		pubStart = tr.Now()
+	}
 	snap, err := BuildSnapshot(p.cfg.Pipeline, p.cfg.Clock.Now(), p.cfg.AlertWindow, p.cfg.AlertLimit)
 	if err != nil {
 		return err
@@ -151,6 +174,21 @@ func (p *Portal) Refresh() error {
 		total += int64(len(b.Data()))
 	}
 	p.gBodyBytes.Set(total)
+
+	if tr != nil {
+		// Publish span: pipeline-level, plus one per sampled trace still
+		// in flight — the DSA cycle that triggered this refresh completes
+		// its traces only after the publication hook returns, so the
+		// records this snapshot folds in are still registered here.
+		end := tr.Now()
+		ring := tr.Ring("portal")
+		ring.SpanAttr(0, trace.StagePublish, "snapshot", pubStart, end, true, "epoch", int64(snap.Epoch))
+		for _, tid := range tr.ActiveProbeIDs() {
+			ring.SpanAttr(tid, trace.StagePublish, "snapshot", pubStart, end, true, "epoch", int64(snap.Epoch))
+		}
+		tr.Freshness().Mark(trace.StagePublish)
+		p.reg.Histogram("portal.refresh.duration").Observe(end.Sub(pubStart))
+	}
 	return nil
 }
 
@@ -235,6 +273,7 @@ func renderState(snap *Snapshot) (*state, error) {
 		Endpoints: []string{
 			"/sla", "/sla/{scope}", "/heatmap/{dc}", "/heatmap/{dc}.svg",
 			"/alerts", "/triage?src=&dst=", "/metrics", "/healthz",
+			"/health", "/debug/trace",
 		},
 	}
 	if err := put("/", ctJSON, idx); err != nil {
@@ -296,8 +335,48 @@ func (p *Portal) Handler() http.Handler {
 	mux.HandleFunc("/triage", p.serveTriage)
 	mux.HandleFunc("/metrics", p.ServeMetrics)
 	mux.HandleFunc("/healthz", p.serveHealthz)
+	mux.HandleFunc("/health", p.ServeHealth)
+	mux.HandleFunc("/debug/trace", p.ServeTrace)
 	mux.HandleFunc("/", p.ServeCached)
 	return mux
+}
+
+// ServeHealth answers GET /health with the pipeline freshness verdict
+// (§3.5 budget): 200 for "ok"/"waiting", 503 for "degraded". Without a
+// tracer it degenerates to the liveness answer of /healthz.
+func (p *Portal) ServeHealth(w http.ResponseWriter, r *http.Request) {
+	if p.cfg.Tracer == nil {
+		p.serveHealthz(w, r)
+		return
+	}
+	h := p.cfg.Tracer.Freshness().Check(p.cfg.Budget)
+	code := http.StatusOK
+	if h.Status == "degraded" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// ServeTrace answers GET /debug/trace with the tracer's full span dump.
+// With ?trace=<hex id> it returns just that trace's spans across all
+// components, ordered by start time.
+func (p *Portal) ServeTrace(w http.ResponseWriter, r *http.Request) {
+	if p.cfg.Tracer == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "tracing disabled"})
+		return
+	}
+	if idHex := r.URL.Query().Get("trace"); idHex != "" {
+		id, err := strconv.ParseUint(idHex, 16, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad trace id (want hex)"})
+			return
+		}
+		writeJSON(w, http.StatusOK, p.cfg.Tracer.TraceSpans(trace.TraceID(id)))
+		return
+	}
+	w.Header()["Content-Type"] = jsonContentType
+	w.WriteHeader(http.StatusOK)
+	p.cfg.Tracer.WriteJSON(w)
 }
 
 // Precomputed header values for the dynamic endpoints, mirroring the

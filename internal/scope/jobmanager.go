@@ -63,6 +63,10 @@ func (m *JobManager) Schedule(name string, every time.Duration, fn func(from, to
 	m.jobs = append(m.jobs, job)
 	m.mu.Unlock()
 
+	runs := m.reg.Counter("scope.job." + name + ".runs")
+	errors := m.reg.Counter("scope.job." + name + ".errors")
+	lastMS := m.reg.Gauge("scope.job." + name + ".last_ms")
+	duration := m.reg.Histogram("scope.job." + name + ".duration")
 	go func() {
 		ticker := m.clock.NewTicker(every)
 		defer ticker.Stop()
@@ -73,11 +77,13 @@ func (m *JobManager) Schedule(name string, every time.Duration, fn func(from, to
 			case now := <-ticker.C:
 				start := m.clock.Now()
 				err := fn(now.Add(-every), now)
-				m.reg.Counter("scope.job." + name + ".runs").Inc()
+				runs.Inc()
 				if err != nil {
-					m.reg.Counter("scope.job." + name + ".errors").Inc()
+					errors.Inc()
 				}
-				m.reg.Gauge("scope.job." + name + ".last_ms").Set(int64(m.clock.Since(start) / time.Millisecond))
+				elapsed := m.clock.Since(start)
+				lastMS.Set(int64(elapsed / time.Millisecond))
+				duration.Observe(elapsed)
 			}
 		}
 	}()

@@ -15,6 +15,7 @@ import (
 	"pingmesh/internal/analysis"
 	"pingmesh/internal/cosmos"
 	"pingmesh/internal/probe"
+	"pingmesh/internal/trace"
 )
 
 // Source names the data a job reads: every extent of every stream whose
@@ -61,6 +62,10 @@ type Result struct {
 	// ParseErrors counts undecodable rows (skipped, not fatal — corrupt
 	// rows must not kill a fleet-wide job).
 	ParseErrors uint64
+	// Traces lists the sampled end-to-end traces whose probe records this
+	// run scanned (deduplicated). The DSA pipeline completes them once the
+	// cycle that consumed this result has published.
+	Traces []trace.TraceID
 }
 
 // Get returns the group's stats, or an empty aggregate if absent, so
@@ -76,6 +81,11 @@ func (r *Result) Get(key string) *analysis.LatencyStats {
 type Engine struct {
 	// Parallelism bounds concurrent extent processors. Default NumCPU.
 	Parallelism int
+	// Tracer, if non-nil, re-attaches sampled end-to-end traces to the
+	// records the engine scans and records per-run scope-job spans. With no
+	// trace in flight the per-record cost is one atomic load (tier-3
+	// guarded: TestIngestTraceUnsampledZeroAlloc).
+	Tracer *trace.Tracer
 }
 
 type task struct {
@@ -88,6 +98,10 @@ type task struct {
 func (e *Engine) Run(job Job) (*Result, error) {
 	if job.Source.Store == nil {
 		return nil, fmt.Errorf("scope: job %q has no source store", job.Name)
+	}
+	var runStart time.Time
+	if e.Tracer != nil {
+		runStart = e.Tracer.Now()
 	}
 	par := e.Parallelism
 	if par <= 0 {
@@ -132,6 +146,9 @@ func (e *Engine) Run(job Job) (*Result, error) {
 		out.Records += r.Records
 		out.Scanned += r.Scanned
 		out.ParseErrors += r.ParseErrors
+		for _, tid := range r.Traces {
+			out.addTrace(tid)
+		}
 		for k, st := range r.Groups {
 			if cur, ok := out.Groups[k]; ok {
 				cur.Merge(st)
@@ -140,7 +157,28 @@ func (e *Engine) Run(job Job) (*Result, error) {
 			}
 		}
 	}
+	if e.Tracer != nil {
+		// One pipeline-level span per run (trace 0), plus a span on every
+		// sampled trace whose record this job scanned.
+		ring := e.Tracer.Ring("scope")
+		end := e.Tracer.Now()
+		ring.SpanAttr(0, trace.StageScopeJob, job.Name, runStart, end, true, "scanned", int64(out.Scanned))
+		for _, tid := range out.Traces {
+			ring.SpanAttr(tid, trace.StageScopeJob, job.Name, runStart, end, true, "records", int64(out.Records))
+		}
+	}
 	return out, nil
+}
+
+// addTrace appends tid if not already present (trace counts stay small:
+// the in-flight table is bounded).
+func (r *Result) addTrace(tid trace.TraceID) {
+	for _, have := range r.Traces {
+		if have == tid {
+			return
+		}
+	}
+	r.Traces = append(r.Traces, tid)
 }
 
 // worker processes extents from the channel into a local result. Extent
@@ -150,7 +188,7 @@ func (e *Engine) Run(job Job) (*Result, error) {
 // allocates nothing per record (see extentSink and TestProcessExtentZeroAlloc).
 func (e *Engine) worker(job *Job, tasks <-chan task) (*Result, error) {
 	res := &Result{Groups: make(map[string]*analysis.LatencyStats)}
-	sink := extentSink{job: job, res: res}
+	sink := extentSink{job: job, res: res, tracer: e.Tracer}
 	for t := range tasks {
 		data, err := job.Source.Store.ReadExtent(t.stream, t.extent)
 		if err != nil {
@@ -168,8 +206,20 @@ func (e *Engine) worker(job *Job, tasks <-chan task) (*Result, error) {
 type extentSink struct {
 	job    *Job
 	res    *Result
+	tracer *trace.Tracer // nil when tracing is disabled
 	sc     probe.Scanner
 	keyBuf []byte
+}
+
+// matchTrace is the cold half of the ingest trace hook: a sampled probe is
+// in flight and this record might be it. Kept out of process so the hot
+// loop stays lean.
+func (s *extentSink) matchTrace(r *probe.Record) {
+	if tid := s.tracer.MatchProbe(r.Src, r.SrcPort, r.Start.UnixNano()); tid != 0 {
+		now := s.tracer.Now()
+		s.tracer.Ring("scope").Span(tid, trace.StageIngest, s.job.Name, now, now, true)
+		s.res.addTrace(tid)
+	}
 }
 
 // process folds one extent into the sink's result. data is only read
@@ -185,6 +235,13 @@ func (s *extentSink) process(data []byte) {
 		}
 		r := s.sc.Record()
 		res.Scanned++
+		// Trace re-attachment happens before the job's window/Where
+		// filters: the record was ingested whether or not this particular
+		// job aggregates it. Cost with no trace in flight: one nil check
+		// and one atomic load.
+		if s.tracer != nil && s.tracer.HasActiveProbes() {
+			s.matchTrace(r)
+		}
 		if !job.From.IsZero() && r.Start.Before(job.From) {
 			continue
 		}

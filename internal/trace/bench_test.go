@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// TestSampleProbeDisabledZeroAlloc pins the tracer's own contract: with
+// sampling off, the probe-path decision is one atomic load, zero allocs.
+// The agent- and scope-level guards (TestProbeTraceDisabledZeroAlloc,
+// TestIngestTraceUnsampledZeroAlloc) pin the same property end to end.
+func TestSampleProbeDisabledZeroAlloc(t *testing.T) {
+	tr := New(nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tr.SampleProbe() != 0 {
+			t.Fatal("disabled tracer sampled")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SampleProbe (disabled) allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestMatchProbeZeroAlloc pins the ingest-side match: scanning the
+// in-flight table allocates nothing, hit or miss.
+func TestMatchProbeZeroAlloc(t *testing.T) {
+	tr := New(nil)
+	src := netip.MustParseAddr("10.0.1.5")
+	for i := 0; i < 16; i++ {
+		tr.RegisterProbe(TraceID(i+1), src, uint16(i), int64(i))
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.HasActiveProbes()
+		tr.MatchProbe(src, 7, 7)   // hit
+		tr.MatchProbe(src, 99, 99) // miss
+	})
+	if allocs != 0 {
+		t.Fatalf("MatchProbe allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestRingRecordZeroAlloc pins span recording: a slot write, no growth.
+func TestRingRecordZeroAlloc(t *testing.T) {
+	tr := New(nil)
+	r := tr.Ring("bench")
+	now := time.Now()
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Span(1, StageProbe, "t", now, now, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("Ring.Span allocs/op = %v, want 0", allocs)
+	}
+}
+
+// BenchmarkTracerSampleDisabled measures the cost every probe pays when
+// tracing is off: the single atomic load.
+func BenchmarkTracerSampleDisabled(b *testing.B) {
+	tr := New(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr.SampleProbe() != 0 {
+			b.Fatal("sampled")
+		}
+	}
+}
+
+// BenchmarkTracerSampleUnsampled measures the cost of a probe that loses
+// the 1-in-N draw: atomic load + atomic add.
+func BenchmarkTracerSampleUnsampled(b *testing.B) {
+	tr := New(nil)
+	tr.SetSampleEvery(1 << 62) // effectively never wins
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.SampleProbe()
+	}
+}
+
+// BenchmarkTracerSampledSpan measures the full sampled path: win the draw,
+// register the probe key, record a span, complete.
+func BenchmarkTracerSampledSpan(b *testing.B) {
+	tr := New(nil)
+	tr.SetSampleEvery(1)
+	r := tr.Ring("agent")
+	src := netip.MustParseAddr("10.0.1.5")
+	now := time.Now()
+	ids := make([]TraceID, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := tr.SampleProbe()
+		tr.RegisterProbe(id, src, 4242, int64(i))
+		r.Span(id, StageProbe, "bench", now, now, true)
+		ids[0] = id
+		tr.CompleteProbes(ids)
+	}
+}
+
+// BenchmarkMatchProbeMiss measures the ingest-side cost per record while a
+// trace is in flight (table occupied, record doesn't match).
+func BenchmarkMatchProbeMiss(b *testing.B) {
+	tr := New(nil)
+	src := netip.MustParseAddr("10.0.1.5")
+	for i := 0; i < 8; i++ {
+		tr.RegisterProbe(TraceID(i+1), src, uint16(i), int64(i))
+	}
+	other := netip.MustParseAddr("10.9.9.9")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr.MatchProbe(other, 1, int64(i)+1000) != 0 {
+			b.Fatal("unexpected match")
+		}
+	}
+}
+
+// BenchmarkHasActiveProbesEmpty measures the steady-state ingest gate when
+// nothing is in flight: one atomic pointer load.
+func BenchmarkHasActiveProbesEmpty(b *testing.B) {
+	tr := New(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr.HasActiveProbes() {
+			b.Fatal("phantom probes")
+		}
+	}
+}

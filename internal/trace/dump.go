@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// SpanDump is a span rendered for the /debug/trace JSON export.
+type SpanDump struct {
+	Trace      string `json:"trace,omitempty"` // hex trace ID, "" for untraced spans
+	Component  string `json:"component"`
+	Stage      string `json:"stage"`
+	Name       string `json:"name,omitempty"`
+	Start      string `json:"start"` // RFC3339Nano on the tracer clock
+	DurationUS int64  `json:"duration_us"`
+	OK         bool   `json:"ok"`
+	AttrKey    string `json:"attr_key,omitempty"`
+	AttrVal    int64  `json:"attr_val,omitempty"`
+}
+
+// RingDump is one component's ring, oldest span first.
+type RingDump struct {
+	Component string     `json:"component"`
+	Spans     []SpanDump `json:"spans"`
+}
+
+// Dump is the full /debug/trace payload: every component ring plus the
+// sampling state and the set of traces still in flight.
+type Dump struct {
+	SampleEvery  uint64     `json:"sample_every"`
+	ActiveTraces []string   `json:"active_traces,omitempty"`
+	Rings        []RingDump `json:"rings"`
+}
+
+// FormatTraceID renders a trace ID the way dumps and logs print it.
+func FormatTraceID(id TraceID) string {
+	if id == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%08x", uint64(id))
+}
+
+func dumpSpan(component string, s Span) SpanDump {
+	return SpanDump{
+		Trace:      FormatTraceID(s.Trace),
+		Component:  component,
+		Stage:      s.Stage.String(),
+		Name:       s.Name,
+		Start:      time.Unix(0, s.Start).UTC().Format(time.RFC3339Nano),
+		DurationUS: (s.End - s.Start) / int64(time.Microsecond),
+		OK:         s.OK,
+		AttrKey:    s.AttrKey,
+		AttrVal:    s.AttrVal,
+	}
+}
+
+// Dump snapshots every ring. Components are sorted by name so the export
+// is stable for tests and diffing.
+func (t *Tracer) Dump() Dump {
+	t.mu.Lock()
+	names := make([]string, 0, len(t.rings))
+	rings := make([]*Ring, 0, len(t.rings))
+	for name := range t.rings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rings = append(rings, t.rings[name])
+	}
+	t.mu.Unlock()
+
+	d := Dump{SampleEvery: t.every.Load()}
+	for _, id := range t.ActiveProbeIDs() {
+		d.ActiveTraces = append(d.ActiveTraces, FormatTraceID(id))
+	}
+	var scratch []Span
+	for _, r := range rings {
+		scratch = r.Snapshot(scratch[:0])
+		rd := RingDump{Component: r.Component(), Spans: make([]SpanDump, 0, len(scratch))}
+		for _, s := range scratch {
+			rd.Spans = append(rd.Spans, dumpSpan(r.Component(), s))
+		}
+		d.Rings = append(d.Rings, rd)
+	}
+	return d
+}
+
+// TraceSpans collects every recorded span belonging to one trace across
+// all component rings, ordered by start time — the single end-to-end story
+// of one sampled probe.
+func (t *Tracer) TraceSpans(id TraceID) []SpanDump {
+	if id == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	rings := make([]*Ring, 0, len(t.rings))
+	for _, r := range t.rings {
+		rings = append(rings, r)
+	}
+	t.mu.Unlock()
+
+	type hit struct {
+		component string
+		span      Span
+	}
+	var hits []hit
+	var scratch []Span
+	for _, r := range rings {
+		scratch = r.Snapshot(scratch[:0])
+		for _, s := range scratch {
+			if s.Trace == id {
+				hits = append(hits, hit{component: r.Component(), span: s})
+			}
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].span.Start != hits[j].span.Start {
+			return hits[i].span.Start < hits[j].span.Start
+		}
+		return hits[i].span.Stage < hits[j].span.Stage
+	})
+	out := make([]SpanDump, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, dumpSpan(h.component, h.span))
+	}
+	return out
+}
+
+// WriteJSON writes the full dump as indented JSON (the /debug/trace body).
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Dump())
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Stage enumerates the pipeline stages a sampled probe passes through, in
+// pipeline order: the agent schedules the probe, netlib performs it, the
+// agent encodes and uploads the record batch, the SCOPE engine scans it
+// back out of storage, the job aggregates it, the DSA cycle folds the job
+// results into reportdb, and the portal publishes the snapshot.
+type Stage uint8
+
+const (
+	StageProbe Stage = iota
+	StageNetProbe
+	StageEncode
+	StageUpload
+	StageIngest
+	StageScopeJob
+	StageDSACycle
+	StagePublish
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"probe",
+	"netprobe",
+	"encode",
+	"upload",
+	"ingest",
+	"scope-job",
+	"dsa-cycle",
+	"publish",
+}
+
+// String returns the stage's wire name (used in dumps and health reports).
+func (s Stage) String() string {
+	if s < numStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Span is one recorded unit of pipeline work. Spans are plain values —
+// fixed-size, no pointers beyond the two strings (which are interned
+// constants on the hot paths) — so a ring of them is a single allocation.
+type Span struct {
+	Trace TraceID // 0 for pipeline spans not tied to a sampled probe
+	Stage Stage
+	OK    bool
+	Name  string // stage-specific detail: job name, target addr, cycle kind
+	Start int64  // UnixNano on the tracer clock
+	End   int64
+
+	// One optional numeric attribute (records scanned, bytes uploaded,
+	// HTTP status...). A fixed single slot keeps Span flat; stages that
+	// need more detail publish metrics instead.
+	AttrKey string
+	AttrVal int64
+}
+
+// Duration returns the span's elapsed time.
+func (s Span) Duration() time.Duration { return time.Duration(s.End - s.Start) }
+
+// Ring is a fixed-size buffer of the most recent spans for one component.
+// Recording is a mutex-guarded slot write — no allocation, no growth — so
+// components can record on every pipeline cycle without caring about
+// volume, and a dump never stops the world for long.
+type Ring struct {
+	component string
+
+	mu      sync.Mutex
+	buf     []Span
+	written uint64 // total spans ever recorded; written%len(buf) is the next slot
+}
+
+// Component returns the ring's component name ("agent", "scope", ...).
+func (r *Ring) Component() string { return r.component }
+
+// Record stores a span, overwriting the oldest once the ring is full.
+func (r *Ring) Record(s Span) {
+	r.mu.Lock()
+	r.buf[r.written%uint64(len(r.buf))] = s
+	r.written++
+	r.mu.Unlock()
+}
+
+// Span records a completed stage span in one call.
+func (r *Ring) Span(id TraceID, stage Stage, name string, start, end time.Time, ok bool) {
+	r.Record(Span{
+		Trace: id,
+		Stage: stage,
+		OK:    ok,
+		Name:  name,
+		Start: start.UnixNano(),
+		End:   end.UnixNano(),
+	})
+}
+
+// SpanAttr records a completed stage span carrying one numeric attribute.
+func (r *Ring) SpanAttr(id TraceID, stage Stage, name string, start, end time.Time, ok bool, attrKey string, attrVal int64) {
+	r.Record(Span{
+		Trace:   id,
+		Stage:   stage,
+		OK:      ok,
+		Name:    name,
+		Start:   start.UnixNano(),
+		End:     end.UnixNano(),
+		AttrKey: attrKey,
+		AttrVal: attrVal,
+	})
+}
+
+// Snapshot appends the ring's live spans to dst in recording order (oldest
+// first) and returns the extended slice.
+func (r *Ring) Snapshot(dst []Span) []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.written
+	size := uint64(len(r.buf))
+	if n > size {
+		// Ring has wrapped: oldest live span is at written%size.
+		i := n % size
+		dst = append(dst, r.buf[i:]...)
+		dst = append(dst, r.buf[:i]...)
+		return dst
+	}
+	return append(dst, r.buf[:n]...)
+}
+
+// Len returns the number of live spans in the ring.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.written > uint64(len(r.buf)) {
+		return len(r.buf)
+	}
+	return int(r.written)
+}

@@ -43,6 +43,7 @@ import (
 	"pingmesh/internal/silentdrop"
 	"pingmesh/internal/simclock"
 	"pingmesh/internal/topology"
+	"pingmesh/internal/trace"
 	"pingmesh/internal/viz"
 )
 
@@ -90,6 +91,10 @@ type (
 	TriageResult = portal.TriageResult
 	// Tier identifies a switch layer (ToR, Leaf, Spine).
 	Tier = topology.Tier
+	// Tracer is the in-process tracing and pipeline self-monitoring layer.
+	Tracer = trace.Tracer
+	// FreshnessBudget is the §3.5 data-freshness budget /health evaluates.
+	FreshnessBudget = trace.Budget
 )
 
 // Switch tiers, bottom up.
@@ -128,6 +133,9 @@ type SimTestbed struct {
 	Store      *cosmos.Store
 	Controller *controller.Controller
 	Pipeline   *dsa.Pipeline
+	// Tracer is the testbed's tracing/self-monitoring layer, on the
+	// testbed's virtual clock and threaded through the pipeline and portal.
+	Tracer *trace.Tracer
 
 	gen   core.GeneratorConfig
 	seed  uint64
@@ -173,6 +181,7 @@ func NewSimTestbed(spec TopologySpec, opts SimOptions) (*SimTestbed, error) {
 	if err != nil {
 		return nil, err
 	}
+	tracer := trace.New(clock)
 	pipe, err := dsa.New(dsa.Config{
 		Store:            store,
 		Top:              top,
@@ -180,6 +189,7 @@ func NewSimTestbed(spec TopologySpec, opts SimOptions) (*SimTestbed, error) {
 		Services:         opts.Services,
 		OnDetection:      opts.OnDetection,
 		HeatmapMinProbes: opts.HeatmapMinProbes,
+		Tracer:           tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -190,7 +200,7 @@ func NewSimTestbed(spec TopologySpec, opts SimOptions) (*SimTestbed, error) {
 	}
 	return &SimTestbed{
 		Top: top, Net: net, Clock: clock, Store: store,
-		Controller: ctrl, Pipeline: pipe,
+		Controller: ctrl, Pipeline: pipe, Tracer: tracer,
 		gen: gen, seed: seed, lists: lists,
 	}, nil
 }
@@ -220,6 +230,11 @@ func (tb *SimTestbed) RunWindow(d time.Duration) error {
 		return err
 	}
 	tb.Clock.AdvanceTo(to)
+	// The fleet's batch append stands in for the agents' upload path: the
+	// last batch lands at the window's end, so the mark goes after the
+	// clock advance — otherwise a window longer than the 5-minute upload
+	// budget would read as stale the moment it finishes.
+	tb.Tracer.Freshness().Mark(trace.StageUpload)
 	return nil
 }
 
@@ -309,6 +324,7 @@ func (tb *SimTestbed) NewPortal() *Portal {
 			{Prefix: "", Registry: tb.Controller.Metrics()},
 			{Prefix: "", Registry: tb.Pipeline.JobRegistry()},
 		},
+		Tracer: tb.Tracer,
 	})
 	tb.Pipeline.SetOnCycle(func(kind string, from, to time.Time) {
 		// Publication is best-effort: a refresh failure leaves the previous
@@ -439,6 +455,9 @@ func (tb *SimTestbed) StandardWatchdogs(interval time.Duration) (*autopilot.Watc
 			return nil
 		},
 	})
+	// The "who watches Pingmesh" check: the pipeline's own freshness marks
+	// against the §3.5 budget.
+	ws.Register(autopilot.NewStalenessWatchdog(tb.Tracer.Freshness(), trace.DefaultBudget()))
 	return ws, dm
 }
 

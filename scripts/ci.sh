@@ -14,7 +14,10 @@
 #                                      stay allocation-free per probe; the
 #                                      portal's cached reads, 304
 #                                      revalidations and /metrics scrapes
-#                                      must stay allocation-free per request)
+#                                      must stay allocation-free per request;
+#                                      a disabled/unsampled tracer must cost
+#                                      the probe and ingest paths one atomic
+#                                      load and zero allocations)
 #   4. short fuzz pass over the pinglist wire format and the streaming
 #      record decoder (optional, FUZZ=1)
 #
@@ -36,6 +39,7 @@ echo "== tier 3: alloc-guard smoke"
 go test ./internal/scope ./internal/probe ./internal/analysis \
     ./internal/netsim ./internal/fleet \
     ./internal/httpcache ./internal/metrics ./internal/portal \
+    ./internal/trace ./internal/agent \
     -run 'ZeroAlloc' -count=1 -v | grep -E '^(=== RUN|--- (PASS|FAIL)|ok|FAIL)'
 
 if [ "${FUZZ:-0}" = "1" ]; then
