@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race ci fuzz bench bench-ingest bench-fleet bench-portal bench-trace clean
+.PHONY: all build test race ci fuzz bench bench-ingest bench-fleet bench-portal bench-trace bench-controlplane churn clean
 
 all: build test
 
@@ -51,6 +51,18 @@ bench-portal:
 bench-trace:
 	$(GO) test -run '^$$' -bench 'BenchmarkTracer|BenchmarkMatchProbe|BenchmarkHasActiveProbes' \
 		-benchmem ./internal/trace
+
+# Control-plane hot path: cached delta serving (must be zero-alloc),
+# conditional-GET revalidation, and full-body serving. BENCH_PR6.json
+# records the churn-harness numbers these microbenchmarks back.
+bench-controlplane:
+	$(GO) test -run '^$$' -bench 'BenchmarkServeDelta|BenchmarkServeFull|BenchmarkServeGzip|BenchmarkServeNotModified' \
+		-benchmem ./internal/controller
+
+# Million-agent churn harness: delta vs full-body serving through a
+# rolling topology update with replica failover. Writes BENCH_PR6.json.
+churn:
+	$(GO) run ./cmd/pingmesh-churnsim -agents 1000000 -podsets 50 -out BENCH_PR6.json
 
 clean:
 	$(GO) clean -testcache

@@ -1,0 +1,139 @@
+// Command pingmesh-churnsim runs the control-plane churn harness: a large
+// simulated agent fleet polling replicated controllers through a rolling
+// topology update, measuring convergence time, bytes on the wire, the 304
+// ratio, and controller CPU. In compare mode it runs the identical
+// schedule twice — delta serving on and off — and reports how much
+// cheaper the delta control plane distributes the update.
+//
+// Usage:
+//
+//	pingmesh-churnsim [-agents 1000000] [-replicas 2] [-mode compare] [-out BENCH_PR6.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"pingmesh/internal/churnsim"
+	"pingmesh/internal/core"
+	"pingmesh/internal/topology"
+)
+
+// compareReport is the compare-mode output: both runs plus the headline
+// ratios the delta control plane is graded on.
+type compareReport struct {
+	GeneratedAt string           `json:"generatedAt"`
+	Delta       *churnsim.Report `json:"delta"`
+	Full        *churnsim.Report `json:"full"`
+	// UpdateWireRatio is full-body update bytes over delta update bytes,
+	// gzip-negotiated — how much cheaper distributing the topology update
+	// got.
+	UpdateWireRatio     float64 `json:"updateWireRatio"`
+	UpdateIdentityRatio float64 `json:"updateIdentityRatio"`
+	PropagationRatio    float64 `json:"propagationWireRatio"`
+}
+
+func main() {
+	var (
+		agents   = flag.Int("agents", 1000000, "simulated agents")
+		replicas = flag.Int("replicas", 2, "controller replicas")
+		podsets  = flag.Int("podsets", 50, "DC1 podsets before the update (one more after)")
+		pods     = flag.Int("pods", 10, "pods per podset in DC1")
+		servers  = flag.Int("servers", 4, "servers per pod in DC1")
+		interval = flag.Duration("interval", time.Minute, "agent fetch interval (sim time)")
+		jitter   = flag.Float64("jitter", 0.5, "fetch jitter fraction")
+		churn    = flag.Float64("churn", 0.01, "per-poll probability an agent leaves and rejoins")
+		kill     = flag.Bool("kill", true, "kill one replica when the update publishes")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		mode     = flag.String("mode", "compare", "compare, delta, or full")
+		out      = flag.String("out", "", "write the JSON report to this path (default stdout)")
+	)
+	flag.Parse()
+
+	gen := core.DefaultGeneratorConfig()
+	gen.PayloadBytes = 800
+	gen.WithLowQoS = true
+	gen.LowQoSPort = 8766
+
+	spec := func(dc1Podsets int) topology.Spec {
+		return topology.Spec{DCs: []topology.DCSpec{
+			{Name: "DC1", Podsets: dc1Podsets, PodsPerPodset: *pods, ServersPerPod: *servers,
+				LeavesPerPodset: 2, Spines: 16},
+			{Name: "DC2", Podsets: 2, PodsPerPodset: 3, ServersPerPod: 4, LeavesPerPodset: 2, Spines: 4},
+		}}
+	}
+	cfg := churnsim.Config{
+		Base:          spec(*podsets),
+		Updated:       spec(*podsets + 1),
+		Gen:           gen,
+		Agents:        *agents,
+		Replicas:      *replicas,
+		FetchInterval: *interval,
+		FetchJitter:   *jitter,
+		Churn:         *churn,
+		KillReplica:   *kill,
+		Seed:          *seed,
+	}
+
+	var result any
+	switch *mode {
+	case "delta", "full":
+		cfg.DisableDelta = *mode == "full"
+		rep, err := churnsim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		result = rep
+	case "compare":
+		rep, err := churnsim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("delta run: %d fetches, %d deltas, converged in %.1fs (sim), %.1fs wall",
+			rep.Fetches, rep.DeltaFetches, rep.ConvergenceSec, rep.WallSec)
+		cfg.DisableDelta = true
+		full, err := churnsim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("full run: %d fetches, converged in %.1fs (sim), %.1fs wall",
+			full.Fetches, full.ConvergenceSec, full.WallSec)
+		cr := &compareReport{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Delta:       rep,
+			Full:        full,
+		}
+		if rep.UpdateBytesWire > 0 {
+			cr.UpdateWireRatio = round2(float64(full.UpdateBytesWire) / float64(rep.UpdateBytesWire))
+			cr.UpdateIdentityRatio = round2(float64(full.UpdateBytesIdentity) / float64(rep.UpdateBytesIdentity))
+		}
+		if rep.PropagationBytesWire > 0 {
+			cr.PropagationRatio = round2(float64(full.PropagationBytesWire) / float64(rep.PropagationBytesWire))
+		}
+		log.Printf("update bytes on wire: full %dB vs delta %dB — %.1fx cheaper",
+			full.UpdateBytesWire, rep.UpdateBytesWire, cr.UpdateWireRatio)
+		result = cr
+	default:
+		log.Fatalf("unknown -mode %q", *mode)
+	}
+
+	data, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }

@@ -4,7 +4,10 @@ package pingmesh
 // over HTTP. The first poll downloads the pinglist; every poll after it is
 // revalidated with If-None-Match and answered 304 Not Modified, so an
 // unchanged pinglist costs zero body bytes. A topology update invalidates
-// the ETag and the next poll downloads the new generation.
+// the ETag and the next poll applies the new generation — served as a
+// delta against the agent's cached base, since the client advertises
+// A-IM: pingmesh-delta and a same-topology regeneration diffs only in
+// metadata.
 
 import (
 	"context"
@@ -85,7 +88,9 @@ func TestAgentRevalidatesPinglistEndToEnd(t *testing.T) {
 	version := a.Version()
 
 	// Topology update: the next poll must miss revalidation and apply the
-	// new generation.
+	// new generation. The regenerated pinglist differs from the cached one
+	// only in metadata, so the controller serves it as a tiny delta rather
+	// than a second full body.
 	if err := ctrl.UpdateTopology(top); err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +104,14 @@ func TestAgentRevalidatesPinglistEndToEnd(t *testing.T) {
 	if a.Version() == version {
 		t.Fatalf("agent stuck on version %q after topology update", version)
 	}
-	if n := ctrl.Metrics().Snapshot().Counters["controller.pinglist_serves"]; n != 2 {
-		t.Fatalf("controller served %d full bodies after update, want 2", n)
+	ctrlSnap = ctrl.Metrics().Snapshot()
+	if n := ctrlSnap.Counters["controller.pinglist_serves"]; n != 1 {
+		t.Fatalf("controller served %d full bodies after update, want still 1 (delta path)", n)
+	}
+	if n := ctrlSnap.Counters["controller.delta_serves"]; n != 1 {
+		t.Fatalf("controller served %d deltas after update, want 1", n)
+	}
+	if n := a.Metrics().Snapshot().Counters["agent.fetch_delta"]; n != 1 {
+		t.Fatalf("agent applied %d delta fetches, want 1", n)
 	}
 }

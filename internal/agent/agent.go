@@ -103,6 +103,15 @@ type Config struct {
 	// FetchInterval is how often the agent polls the controller for a new
 	// pinglist. Default 5m.
 	FetchInterval time.Duration
+	// FetchJitter desynchronizes the fleet's polls: when positive, each
+	// wait between fetches is drawn uniformly from
+	// [FetchInterval*(1-FetchJitter), FetchInterval] instead of being
+	// exactly FetchInterval, so a million agents started by the same
+	// rollout don't hit the controllers in lockstep. The jitter only ever
+	// shortens the wait, so "converges within one refresh interval" stays
+	// true. 0 (the default) keeps the exact cadence; values are clamped to
+	// [0, 1].
+	FetchJitter float64
 	// UploadInterval is how often buffered records are uploaded. Default 1m.
 	UploadInterval time.Duration
 	// UploadThreshold uploads early once this many records are buffered.
@@ -143,6 +152,12 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if out.FetchInterval <= 0 {
 		out.FetchInterval = 5 * time.Minute
+	}
+	if out.FetchJitter < 0 {
+		out.FetchJitter = 0
+	}
+	if out.FetchJitter > 1 {
+		out.FetchJitter = 1
 	}
 	if out.UploadInterval <= 0 {
 		out.UploadInterval = time.Minute

@@ -1,0 +1,112 @@
+package agent
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pingmesh/internal/simclock"
+)
+
+// TestFetchWaitBounds pins the jittered poll schedule: every wait lies in
+// [Interval*(1-j), Interval], jitter 0 is the exact cadence, and the
+// per-server seed makes the schedule reproducible.
+func TestFetchWaitBounds(t *testing.T) {
+	cfg := testConfig(&fakeFetcher{}, &fakeProber{}, simclock.NewSim(epoch))
+	cfg.FetchInterval = 10 * time.Second
+	cfg.FetchJitter = 0.2
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := time.Duration(float64(cfg.FetchInterval) * 0.8)
+	rng := rand.New(rand.NewSource(seedFor(cfg.ServerName)))
+	var draws []time.Duration
+	for i := 0; i < 1000; i++ {
+		d := a.fetchWait(rng)
+		if d < lo || d > cfg.FetchInterval {
+			t.Fatalf("draw %d: wait %v outside [%v, %v]", i, d, lo, cfg.FetchInterval)
+		}
+		draws = append(draws, d)
+	}
+
+	// Same seed, same schedule: the fleet decorrelates deterministically.
+	rng2 := rand.New(rand.NewSource(seedFor(cfg.ServerName)))
+	for i, want := range draws {
+		if got := a.fetchWait(rng2); got != want {
+			t.Fatalf("draw %d not reproducible: %v != %v", i, got, want)
+		}
+	}
+
+	// Different servers get different schedules.
+	if seedFor("srv1") == seedFor("srv2") {
+		t.Fatal("seedFor collides for distinct servers")
+	}
+
+	// Jitter 0: exact cadence.
+	cfg.FetchJitter = 0
+	a0, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if d := a0.fetchWait(rng); d != cfg.FetchInterval {
+			t.Fatalf("jitter 0 wait %v != %v", d, cfg.FetchInterval)
+		}
+	}
+}
+
+// TestFetchJitterClamped checks config normalization to [0, 1].
+func TestFetchJitterClamped(t *testing.T) {
+	for _, tc := range []struct{ in, want float64 }{
+		{-0.5, 0}, {0, 0}, {0.3, 0.3}, {1, 1}, {7, 1},
+	} {
+		cfg := testConfig(&fakeFetcher{}, &fakeProber{}, nil)
+		cfg.FetchJitter = tc.in
+		a, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.cfg.FetchJitter != tc.want {
+			t.Fatalf("FetchJitter %v normalized to %v, want %v", tc.in, a.cfg.FetchJitter, tc.want)
+		}
+	}
+}
+
+// TestJitteredFetchLoopPolls runs the agent with jitter on a sim clock and
+// checks fetches keep happening — each gap at most one full interval.
+func TestJitteredFetchLoopPolls(t *testing.T) {
+	sim := simclock.NewSim(epoch)
+	ff := &fakeFetcher{results: []fetchResult{{f: testFile("v1", 1)}}}
+	cfg := testConfig(ff, &fakeProber{}, sim)
+	cfg.FetchInterval = 10 * time.Second
+	cfg.FetchJitter = 0.5
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go a.Run(ctx)
+
+	fetchCount := func() int {
+		ff.mu.Lock()
+		defer ff.mu.Unlock()
+		return ff.calls
+	}
+	waitUntil(t, func() bool { return fetchCount() >= 1 }, "initial fetch")
+	// Walk sim time forward in small steps: since every jittered wait is at
+	// most one interval, each interval of sim time must release at least
+	// one more fetch.
+	for want := 2; want <= 4; want++ {
+		deadline := time.Now().Add(5 * time.Second)
+		for fetchCount() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("no fetch %d within an interval of sim time", want)
+			}
+			sim.Advance(time.Second)
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

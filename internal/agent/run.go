@@ -3,6 +3,8 @@ package agent
 import (
 	"context"
 	"errors"
+	"hash/fnv"
+	"math/rand"
 	"time"
 
 	"pingmesh/internal/controller"
@@ -26,19 +28,51 @@ func (a *Agent) Run(ctx context.Context) error {
 }
 
 // fetchLoop polls the controller. The agent pulls; the controller never
-// pushes (§3.3.2).
+// pushes (§3.3.2). With FetchJitter set, each wait is independently
+// shortened by up to that fraction, seeded per server so the fleet's
+// schedules decorrelate deterministically.
 func (a *Agent) fetchLoop(ctx context.Context) {
 	a.fetchOnce(ctx)
-	ticker := a.clock.NewTicker(a.cfg.FetchInterval)
-	defer ticker.Stop()
+	if a.cfg.FetchJitter <= 0 {
+		ticker := a.clock.NewTicker(a.cfg.FetchInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				a.fetchOnce(ctx)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seedFor(a.cfg.ServerName)))
 	for {
+		timer := a.clock.NewTimer(a.fetchWait(rng))
 		select {
 		case <-ctx.Done():
+			timer.Stop()
 			return
-		case <-ticker.C:
+		case <-timer.C:
 			a.fetchOnce(ctx)
 		}
 	}
+}
+
+// fetchWait draws the next poll delay: FetchInterval shortened by up to
+// the jitter fraction, never lengthened.
+func (a *Agent) fetchWait(rng *rand.Rand) time.Duration {
+	j := a.cfg.FetchJitter
+	if j <= 0 {
+		return a.cfg.FetchInterval
+	}
+	return time.Duration(float64(a.cfg.FetchInterval) * (1 - j*rng.Float64()))
+}
+
+// seedFor hashes a server name into a deterministic per-agent RNG seed.
+func seedFor(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64())
 }
 
 // detailFetcher is optionally implemented by fetchers that report how a
@@ -52,12 +86,14 @@ func (a *Agent) fetchOnce(ctx context.Context) {
 	var f *pinglist.File
 	var err error
 	notModified := false
+	delta := false
 	if df, ok := a.cfg.Controller.(detailFetcher); ok {
 		var res controller.FetchResult
 		res, err = df.FetchDetail(ctx, a.cfg.ServerName)
 		if err == nil {
 			f = res.File
 			notModified = res.NotModified
+			delta = res.Delta
 			a.reg.Counter("agent.fetch_bytes").Add(res.BytesOnWire)
 		}
 	} else {
@@ -87,6 +123,11 @@ func (a *Agent) fetchOnce(ctx context.Context) {
 		// The controller revalidated our cached copy with a 304: the
 		// pinglist is unchanged and the fetch cost no body bytes.
 		a.reg.Counter("agent.fetch_not_modified").Inc()
+	}
+	if delta {
+		// A changed pinglist arrived as a verified patch instead of a full
+		// download.
+		a.reg.Counter("agent.fetch_delta").Inc()
 	}
 	a.mu.Lock()
 	a.fetchFailures = 0

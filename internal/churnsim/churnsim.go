@@ -1,0 +1,543 @@
+// Package churnsim is the control-plane churn harness: it drives a very
+// large simulated agent fleet (up to millions) against real replicated
+// Controllers through a rolling topology update, on simulated time, and
+// measures what the paper's §3.3.2 pull-based design costs at scale —
+// convergence time, bytes on the wire (delta vs full serving), the 304
+// revalidation ratio, and controller CPU.
+//
+// Modeling note: generating one pinglist file per million agents is
+// neither feasible nor necessary. Pinglist generation is rank-matched per
+// DC, so a real fleet has only as many distinct pinglist shapes as it has
+// servers in the topology (thousands); a million agents polling a
+// controller are, from the control plane's point of view, that many
+// conditional GETs spread over those shapes. The harness therefore builds
+// a realistic topology (thousands of servers, paper-scale peer counts)
+// and distributes the simulated agents round-robin over its server names.
+// Every fetch still exercises the real Controller decision procedure
+// (controller.ServeFetch: 304 / ringed delta / full) with real bodies and
+// real counters, so CPU, ratio, and byte numbers are measured, not
+// modeled.
+//
+// Agents are not real agent.Agent instances — at 1M an agent must be tens
+// of bytes, not a goroutine with three loops. Each is a struct with a
+// server index, its last-seen ETag, and an xorshift RNG; a binary event
+// heap sequences their jittered polls, joins/leaves, and retry backoff on
+// a simclock that only ever jumps to the next event.
+package churnsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"pingmesh/internal/controller"
+	"pingmesh/internal/core"
+	"pingmesh/internal/simclock"
+	"pingmesh/internal/topology"
+)
+
+// Config describes one churn-harness run.
+type Config struct {
+	// Base is the fleet at the start of the run.
+	Base topology.Spec
+	// Updated is the fleet after the rolling update, published on every
+	// replica at the end of the warmup interval. Append-only growth (new
+	// podsets at the end of a DC) keeps existing server addresses stable,
+	// which is what makes delta updates small.
+	Updated topology.Spec
+	// Gen configures pinglist generation on the controllers.
+	Gen core.GeneratorConfig
+
+	// Agents is the simulated fleet size. Required.
+	Agents int
+	// Replicas is how many controller replicas serve the fleet. Default 2.
+	Replicas int
+
+	// FetchInterval is the agents' poll cadence on sim time. Default 60s.
+	FetchInterval time.Duration
+	// FetchJitter shortens each wait by up to this fraction, like
+	// agent.Config.FetchJitter. Default 0.5.
+	FetchJitter float64
+	// Churn is the probability that an agent leaves at one of its poll
+	// instants (rejoining with cold state up to an interval later).
+	Churn float64
+	// DisableDelta turns off delta serving and requesting: the baseline
+	// full-body control plane the delta path is compared against.
+	DisableDelta bool
+
+	// KillReplica takes replica 0 down at the instant the update
+	// publishes — the worst case: a refresh storm hitting a half-dead
+	// VIP pool. Agents routed to it fail and retry with capped
+	// exponential backoff until the (simulated) SLB health prober ejects
+	// it after DetectDelay.
+	KillReplica bool
+	// DetectDelay is the simulated SLB failure-detection time. Default 2s.
+	DetectDelay time.Duration
+	// BackoffBase/BackoffMax bound the agents' retry backoff.
+	// Defaults 100ms / 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// WarmupIntervals is how many fetch intervals the fleet runs in
+	// steady state before the update publishes. Default 1.
+	WarmupIntervals int
+	// Seed makes runs reproducible. Same seed, same schedule.
+	Seed uint64
+	// Start anchors sim time. Default 2026-07-01T00:00:00Z.
+	Start time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.FetchInterval <= 0 {
+		c.FetchInterval = time.Minute
+	}
+	if c.FetchJitter <= 0 {
+		c.FetchJitter = 0.5
+	}
+	if c.FetchJitter > 1 {
+		c.FetchJitter = 1
+	}
+	if c.DetectDelay <= 0 {
+		c.DetectDelay = 2 * time.Second
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.WarmupIntervals <= 0 {
+		c.WarmupIntervals = 1
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return c
+}
+
+// Report is one run's measurements. Byte counts distinguish the
+// gzip-negotiated wire cost (what real agents transfer) from identity
+// encoding; "propagation" counts only the window between the update
+// publishing and the fleet converging, which is where delta and full
+// serving differ.
+type Report struct {
+	Agents       int  `json:"agents"`
+	Replicas     int  `json:"replicas"`
+	Servers      int  `json:"servers"`
+	DeltaEnabled bool `json:"deltaEnabled"`
+
+	FetchIntervalSec float64 `json:"fetchIntervalSec"`
+	FetchJitter      float64 `json:"fetchJitter"`
+	Churn            float64 `json:"churn"`
+	ReplicaKilled    bool    `json:"replicaKilled"`
+
+	Fetches       int64 `json:"fetches"`
+	FullFetches   int64 `json:"fullFetches"`
+	DeltaFetches  int64 `json:"deltaFetches"`
+	NotModified   int64 `json:"notModified"`
+	FailedFetches int64 `json:"failedFetches"`
+	Retries       int64 `json:"retries"`
+	Joins         int64 `json:"joins"`
+	Leaves        int64 `json:"leaves"`
+
+	NotModifiedRatio float64 `json:"notModifiedRatio"`
+
+	BytesWire     int64 `json:"bytesWire"`
+	BytesIdentity int64 `json:"bytesIdentity"`
+	// Propagation window: publish → convergence.
+	PropagationBytesWire     int64 `json:"propagationBytesWire"`
+	PropagationBytesIdentity int64 `json:"propagationBytesIdentity"`
+	// Update distribution alone: bytes serving fetches that moved a
+	// stale agent to the new generation. Churn joins fetch full bodies
+	// under either serving mode, so this isolates what the update itself
+	// cost — the number delta serving is graded on.
+	UpdateBytesWire     int64 `json:"updateBytesWire"`
+	UpdateBytesIdentity int64 `json:"updateBytesIdentity"`
+	// Body sizes sampled from the run, for scale context.
+	SampleFullBytesIdentity  int64 `json:"sampleFullBytesIdentity"`
+	SampleFullBytesWire      int64 `json:"sampleFullBytesWire"`
+	SampleDeltaBytesIdentity int64 `json:"sampleDeltaBytesIdentity,omitempty"`
+	SampleDeltaBytesWire     int64 `json:"sampleDeltaBytesWire,omitempty"`
+
+	// ConvergenceSec is sim seconds from the update publishing until no
+	// live agent still holds a stale pinglist; -1 if the run ended first.
+	ConvergenceSec          float64  `json:"convergenceSec"`
+	ConvergedWithinInterval bool     `json:"convergedWithinInterval"`
+	VersionsSeen            []string `json:"versionsSeen"`
+
+	// Controller cost in real (wall) seconds: serving all fetches, and
+	// generating pinglists across all replicas and generations.
+	ControllerServeCPUSec    float64 `json:"controllerServeCPUSec"`
+	ControllerGenerateCPUSec float64 `json:"controllerGenerateCPUSec"`
+	WallSec                  float64 `json:"wallSec"`
+}
+
+// agentState is one simulated agent: 1M of these must stay cheap. The
+// etag string shares the controller's per-body allocation, so the real
+// footprint is ~50 bytes per agent.
+type agentState struct {
+	server  int32 // index into the harness's server-name table
+	attempt uint8 // consecutive failed fetches, drives backoff
+	alive   bool
+	stale   bool   // counted in staleCount (post-publish bookkeeping)
+	rng     uint64 // xorshift64* state
+	etag    string // last validator seen; "" = cold
+}
+
+// event is one heap entry: an agent's next action, or a sentinel.
+type event struct {
+	at  int64 // sim UnixNano
+	idx int32 // agent index, or a sentinel below
+}
+
+const (
+	evUpdate int32 = -1 // publish the rolling update on every replica
+	evDetect int32 = -2 // SLB health prober ejects the killed replica
+)
+
+// eventHeap is a hand-rolled binary min-heap by time; container/heap
+// would box every event into an interface.
+type eventHeap struct{ ev []event }
+
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.ev[p].at <= h.ev[i].at {
+			break
+		}
+		h.ev[p], h.ev[i] = h.ev[i], h.ev[p]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	n := len(h.ev) - 1
+	h.ev[0] = h.ev[n]
+	h.ev = h.ev[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.ev[l].at < h.ev[m].at {
+			m = l
+		}
+		if r < n && h.ev[r].at < h.ev[m].at {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.ev[i], h.ev[m] = h.ev[m], h.ev[i]
+		i = m
+	}
+	return top
+}
+
+func (h *eventHeap) len() int { return len(h.ev) }
+
+// seedFor spreads the run seed over agent indices (splitmix64 step), so
+// adjacent agents get decorrelated streams and seed 0 still works.
+func seedFor(seed uint64, i int) uint64 {
+	z := seed + uint64(i)*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// next steps an xorshift64* generator.
+func next(s *uint64) uint64 {
+	x := *s
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// unitFloat draws from [0, 1).
+func unitFloat(s *uint64) float64 {
+	return float64(next(s)>>11) / float64(1<<53)
+}
+
+// Run executes one churn simulation and returns its report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Agents <= 0 {
+		return nil, errors.New("churnsim: Agents must be positive")
+	}
+	wallStart := time.Now()
+
+	baseTop, err := topology.Build(cfg.Base)
+	if err != nil {
+		return nil, fmt.Errorf("churnsim: base: %w", err)
+	}
+	updatedTop, err := topology.Build(cfg.Updated)
+	if err != nil {
+		return nil, fmt.Errorf("churnsim: updated: %w", err)
+	}
+
+	sim := simclock.NewSim(cfg.Start)
+	opts := controller.Options{}
+	if cfg.DisableDelta {
+		opts.DeltaRing = -1
+	}
+	var genCPU time.Duration
+	replicas := make([]*controller.Controller, cfg.Replicas)
+	for i := range replicas {
+		t0 := time.Now()
+		replicas[i], err = controller.NewWithOptions(baseTop, cfg.Gen, sim, opts)
+		genCPU += time.Since(t0)
+		if err != nil {
+			return nil, fmt.Errorf("churnsim: replica %d: %w", i, err)
+		}
+	}
+
+	servers := baseTop.Servers()
+	names := make([]string, len(servers))
+	for i := range servers {
+		names[i] = servers[i].Name
+	}
+	if err := checkReplicaAgreement(replicas, names[0]); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Agents: cfg.Agents, Replicas: cfg.Replicas, Servers: len(names),
+		DeltaEnabled:     !cfg.DisableDelta,
+		FetchIntervalSec: cfg.FetchInterval.Seconds(),
+		FetchJitter:      cfg.FetchJitter,
+		Churn:            cfg.Churn,
+		ReplicaKilled:    cfg.KillReplica,
+	}
+
+	agents := make([]agentState, cfg.Agents)
+	h := &eventHeap{ev: make([]event, 0, cfg.Agents+2)}
+	start := cfg.Start.UnixNano()
+	interval := int64(cfg.FetchInterval)
+	for i := range agents {
+		a := &agents[i]
+		a.server = int32(i % len(names))
+		a.alive = true
+		a.rng = seedFor(cfg.Seed, i)
+		// First polls spread uniformly over one interval: a fleet that
+		// came up over time, not a thundering herd at t=0.
+		h.push(event{at: start + int64(next(&a.rng)%uint64(interval)), idx: int32(i)})
+	}
+
+	updateAt := start + int64(cfg.WarmupIntervals)*interval
+	h.push(event{at: updateAt, idx: evUpdate})
+	// Hard stop: if the fleet hasn't converged three intervals after the
+	// update, report non-convergence rather than run forever.
+	endAt := updateAt + 3*interval
+
+	var (
+		published   bool
+		converged   bool
+		publishedAt int64
+		staleCount  int
+		replicaDown = -1 // index routed-but-failing; -2 once ejected
+		rr          uint64
+		serveCPU    time.Duration
+		versions    = map[string]bool{}
+	)
+
+	for h.len() > 0 {
+		e := h.pop()
+		if e.at > endAt {
+			break
+		}
+		sim.AdvanceTo(time.Unix(0, e.at))
+
+		switch e.idx {
+		case evUpdate:
+			for _, c := range replicas {
+				t0 := time.Now()
+				if err := c.UpdateTopology(updatedTop); err != nil {
+					return nil, fmt.Errorf("churnsim: update: %w", err)
+				}
+				genCPU += time.Since(t0)
+			}
+			if err := checkReplicaAgreement(replicas, names[0]); err != nil {
+				return nil, err
+			}
+			published = true
+			publishedAt = e.at
+			staleCount = 0
+			for i := range agents {
+				if agents[i].alive {
+					agents[i].stale = true
+					staleCount++
+				}
+			}
+			if cfg.KillReplica && cfg.Replicas > 1 {
+				replicaDown = 0
+				h.push(event{at: e.at + int64(cfg.DetectDelay), idx: evDetect})
+			}
+			continue
+
+		case evDetect:
+			if replicaDown >= 0 {
+				replicaDown = -2 // ejected from rotation: no more failures
+			}
+			continue
+		}
+
+		a := &agents[e.idx]
+		if !a.alive {
+			// Rejoin with cold state.
+			a.alive = true
+			a.etag = ""
+			a.attempt = 0
+			rep.Joins++
+			if published && !converged {
+				a.stale = true
+				staleCount++
+			}
+		} else if cfg.Churn > 0 && unitFloat(&a.rng) < cfg.Churn {
+			// Leave now, rejoin up to one interval later.
+			a.alive = false
+			rep.Leaves++
+			if a.stale {
+				a.stale = false
+				staleCount--
+				if published && !converged && staleCount == 0 {
+					converged = true
+					rep.ConvergenceSec = time.Duration(e.at - publishedAt).Seconds()
+				}
+			}
+			h.push(event{at: e.at + 1 + int64(next(&a.rng)%uint64(interval)), idx: e.idx})
+			continue
+		}
+
+		// Route through the VIP: round-robin over replicas. A killed but
+		// not-yet-ejected replica refuses the connection; the agent backs
+		// off and retries, like controller.Client would.
+		ri := int(rr % uint64(len(replicas)))
+		rr++
+		if ri == replicaDown {
+			rep.FailedFetches++
+			rep.Retries++
+			if a.attempt < 63 {
+				a.attempt++
+			}
+			h.push(event{at: e.at + backoffDelay(cfg, a), idx: e.idx})
+			continue
+		}
+		if replicaDown == -2 && ri == 0 {
+			ri = 1 + int(rr%uint64(len(replicas)-1)) // ejected: skip it
+		}
+
+		wantDelta := !cfg.DisableDelta && a.etag != ""
+		t0 := time.Now()
+		out := replicas[ri].ServeFetch(names[a.server], a.etag, wantDelta)
+		serveCPU += time.Since(t0)
+		a.attempt = 0
+		versions[out.Version] = true
+
+		rep.Fetches++
+		rep.BytesWire += out.BytesOnWire
+		rep.BytesIdentity += out.BytesIdentity
+		if published && !converged {
+			rep.PropagationBytesWire += out.BytesOnWire
+			rep.PropagationBytesIdentity += out.BytesIdentity
+		}
+		if a.stale && a.etag != "" {
+			// Cold joins (etag "") need a full body under either serving
+			// mode; only warm agents moving between generations measure
+			// the update distribution itself.
+			rep.UpdateBytesWire += out.BytesOnWire
+			rep.UpdateBytesIdentity += out.BytesIdentity
+		}
+		switch out.Kind {
+		case controller.FetchNotModified:
+			rep.NotModified++
+		case controller.FetchDelta:
+			rep.DeltaFetches++
+			if rep.SampleDeltaBytesWire == 0 {
+				rep.SampleDeltaBytesWire = out.BytesOnWire
+				rep.SampleDeltaBytesIdentity = out.BytesIdentity
+			}
+		case controller.FetchFull:
+			rep.FullFetches++
+			if rep.SampleFullBytesWire == 0 {
+				rep.SampleFullBytesWire = out.BytesOnWire
+				rep.SampleFullBytesIdentity = out.BytesIdentity
+			}
+		case controller.FetchNotFound:
+			return nil, fmt.Errorf("churnsim: no pinglist for %s", names[a.server])
+		}
+		a.etag = out.ETag
+		if a.stale {
+			a.stale = false
+			staleCount--
+			if staleCount == 0 {
+				converged = true
+				rep.ConvergenceSec = time.Duration(e.at - publishedAt).Seconds()
+			}
+		}
+		if converged {
+			// Ending right at convergence keeps the delta and full-body
+			// runs byte-comparable: both measure exactly one propagation.
+			break
+		}
+		h.push(event{at: e.at + jitteredWait(cfg, a), idx: e.idx})
+	}
+
+	if !converged {
+		rep.ConvergenceSec = -1
+	}
+	rep.ConvergedWithinInterval = converged &&
+		rep.ConvergenceSec <= cfg.FetchInterval.Seconds()
+	if rep.Fetches > 0 {
+		rep.NotModifiedRatio = float64(rep.NotModified) / float64(rep.Fetches)
+	}
+	for v := range versions {
+		rep.VersionsSeen = append(rep.VersionsSeen, v)
+	}
+	sort.Strings(rep.VersionsSeen)
+	rep.ControllerServeCPUSec = serveCPU.Seconds()
+	rep.ControllerGenerateCPUSec = genCPU.Seconds()
+	rep.WallSec = time.Since(wallStart).Seconds()
+	return rep, nil
+}
+
+// jitteredWait draws the agent's next poll delay, mirroring the real
+// agent's FetchJitter: uniform in [Interval*(1-j), Interval].
+func jitteredWait(cfg Config, a *agentState) int64 {
+	iv := float64(cfg.FetchInterval)
+	return int64(iv * (1 - cfg.FetchJitter*unitFloat(&a.rng)))
+}
+
+// backoffDelay mirrors controller.Client's capped exponential backoff
+// with equal jitter: nominal base<<attempt capped at max, drawn from
+// [nominal/2, nominal].
+func backoffDelay(cfg Config, a *agentState) int64 {
+	d := cfg.BackoffBase << (a.attempt - 1)
+	if d <= 0 || d > cfg.BackoffMax {
+		d = cfg.BackoffMax
+	}
+	half := int64(d) / 2
+	return half + int64(next(&a.rng)%uint64(half+1))
+}
+
+// checkReplicaAgreement verifies the replicas are interchangeable:
+// deterministic generation must give every replica the same version and
+// byte-identical bodies (spot-checked via one ETag).
+func checkReplicaAgreement(replicas []*controller.Controller, probe string) error {
+	for i := 1; i < len(replicas); i++ {
+		if v0, vi := replicas[0].Version(), replicas[i].Version(); v0 != vi {
+			return fmt.Errorf("churnsim: replica version divergence: %s vs %s", v0, vi)
+		}
+		if e0, ei := replicas[0].ETag(probe), replicas[i].ETag(probe); e0 != ei {
+			return fmt.Errorf("churnsim: replica etag divergence on %s", probe)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package churnsim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"pingmesh/internal/core"
+	"pingmesh/internal/topology"
+)
+
+// smokeSpec is a small fleet whose pinglists are still big enough that
+// delta patches beat gzipped full bodies: the payload-probe and low-QoS
+// variants triple the peer list, like the paper's real configurations.
+func smokeSpec(dc1Podsets int) topology.Spec {
+	return topology.Spec{DCs: []topology.DCSpec{
+		{Name: "DC1", Podsets: dc1Podsets, PodsPerPodset: 6, ServersPerPod: 4, LeavesPerPodset: 2, Spines: 4},
+		{Name: "DC2", Podsets: 2, PodsPerPodset: 3, ServersPerPod: 4, LeavesPerPodset: 2, Spines: 4},
+	}}
+}
+
+func smokeConfig(agents int) Config {
+	gen := core.DefaultGeneratorConfig()
+	gen.PayloadBytes = 800
+	gen.WithLowQoS = true
+	gen.LowQoSPort = 8766
+	return Config{
+		Base:          smokeSpec(8),
+		Updated:       smokeSpec(9),
+		Gen:           gen,
+		Agents:        agents,
+		Replicas:      2,
+		FetchInterval: time.Minute,
+		FetchJitter:   0.5,
+		Churn:         0.02,
+		KillReplica:   true,
+		DetectDelay:   2 * time.Second,
+		Seed:          1,
+	}
+}
+
+// TestChurnHarnessSmoke runs a deterministic mid-size churn simulation —
+// thousands of agents, two replicas, one replica killed at publish — and
+// checks every property the million-agent run is graded on: convergence
+// within one refresh interval, no wrong-generation reads, deltas actually
+// served, failover exercised, and delta propagation cheaper than the
+// full-body baseline under the identical schedule.
+func TestChurnHarnessSmoke(t *testing.T) {
+	cfg := smokeConfig(10000)
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !rep.ConvergedWithinInterval {
+		t.Fatalf("fleet did not converge within one interval: %+v", rep)
+	}
+	if rep.ConvergenceSec <= 0 {
+		t.Fatalf("ConvergenceSec = %v", rep.ConvergenceSec)
+	}
+	// Agents must only ever observe the two generations in play.
+	for _, v := range rep.VersionsSeen {
+		if v != "gen-1" && v != "gen-2" {
+			t.Fatalf("wrong-generation read: %v", rep.VersionsSeen)
+		}
+	}
+	if rep.DeltaFetches == 0 {
+		t.Fatal("no delta fetches in a delta-enabled run")
+	}
+	if rep.NotModified == 0 {
+		t.Fatal("no 304s: steady state never revalidated")
+	}
+	if rep.FailedFetches == 0 || rep.Retries == 0 {
+		t.Fatal("killed replica produced no failed fetches")
+	}
+	if rep.Joins == 0 || rep.Leaves == 0 {
+		t.Fatal("churn produced no joins/leaves")
+	}
+	if rep.SampleDeltaBytesWire == 0 ||
+		rep.SampleDeltaBytesWire >= rep.SampleFullBytesWire {
+		t.Fatalf("delta body %dB not smaller than full %dB",
+			rep.SampleDeltaBytesWire, rep.SampleFullBytesWire)
+	}
+
+	// Baseline: same seed, same schedule, delta disabled. Propagating the
+	// update must cost strictly more bytes when every stale agent gets a
+	// full body.
+	base := cfg
+	base.DisableDelta = true
+	full, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.DeltaFetches != 0 {
+		t.Fatal("delta fetches in a delta-disabled run")
+	}
+	if full.Fetches != rep.Fetches || full.Leaves != rep.Leaves ||
+		full.FailedFetches != rep.FailedFetches {
+		t.Fatalf("schedules diverged: delta %+v vs full %+v", rep, full)
+	}
+	if full.ConvergenceSec != rep.ConvergenceSec {
+		t.Fatalf("convergence diverged: %v vs %v", rep.ConvergenceSec, full.ConvergenceSec)
+	}
+	if rep.PropagationBytesWire >= full.PropagationBytesWire {
+		t.Fatalf("delta propagation %dB not cheaper than full %dB",
+			rep.PropagationBytesWire, full.PropagationBytesWire)
+	}
+	if rep.UpdateBytesWire >= full.UpdateBytesWire {
+		t.Fatalf("delta update bytes %dB not cheaper than full %dB",
+			rep.UpdateBytesWire, full.UpdateBytesWire)
+	}
+	t.Logf("update: delta %dB vs full %dB (%.1fx), convergence %.1fs, 304 ratio %.2f",
+		rep.UpdateBytesWire, full.UpdateBytesWire,
+		float64(full.UpdateBytesWire)/float64(rep.UpdateBytesWire),
+		rep.ConvergenceSec, rep.NotModifiedRatio)
+}
+
+// TestChurnDeterminism pins reproducibility: identical configs yield
+// identical measurements (wall-clock fields aside).
+func TestChurnDeterminism(t *testing.T) {
+	cfg := smokeConfig(2000)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.ControllerServeCPUSec, b.ControllerServeCPUSec = 0, 0
+	a.ControllerGenerateCPUSec, b.ControllerGenerateCPUSec = 0, 0
+	a.WallSec, b.WallSec = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestChurnValidation covers the error paths.
+func TestChurnValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("zero-agent config accepted")
+	}
+	cfg := smokeConfig(10)
+	cfg.Base = topology.Spec{}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("empty base spec accepted")
+	}
+}

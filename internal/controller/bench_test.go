@@ -103,3 +103,46 @@ func BenchmarkUpdateTopology(b *testing.B) {
 	}
 	b.ReportMetric(float64(c.PinglistCount()), "pinglists")
 }
+
+// nopResponseWriter is a reusable ResponseWriter with a persistent header
+// map, modeling a keep-alive connection: net/http reuses header storage
+// across requests, so steady-state serving must not allocate any.
+type nopResponseWriter struct {
+	h http.Header
+	n int
+}
+
+func (w *nopResponseWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = make(http.Header, 8)
+	}
+	return w.h
+}
+func (w *nopResponseWriter) WriteHeader(int) {}
+func (w *nopResponseWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// BenchmarkServeDelta is the converging-agent path after this PR: a
+// conditional GET from a one-generation-stale agent answered with the
+// cached patch body (226) instead of the full file.
+func BenchmarkServeDelta(b *testing.B) {
+	rig := newDeltaRig(b, Options{})
+	h := rig.h
+	path := "/pinglist/" + rig.name
+	hdr := map[string]string{
+		"If-None-Match":   rig.oldETag,
+		"A-IM":            DeltaIM,
+		"Accept-Encoding": "gzip",
+	}
+	body := serveOnce(h, path, hdr).Body.Len() // warm the delta cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w := serveOnce(h, path, hdr); w.Code != http.StatusIMUsed {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+	b.SetBytes(int64(body))
+}

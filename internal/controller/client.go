@@ -3,8 +3,10 @@ package controller
 import (
 	"compress/gzip"
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
@@ -12,6 +14,7 @@ import (
 	"time"
 
 	"pingmesh/internal/pinglist"
+	"pingmesh/internal/simclock"
 )
 
 // Client fetches pinglists from a Pingmesh Controller (usually through the
@@ -19,10 +22,16 @@ import (
 //
 // The client remembers the ETag and parsed body of the last pinglist per
 // server and revalidates with If-None-Match, so an unchanged pinglist
-// costs a 304 Not Modified instead of a full download. It also advertises
-// Accept-Encoding: gzip and decompresses the precompressed bodies the
-// controller serves. Both degrade cleanly against a controller that sends
-// neither ETags nor gzip.
+// costs a 304 Not Modified instead of a full download; a changed pinglist
+// costs a small patch (226 IM Used) applied to the cached copy and
+// verified against the new generation's ETag, with automatic fallback to
+// a full download if verification fails. It advertises Accept-Encoding:
+// gzip and decompresses the precompressed bodies the controller serves.
+// All of it degrades cleanly against a controller that sends none of
+// these. Transient failures (transport errors, 5xx) are retried with
+// capped exponential backoff and jitter so one replica blip behind the
+// VIP doesn't strand an agent on a stale pinglist until the next refresh
+// interval.
 type Client struct {
 	// BaseURL is the controller endpoint, e.g. "http://10.255.0.1:8080".
 	BaseURL string
@@ -33,6 +42,22 @@ type Client struct {
 	// full body. Useful for tests and for memory-constrained callers that
 	// fetch many servers' lists through one client.
 	DisableCache bool
+	// DisableDelta turns off patch requests: stale pinglists are always
+	// re-downloaded in full even when the controller can serve deltas.
+	DisableDelta bool
+
+	// MaxRetries bounds how many times a failed fetch is retried on
+	// transient errors (transport failures and 5xx responses). 0 means the
+	// default of 2 (three attempts total); negative disables retries.
+	MaxRetries int
+	// BackoffBase is the first retry's nominal delay (default 100ms); each
+	// further retry doubles it, capped at BackoffMax (default 2s). The
+	// actual sleep is equal-jittered: uniform in [d/2, d].
+	BackoffBase time.Duration
+	// BackoffMax caps the nominal backoff delay.
+	BackoffMax time.Duration
+	// Clock drives the backoff sleeps. nil means wall time.
+	Clock simclock.Clock
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
@@ -61,6 +86,14 @@ type ClientStats struct {
 	// BytesOnWire is the total body bytes read off the network (the gzip
 	// form when the controller compressed).
 	BytesOnWire int64
+	// DeltaApplied is how many fetches were answered by a 226 patch that
+	// verified cleanly against the cached copy.
+	DeltaApplied int64
+	// DeltaFallbacks is how many 226 responses failed to parse, apply, or
+	// verify and were recovered by an unconditional full download.
+	DeltaFallbacks int64
+	// Retries is how many transient-failure retries were attempted.
+	Retries int64
 }
 
 // FetchResult is a fetched pinglist plus how it was obtained.
@@ -69,6 +102,9 @@ type FetchResult struct {
 	// NotModified is true when the controller answered 304 and File came
 	// from the client's cache.
 	NotModified bool
+	// Delta is true when the controller answered 226 and File was
+	// reconstructed by patching the cached copy.
+	Delta bool
 	// BytesOnWire is the response body size as transferred.
 	BytesOnWire int64
 }
@@ -127,10 +163,92 @@ func (c *Client) Fetch(ctx context.Context, server string) (*pinglist.File, erro
 }
 
 // FetchDetail is Fetch plus transport detail: whether the pinglist was
-// revalidated with a 304 and how many bytes crossed the wire. The agent's
-// refresh loop uses it to count cheap refreshes.
+// revalidated with a 304 or patched from a 226 and how many bytes crossed
+// the wire. The agent's refresh loop uses it to count cheap refreshes.
+// Transient failures are retried per the Backoff fields.
 func (c *Client) FetchDetail(ctx context.Context, server string) (FetchResult, error) {
-	return c.fetchDetail(ctx, server, !c.DisableCache)
+	res, err := c.fetchDetail(ctx, server, !c.DisableCache)
+	for attempt := 0; attempt < c.maxRetries(); attempt++ {
+		if err == nil || !isTransient(err) || ctx.Err() != nil {
+			break
+		}
+		c.mu.Lock()
+		c.stats.Retries++
+		c.mu.Unlock()
+		if serr := sleepClock(ctx, c.clock(), c.backoff(attempt)); serr != nil {
+			break // context canceled mid-backoff; report the fetch error
+		}
+		res, err = c.fetchDetail(ctx, server, !c.DisableCache)
+	}
+	return res, err
+}
+
+func (c *Client) maxRetries() int {
+	switch {
+	case c.MaxRetries < 0:
+		return 0
+	case c.MaxRetries == 0:
+		return 2
+	default:
+		return c.MaxRetries
+	}
+}
+
+func (c *Client) clock() simclock.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return realClock
+}
+
+var realClock = simclock.NewReal()
+
+// backoff returns the jittered delay before retry number attempt (0-based):
+// nominal base<<attempt capped at max, equal-jittered to uniform [d/2, d]
+// so a fleet of agents retrying against a recovering replica doesn't
+// synchronize into a thundering herd.
+func (c *Client) backoff(attempt int) time.Duration {
+	base, max := c.BackoffBase, c.BackoffMax
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// sleepClock blocks for d on the given clock, or until ctx is done.
+func sleepClock(ctx context.Context, clk simclock.Clock, d time.Duration) error {
+	t := clk.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// transientError marks failures worth retrying: transport errors and 5xx
+// responses — the shapes a dying or draining replica produces. 4xx, parse
+// and validation failures are permanent and surface immediately.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+func isTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
 }
 
 func (c *Client) fetchDetail(ctx context.Context, server string, revalidate bool) (FetchResult, error) {
@@ -145,11 +263,16 @@ func (c *Client) fetchDetail(ctx context.Context, server string, revalidate bool
 	if revalidate {
 		if etag, ok := c.cachedETag(server); ok {
 			req.Header.Set("If-None-Match", etag)
+			if !c.DisableDelta {
+				// With a validator on file, advertise that a patch from
+				// that exact generation is acceptable.
+				req.Header.Set("A-IM", DeltaIM)
+			}
 		}
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return FetchResult{}, fmt.Errorf("controller: fetch pinglist: %w", err)
+		return FetchResult{}, &transientError{fmt.Errorf("controller: fetch pinglist: %w", err)}
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
@@ -177,11 +300,17 @@ func (c *Client) fetchDetail(ctx context.Context, server string, revalidate bool
 		io.Copy(io.Discard, resp.Body)
 		c.dropCache(server)
 		return FetchResult{}, &ErrNoPinglist{Server: server}
+	case http.StatusIMUsed:
+		return c.applyDelta(ctx, server, resp)
 	case http.StatusOK:
 		// fall through to body handling below
 	default:
 		io.Copy(io.Discard, resp.Body)
-		return FetchResult{}, fmt.Errorf("controller: fetch pinglist: status %d", resp.StatusCode)
+		err := fmt.Errorf("controller: fetch pinglist: status %d", resp.StatusCode)
+		if resp.StatusCode >= 500 {
+			return FetchResult{}, &transientError{err}
+		}
+		return FetchResult{}, err
 	}
 
 	counted := &countingReader{r: io.LimitReader(resp.Body, 64<<20)}
@@ -214,6 +343,76 @@ func (c *Client) fetchDetail(ctx context.Context, server string, revalidate bool
 		c.cache[server] = e
 		res.File = e.copyFile() // keep the cached copy caller-proof
 	}
+	c.mu.Unlock()
+	return res, nil
+}
+
+// applyDelta handles a 226 IM Used response: parse the patch, apply it to
+// the cached base generation, and verify the result against the target
+// ETag. Any failure — parse, stale base, verification mismatch — falls
+// back to one unconditional full download; a delta can delay convergence
+// but never corrupt it.
+func (c *Client) applyDelta(ctx context.Context, server string, resp *http.Response) (FetchResult, error) {
+	fallback := func(wire int64) (FetchResult, error) {
+		c.mu.Lock()
+		c.stats.DeltaFallbacks++
+		c.stats.BytesOnWire += wire // the failed patch still crossed the wire
+		c.mu.Unlock()
+		c.dropCache(server)
+		return c.fetchDetail(ctx, server, false)
+	}
+
+	counted := &countingReader{r: io.LimitReader(resp.Body, 64<<20)}
+	var body io.Reader = counted
+	if strings.EqualFold(resp.Header.Get("Content-Encoding"), "gzip") {
+		zr, err := gzip.NewReader(counted)
+		if err != nil {
+			return fallback(counted.n)
+		}
+		defer zr.Close()
+		body = io.LimitReader(zr, 64<<20)
+	}
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		return fallback(counted.n)
+	}
+	d, err := pinglist.UnmarshalDelta(raw)
+	if err != nil {
+		return fallback(counted.n)
+	}
+
+	c.mu.Lock()
+	e, ok := c.cache[server]
+	c.mu.Unlock()
+	if !ok {
+		// 226 with no cached base (cache cleared mid-flight): only a full
+		// body can help.
+		return fallback(counted.n)
+	}
+	// Cache entries are immutable once published and ApplyVerified only
+	// reads the base, so patching outside the lock is safe.
+	f, _, err := pinglist.ApplyVerified(e.file, e.etag, d)
+	if err != nil {
+		return fallback(counted.n)
+	}
+	if err := f.Validate(); err != nil {
+		return fallback(counted.n)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		etag = d.TargetETag
+	}
+	res := FetchResult{Delta: true, BytesOnWire: counted.n}
+	c.mu.Lock()
+	c.stats.Fetches++
+	c.stats.DeltaApplied++
+	c.stats.BytesOnWire += counted.n
+	ne := &cacheEntry{etag: etag, file: f}
+	if c.cache == nil {
+		c.cache = make(map[string]*cacheEntry)
+	}
+	c.cache[server] = ne
+	res.File = ne.copyFile()
 	c.mu.Unlock()
 	return res, nil
 }

@@ -35,30 +35,73 @@ import (
 
 // Controller generates and serves pinglists.
 type Controller struct {
-	cfg   core.GeneratorConfig
-	clock simclock.Clock
-	reg   *metrics.Registry
+	cfg       core.GeneratorConfig
+	clock     simclock.Clock
+	reg       *metrics.Registry
+	ringDepth int // previous generations retained for delta serving
 
 	state atomic.Pointer[state] // current generation
 	gen   atomic.Uint64         // version counter
+
+	// Hot-path counters, resolved once so serving never takes the
+	// registry lock.
+	cServes, cBytes, cNotModified, cMisses *metrics.Counter
+	cDeltaServes, cDeltaBytes              *metrics.Counter
+	cDeltaBuilds, cDeltaFallbacks          *metrics.Counter
 }
 
 // state is one immutable generation of pinglist files. Each file is an
 // httpcache.Body: marshaled XML with its precomputed gzip variant and
-// strong ETag, shared with the portal's render cache machinery.
+// strong ETag, shared with the portal's render cache machinery. The state
+// also carries the delta machinery scoped to this generation: the ring of
+// previous generations patches may be built from, and the lazily filled
+// cache of built patches (copy-on-write map — readers take one atomic
+// load, builders swap in a new map under deltaMu).
 type state struct {
 	version  string
 	versionH []string                   // precomputed X-Pingmesh-Version value
 	files    map[string]*httpcache.Body // server name -> body
+
+	ring    []ringGen // newest first; empty when delta serving is off
+	deltaMu sync.Mutex
+	deltas  atomic.Pointer[map[deltaKey]*deltaBody]
 }
 
-// New builds a controller and runs the first generation. clock may be nil
-// for wall time.
+// Options tunes controller behavior beyond the generator config.
+type Options struct {
+	// DeltaRing is how many previous generations to retain (in compressed
+	// form) for serving delta updates. 0 means DefaultDeltaRing; negative
+	// disables delta serving entirely.
+	DeltaRing int
+}
+
+// New builds a controller with default options and runs the first
+// generation. clock may be nil for wall time.
 func New(top *topology.Topology, cfg core.GeneratorConfig, clock simclock.Clock) (*Controller, error) {
+	return NewWithOptions(top, cfg, clock, Options{})
+}
+
+// NewWithOptions builds a controller and runs the first generation.
+func NewWithOptions(top *topology.Topology, cfg core.GeneratorConfig, clock simclock.Clock, opts Options) (*Controller, error) {
 	if clock == nil {
 		clock = simclock.NewReal()
 	}
-	c := &Controller{cfg: cfg, clock: clock, reg: metrics.NewRegistry()}
+	depth := opts.DeltaRing
+	if depth == 0 {
+		depth = DefaultDeltaRing
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	c := &Controller{cfg: cfg, clock: clock, reg: metrics.NewRegistry(), ringDepth: depth}
+	c.cServes = c.reg.Counter("controller.pinglist_serves")
+	c.cBytes = c.reg.Counter("controller.bytes_served")
+	c.cNotModified = c.reg.Counter("controller.not_modified")
+	c.cMisses = c.reg.Counter("controller.pinglist_misses")
+	c.cDeltaServes = c.reg.Counter("controller.delta_serves")
+	c.cDeltaBytes = c.reg.Counter("controller.delta_bytes")
+	c.cDeltaBuilds = c.reg.Counter("controller.delta_builds")
+	c.cDeltaFallbacks = c.reg.Counter("controller.delta_fallback_full")
 	if err := c.UpdateTopology(top); err != nil {
 		return nil, err
 	}
@@ -142,8 +185,33 @@ func (c *Controller) UpdateTopology(top *topology.Topology) error {
 		files[top.Server(id).Name] = entries[i]
 	}
 
-	c.state.Store(&state{version: version, versionH: []string{version}, files: files})
+	next := &state{version: version, versionH: []string{version}, files: files}
+	// Demote the outgoing generation into the ring so agents holding its
+	// ETags can be served patches. Only the ETag and the compressed body
+	// are kept — the parsed peers and the httpcache headers are dropped —
+	// so the ring costs roughly gzip-sized memory per retained generation.
+	if prev := c.state.Load(); prev != nil && c.ringDepth > 0 && len(prev.files) > 0 {
+		g := ringGen{version: prev.version, entries: make(map[string]ringEntry, len(prev.files))}
+		for name, b := range prev.files {
+			e := ringEntry{etag: b.ETag()}
+			if gz := b.Gzip(); gz != nil {
+				e.comp, e.gzipped = gz, true
+			} else {
+				e.comp = b.Data()
+			}
+			g.entries[name] = e
+		}
+		next.ring = append(next.ring, g)
+		for _, og := range prev.ring {
+			if len(next.ring) >= c.ringDepth {
+				break
+			}
+			next.ring = append(next.ring, og)
+		}
+	}
+	c.state.Store(next)
 	c.reg.Counter("controller.generations").Inc()
+	c.reg.Gauge("controller.delta_ring").Set(int64(len(next.ring)))
 	c.reg.Gauge("controller.pinglists").Set(int64(len(files)))
 	c.reg.Gauge("controller.last_generation_ms").Set(int64(c.clock.Since(start) / time.Millisecond))
 	c.reg.Gauge("controller.generate_wall_us").Set(int64(gstats.Wall / time.Microsecond))
@@ -156,10 +224,13 @@ func (c *Controller) UpdateTopology(top *topology.Topology) error {
 
 // Clear removes every pinglist while keeping the web service up. Agents
 // that poll and find no pinglist fail closed and stop probing — the
-// paper's emergency stop for the whole fleet (§3.4.2).
+// paper's emergency stop for the whole fleet (§3.4.2). The generation
+// ring is dropped too: nothing may be reconstructable from a cleared
+// controller, not even via deltas.
 func (c *Controller) Clear() {
 	c.state.Store(&state{version: "cleared", versionH: []string{"cleared"}, files: map[string]*httpcache.Body{}})
 	c.reg.Gauge("controller.pinglists").Set(0)
+	c.reg.Gauge("controller.delta_ring").Set(0)
 }
 
 // Version returns the current generation identifier.
@@ -200,12 +271,14 @@ func (c *Controller) SaveToDir(dir string) error {
 // Handler returns the RESTful web API:
 //
 //	GET /pinglist/{server}  the server's pinglist XML (404 if unknown);
-//	                        supports If-None-Match → 304 and gzip bodies
+//	                        supports If-None-Match → 304, gzip bodies, and
+//	                        A-IM: pingmesh-delta → 226 patch responses
 //	GET /version            current generation id
 //	GET /healthz            liveness for the SLB health prober
 //
-// Conditional-GET and gzip negotiation are the shared httpcache protocol,
-// so the steady-state revalidation path allocates nothing.
+// Conditional-GET, gzip negotiation and cached delta serving all follow
+// the shared httpcache discipline: the steady-state paths (304, cached
+// full body, cached patch) allocate nothing.
 func (c *Controller) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/pinglist/", func(w http.ResponseWriter, r *http.Request) {
@@ -217,18 +290,32 @@ func (c *Controller) Handler() http.Handler {
 		st := c.state.Load()
 		e, ok := st.files[server]
 		if !ok {
-			c.reg.Counter("controller.pinglist_misses").Inc()
+			c.cMisses.Inc()
 			http.NotFound(w, r)
 			return
+		}
+		// Stale validator from a delta-capable agent: try to serve a patch
+		// from the generation ring before falling back to the full body.
+		// (A matching validator falls through to Serve's 304 path.)
+		if inm := r.Header.Get("If-None-Match"); inm != "" &&
+			!httpcache.ETagMatches(inm, e.ETag()) && wantsDelta(r) {
+			if db := c.deltaFor(st, server, inm); db != nil {
+				w.Header()["X-Pingmesh-Version"] = st.versionH
+				n := db.serve(w, r)
+				c.cDeltaServes.Inc()
+				c.cDeltaBytes.Add(int64(n))
+				return
+			}
+			c.cDeltaFallbacks.Inc()
 		}
 		w.Header()["X-Pingmesh-Version"] = st.versionH
 		res := e.Serve(w, r)
 		if res.Status == http.StatusNotModified {
-			c.reg.Counter("controller.not_modified").Inc()
+			c.cNotModified.Inc()
 			return
 		}
-		c.reg.Counter("controller.pinglist_serves").Inc()
-		c.reg.Counter("controller.bytes_served").Add(int64(res.Bytes))
+		c.cServes.Inc()
+		c.cBytes.Add(int64(res.Bytes))
 	})
 	mux.HandleFunc("/version", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, c.Version())

@@ -1,0 +1,210 @@
+// Delta pinglists (§3.3 scale-out): when a topology or configuration
+// change regenerates the fleet's pinglists, most servers' files change by
+// only a handful of peer entries (or by nothing but the version header),
+// yet the PR 1 protocol re-ships the whole file to every agent. A Delta is
+// a versioned patch from one exact generation of a server's pinglist to
+// another, keyed by the strong content ETags of both ends, so an agent
+// holding the base generation can reconstruct the new file byte-for-byte
+// without downloading it.
+//
+// The patch is an edit script over the peer sequence: ordered operations
+// that either copy a run of peers from the base file or insert literal
+// peers. Adds, removes and modifications all reduce to copy/insert runs,
+// and because the script rebuilds the exact peer order, Marshal of the
+// patched file is byte-identical to Marshal of the freshly generated one —
+// which is what lets the ETag of the patched result be verified against
+// the target ETag. A corrupted or stale delta can therefore never yield a
+// wrong pinglist: verification fails and the caller falls back to a full
+// fetch (pinned by FuzzDeltaPatchVsFull).
+package pinglist
+
+import (
+	"encoding/xml"
+	"fmt"
+	"time"
+
+	"pingmesh/internal/httpcache"
+)
+
+// DeltaVersion is the wire version of the delta document. Agents reject
+// deltas with a different version and fall back to a full fetch, so the
+// format can evolve without a flag day.
+const DeltaVersion = 1
+
+// Op is one edit-script operation. A copy op (Count > 0) copies Count
+// peers from the base file starting at index From; an insert op (Count ==
+// 0) appends its literal Peers. An op is never both.
+type Op struct {
+	From  int    `xml:"from,attr"`
+	Count int    `xml:"count,attr"`
+	Peers []Peer `xml:"Peer"`
+}
+
+// Delta is a patch from the base generation of one server's pinglist
+// (identified by BaseETag) to the target generation (TargetETag). Server,
+// Version and Generated are the target file's header fields; applying the
+// delta reproduces the target file exactly.
+type Delta struct {
+	XMLName    xml.Name  `xml:"PinglistDelta"`
+	V          int       `xml:"v,attr"`
+	Server     string    `xml:"server,attr"`
+	Version    string    `xml:"version,attr"`
+	Generated  time.Time `xml:"generated,attr"`
+	BaseETag   string    `xml:"base,attr"`
+	TargetETag string    `xml:"target,attr"`
+	Ops        []Op      `xml:"Op"`
+}
+
+// MarshalDelta renders the delta as XML.
+func MarshalDelta(d *Delta) ([]byte, error) {
+	out, err := xml.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("pinglist: marshal delta: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// UnmarshalDelta parses an XML delta document.
+func UnmarshalDelta(data []byte) (*Delta, error) {
+	var d Delta
+	if err := xml.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("pinglist: unmarshal delta: %w", err)
+	}
+	return &d, nil
+}
+
+// Diff computes the delta that patches old into new. baseETag and
+// targetETag are the strong ETags of the two files' Marshal outputs (the
+// caller usually has them precomputed; DiffFiles computes them). The edit
+// script is greedy and monotone: it walks both peer sequences forward,
+// emitting maximal copy runs for shared stretches and literal inserts for
+// everything else, which is near-minimal for the localized add / remove /
+// modify churn that topology updates produce.
+func Diff(old, new *File, baseETag, targetETag string) (*Delta, error) {
+	if old.Server != new.Server {
+		return nil, fmt.Errorf("pinglist: diff across servers %q and %q", old.Server, new.Server)
+	}
+	d := &Delta{
+		V:          DeltaVersion,
+		Server:     new.Server,
+		Version:    new.Version,
+		Generated:  new.Generated,
+		BaseETag:   baseETag,
+		TargetETag: targetETag,
+	}
+	// Positions of each distinct peer value in the base, ascending.
+	pos := make(map[Peer][]int, len(old.Peers))
+	for i := range old.Peers {
+		pos[old.Peers[i]] = append(pos[old.Peers[i]], i)
+	}
+	i := 0 // next base index a copy run may start at (monotone)
+	var ins []Peer
+	flush := func() {
+		if len(ins) > 0 {
+			d.Ops = append(d.Ops, Op{Peers: ins})
+			ins = nil
+		}
+	}
+	for j := 0; j < len(new.Peers); {
+		// Smallest base position >= i holding this exact peer.
+		k := -1
+		for _, p := range pos[new.Peers[j]] {
+			if p >= i {
+				k = p
+				break
+			}
+		}
+		if k < 0 {
+			ins = append(ins, new.Peers[j])
+			j++
+			continue
+		}
+		flush()
+		i = k
+		for j < len(new.Peers) && i < len(old.Peers) && old.Peers[i] == new.Peers[j] {
+			i++
+			j++
+		}
+		d.Ops = append(d.Ops, Op{From: k, Count: i - k})
+	}
+	flush()
+	return d, nil
+}
+
+// DiffFiles is Diff with the ETags computed here by marshaling both files.
+func DiffFiles(old, new *File) (*Delta, error) {
+	oldData, err := Marshal(old)
+	if err != nil {
+		return nil, err
+	}
+	newData, err := Marshal(new)
+	if err != nil {
+		return nil, err
+	}
+	return Diff(old, new, httpcache.ETagFor(oldData), httpcache.ETagFor(newData))
+}
+
+// Apply replays the delta's edit script over the base file and returns the
+// reconstructed target file. It validates the script's shape and bounds
+// but not the end-to-end result; use ApplyVerified for the checked form
+// agents rely on.
+func Apply(old *File, d *Delta) (*File, error) {
+	n := 0
+	for oi := range d.Ops {
+		op := &d.Ops[oi]
+		switch {
+		case op.Count < 0:
+			return nil, fmt.Errorf("pinglist: delta op %d: negative count", oi)
+		case op.Count > 0 && len(op.Peers) > 0:
+			return nil, fmt.Errorf("pinglist: delta op %d: both copy and insert", oi)
+		case op.Count == 0 && len(op.Peers) == 0:
+			return nil, fmt.Errorf("pinglist: delta op %d: empty", oi)
+		case op.Count > 0 && (op.From < 0 || op.From+op.Count > len(old.Peers)):
+			return nil, fmt.Errorf("pinglist: delta op %d: copy [%d,%d) out of base range %d",
+				oi, op.From, op.From+op.Count, len(old.Peers))
+		}
+		n += op.Count + len(op.Peers)
+	}
+	f := &File{
+		Server:    d.Server,
+		Version:   d.Version,
+		Generated: d.Generated,
+		Peers:     make([]Peer, 0, n),
+	}
+	for oi := range d.Ops {
+		op := &d.Ops[oi]
+		if op.Count > 0 {
+			f.Peers = append(f.Peers, old.Peers[op.From:op.From+op.Count]...)
+		} else {
+			f.Peers = append(f.Peers, op.Peers...)
+		}
+	}
+	return f, nil
+}
+
+// ApplyVerified is the checked patch agents use: it rejects a delta whose
+// wire version or base ETag doesn't match the cached file, applies the
+// script, re-marshals the result and verifies the target ETag over the
+// produced bytes. On success the returned bytes are guaranteed (up to
+// content-hash collision) byte-identical to the freshly marshaled target
+// file; on any mismatch the caller must fall back to a full fetch.
+func ApplyVerified(old *File, oldETag string, d *Delta) (*File, []byte, error) {
+	if d.V != DeltaVersion {
+		return nil, nil, fmt.Errorf("pinglist: delta version %d, want %d", d.V, DeltaVersion)
+	}
+	if d.BaseETag != oldETag {
+		return nil, nil, fmt.Errorf("pinglist: delta base %s does not match cached %s", d.BaseETag, oldETag)
+	}
+	f, err := Apply(old, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := Marshal(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	if etag := httpcache.ETagFor(data); etag != d.TargetETag {
+		return nil, nil, fmt.Errorf("pinglist: patched file hashes to %s, delta targets %s", etag, d.TargetETag)
+	}
+	return f, data, nil
+}

@@ -1,0 +1,215 @@
+package pinglist
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pingmesh/internal/httpcache"
+)
+
+// deltaFile builds a pinglist with n synthetic peers, version v.
+func deltaFile(v string, n int) *File {
+	f := &File{Server: "srv-1", Version: v, Generated: time.Unix(1751328000, 0).UTC()}
+	for i := 0; i < n; i++ {
+		f.Peers = append(f.Peers, Peer{
+			Addr:        "10.0." + string(rune('0'+i/250)) + "." + itoa(i%250+2),
+			Port:        8765,
+			Class:       "intra-dc",
+			Proto:       "tcp",
+			QoS:         "high",
+			IntervalSec: 30,
+		})
+	}
+	return f
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// roundTrip diffs old→new through the wire format and asserts the patched
+// bytes equal the freshly marshaled target exactly.
+func roundTrip(t *testing.T, old, target *File) *Delta {
+	t.Helper()
+	oldData, err := Marshal(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantData, err := Marshal(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diff(old, target, httpcache.ETagFor(oldData), httpcache.ETagFor(wantData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := MarshalDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := UnmarshalDelta(wire)
+	if err != nil {
+		t.Fatalf("delta did not round trip: %v\n%s", err, wire)
+	}
+	_, got, err := ApplyVerified(old, httpcache.ETagFor(oldData), d2)
+	if err != nil {
+		t.Fatalf("ApplyVerified: %v", err)
+	}
+	if string(got) != string(wantData) {
+		t.Fatalf("patched bytes differ from target:\n got %q\nwant %q", got, wantData)
+	}
+	return d2
+}
+
+func TestDeltaAddRemoveModify(t *testing.T) {
+	old := deltaFile("gen-1", 40)
+
+	t.Run("header-only", func(t *testing.T) {
+		target := deltaFile("gen-2", 40)
+		d := roundTrip(t, old, target)
+		// Unchanged peers: the whole script is one copy run.
+		if len(d.Ops) != 1 || d.Ops[0].Count != 40 {
+			t.Fatalf("header-only delta ops = %+v, want one full copy", d.Ops)
+		}
+	})
+	t.Run("append", func(t *testing.T) {
+		target := deltaFile("gen-2", 44)
+		d := roundTrip(t, old, target)
+		if len(d.Ops) != 2 || d.Ops[0].Count != 40 || len(d.Ops[1].Peers) != 4 {
+			t.Fatalf("append delta ops = %+v", d.Ops)
+		}
+	})
+	t.Run("remove-tail", func(t *testing.T) {
+		target := deltaFile("gen-2", 30)
+		d := roundTrip(t, old, target)
+		if len(d.Ops) != 1 || d.Ops[0].Count != 30 {
+			t.Fatalf("remove delta ops = %+v", d.Ops)
+		}
+	})
+	t.Run("remove-middle", func(t *testing.T) {
+		target := deltaFile("gen-2", 40)
+		target.Peers = append(target.Peers[:10:10], target.Peers[15:]...)
+		roundTrip(t, old, target)
+	})
+	t.Run("modify", func(t *testing.T) {
+		target := deltaFile("gen-2", 40)
+		target.Peers[7].IntervalSec = 60
+		target.Peers[23].Port = 9999
+		d := roundTrip(t, old, target)
+		// Two modifications: copy, insert, copy, insert, copy.
+		if len(d.Ops) != 5 {
+			t.Fatalf("modify delta has %d ops, want 5: %+v", len(d.Ops), d.Ops)
+		}
+	})
+	t.Run("insert-middle", func(t *testing.T) {
+		target := deltaFile("gen-2", 40)
+		extra := Peer{Addr: "10.9.9.9", Port: 8765, Class: "intra-dc", Proto: "tcp", QoS: "high", IntervalSec: 30}
+		target.Peers = append(target.Peers[:20:20], append([]Peer{extra}, target.Peers[20:]...)...)
+		roundTrip(t, old, target)
+	})
+	t.Run("disjoint", func(t *testing.T) {
+		target := deltaFile("gen-2", 10)
+		for i := range target.Peers {
+			target.Peers[i].Port = 7000 + uint16(i)
+		}
+		roundTrip(t, old, target)
+	})
+	t.Run("empty-target", func(t *testing.T) {
+		target := deltaFile("gen-2", 0)
+		roundTrip(t, old, target)
+	})
+	t.Run("empty-base", func(t *testing.T) {
+		roundTrip(t, deltaFile("gen-1", 0), deltaFile("gen-2", 12))
+	})
+}
+
+// TestDeltaSmallerThanFull pins the point of the protocol: for localized
+// churn the delta wire form is a small fraction of the full file.
+func TestDeltaSmallerThanFull(t *testing.T) {
+	old := deltaFile("gen-1", 500)
+	target := deltaFile("gen-2", 504) // rolling update appends four peers
+	fullData, _ := Marshal(target)
+	d := roundTrip(t, old, target)
+	wire, _ := MarshalDelta(d)
+	if len(wire)*10 > len(fullData) {
+		t.Fatalf("delta %d bytes vs full %d: not >=10x smaller", len(wire), len(fullData))
+	}
+}
+
+func TestApplyVerifiedRejects(t *testing.T) {
+	old := deltaFile("gen-1", 20)
+	target := deltaFile("gen-2", 22)
+	oldData, _ := Marshal(old)
+	oldETag := httpcache.ETagFor(oldData)
+	good, err := DiffFiles(old, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("wrong-version", func(t *testing.T) {
+		d := *good
+		d.V = DeltaVersion + 1
+		if _, _, err := ApplyVerified(old, oldETag, &d); err == nil {
+			t.Fatal("future wire version accepted")
+		}
+	})
+	t.Run("stale-base", func(t *testing.T) {
+		if _, _, err := ApplyVerified(old, `"someotheretag"`, good); err == nil {
+			t.Fatal("stale base accepted")
+		}
+	})
+	t.Run("corrupted-ops", func(t *testing.T) {
+		d := *good
+		d.Ops = append([]Op(nil), good.Ops...)
+		d.Ops[0] = Op{From: 0, Count: 19} // drop a peer the target has
+		if _, _, err := ApplyVerified(old, oldETag, &d); err == nil {
+			t.Fatal("corrupted script passed target-ETag verification")
+		}
+	})
+	t.Run("out-of-range-copy", func(t *testing.T) {
+		d := *good
+		d.Ops = []Op{{From: 10, Count: 1000}}
+		if _, _, err := ApplyVerified(old, oldETag, &d); err == nil {
+			t.Fatal("out-of-range copy accepted")
+		}
+	})
+	t.Run("wrong-header", func(t *testing.T) {
+		d := *good
+		d.Version = "gen-9999" // header is hashed, so the ETag check catches it
+		if _, _, err := ApplyVerified(old, oldETag, &d); err == nil {
+			t.Fatal("tampered header passed verification")
+		}
+	})
+}
+
+// TestDeltaWireShape sanity-checks the document format so protocol drift
+// is visible in review, not just in hashes.
+func TestDeltaWireShape(t *testing.T) {
+	old := deltaFile("gen-1", 3)
+	target := deltaFile("gen-2", 4)
+	d, err := DiffFiles(old, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := MarshalDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(wire)
+	for _, want := range []string{"<PinglistDelta", `v="1"`, `server="srv-1"`, `version="gen-2"`, `base="`, `target="`, "<Op", "<Peer"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("delta wire form missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,9 +1,12 @@
 package pinglist
 
 import (
+	"fmt"
 	"testing"
 	"time"
 	"unicode/utf8"
+
+	"pingmesh/internal/httpcache"
 )
 
 // xmlSafe reports whether s round-trips losslessly through XML: valid
@@ -118,6 +121,108 @@ func FuzzMarshalRoundTrip(f *testing.F) {
 		// the round trip, an invalid one stays invalid.
 		if (in.Validate() == nil) != (out.Validate() == nil) {
 			t.Fatalf("validity changed across round trip: in=%v out=%v", in.Validate(), out.Validate())
+		}
+	})
+}
+
+// fileFromBytes derives a pinglist deterministically from fuzz bytes. Each
+// byte picks one peer out of a small value space, so arbitrary byte pairs
+// produce peer sequences with repeats, shared runs, and disjoint stretches
+// — the shapes the delta edit script must handle.
+func fileFromBytes(server, version string, seed []byte) *File {
+	f := &File{Server: server, Version: version, Generated: time.Unix(1751328000, 0).UTC()}
+	if len(seed) > 512 {
+		seed = seed[:512]
+	}
+	classes := [3]string{"intra-pod", "intra-dc", "inter-dc"}
+	for _, b := range seed {
+		f.Peers = append(f.Peers, Peer{
+			Addr:        fmt.Sprintf("10.0.%d.%d", b/64, b%64+1),
+			Port:        8765 + uint16(b%4),
+			Class:       classes[b%3],
+			Proto:       "tcp",
+			QoS:         "high",
+			IntervalSec: 10 + int(b%3)*10,
+			PayloadLen:  int(b%2) * 1024,
+		})
+	}
+	return f
+}
+
+// FuzzDeltaPatchVsFull is the differential safety net for the delta
+// protocol: for arbitrary pinglist pairs, patching the base with the diff
+// must reproduce the freshly marshaled target byte-identically — and a
+// corrupted or stale delta must never pass ApplyVerified with wrong bytes;
+// it must error out, which is the signal agents use to fall back to a full
+// fetch.
+func FuzzDeltaPatchVsFull(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5}, []byte{1, 2, 9, 4, 5, 6}, "gen-2", []byte{0xff}, uint16(10))
+	f.Add([]byte{}, []byte{7, 7, 7}, "gen-3", []byte{}, uint16(0))
+	f.Add([]byte{9, 9, 9, 9}, []byte{}, "gen-4", []byte{1, 2, 3}, uint16(2))
+	f.Add([]byte{0, 1, 0, 1, 0, 1}, []byte{1, 0, 1, 0}, "v", []byte{0x3c}, uint16(100))
+	f.Fuzz(func(t *testing.T, seedOld, seedNew []byte, version string, corrupt []byte, corruptPos uint16) {
+		old := fileFromBytes("srv-f", "gen-1", seedOld)
+		target := fileFromBytes("srv-f", version, seedNew)
+		oldData, err := Marshal(old)
+		if err != nil {
+			t.Skip() // invalid XML runes in version
+		}
+		newData, err := Marshal(target)
+		if err != nil {
+			t.Skip()
+		}
+		oldETag := httpcache.ETagFor(oldData)
+		d, err := Diff(old, target, oldETag, httpcache.ETagFor(newData))
+		if err != nil {
+			t.Fatalf("Diff failed for same-server pair: %v", err)
+		}
+		wire, err := MarshalDelta(d)
+		if err != nil {
+			t.Fatalf("delta of marshalable files not marshalable: %v", err)
+		}
+
+		// The honest path: patched bytes == freshly marshaled full file.
+		d2, err := UnmarshalDelta(wire)
+		if err != nil {
+			t.Fatalf("delta wire form did not parse: %v\n%s", err, wire)
+		}
+		_, got, err := ApplyVerified(old, oldETag, d2)
+		if err != nil {
+			if xmlSafe(version) {
+				t.Fatalf("ApplyVerified rejected an honest delta: %v", err)
+			}
+			return // lossy escaping; the fallback-to-full contract still held
+		}
+		if string(got) != string(newData) {
+			t.Fatalf("patched bytes != full marshal\n got %q\nwant %q", got, newData)
+		}
+
+		// A stale base must be rejected outright.
+		if _, _, err := ApplyVerified(target, httpcache.ETagFor(newData), d2); err == nil && string(oldData) != string(newData) {
+			t.Fatal("delta applied over the wrong base generation")
+		}
+
+		// The hostile path: corrupt the wire form; whatever still parses
+		// and verifies must STILL produce the exact target bytes (the
+		// target ETag binds the content); anything else must error — the
+		// fall-back-to-full signal.
+		if len(corrupt) == 0 {
+			return
+		}
+		mutated := append([]byte(nil), wire...)
+		for i, b := range corrupt {
+			mutated[(int(corruptPos)+i*31)%len(mutated)] ^= b
+		}
+		dc, err := UnmarshalDelta(mutated)
+		if err != nil {
+			return // corruption detected at parse time
+		}
+		_, got2, err := ApplyVerified(old, oldETag, dc)
+		if err != nil {
+			return // corruption detected at verify time: fall back to full
+		}
+		if string(got2) != string(newData) {
+			t.Fatalf("corrupted delta verified but produced wrong bytes\n got %q\nwant %q", got2, newData)
 		}
 	})
 }

@@ -22,6 +22,11 @@ type Options struct {
 	HealthInterval time.Duration
 	// DialTimeout bounds backend dials (health and proxy). Default 2s.
 	DialTimeout time.Duration
+	// OnStateChange, if non-nil, is called once per backend health
+	// transition (true = back in rotation, false = taken out) — from the
+	// health prober or from a proxy fast-fail. Called without locks held;
+	// the callback must not block for long.
+	OnStateChange func(addr string, healthy bool)
 }
 
 func (o *Options) withDefaults() Options {
@@ -190,12 +195,20 @@ func (lb *LoadBalancer) proxy(client net.Conn) {
 		}
 		server, err := net.DialTimeout("tcp", b.addr, lb.opts.DialTimeout)
 		if err != nil {
-			b.healthy.Store(false) // fast-fail: out of rotation until reprobed
+			lb.setHealthy(b, false) // fast-fail: out of rotation until reprobed
 			continue
 		}
 		b.forwarded.Add(1)
 		splice(client, server)
 		return
+	}
+}
+
+// setHealthy records a backend's health and fires OnStateChange exactly
+// once per transition, however many probers and proxies observe it.
+func (lb *LoadBalancer) setHealthy(b *backend, healthy bool) {
+	if b.healthy.CompareAndSwap(!healthy, healthy) && lb.opts.OnStateChange != nil {
+		lb.opts.OnStateChange(b.addr, healthy)
 	}
 }
 
@@ -237,11 +250,11 @@ func (lb *LoadBalancer) healthLoop() {
 		for _, b := range backends {
 			conn, err := net.DialTimeout("tcp", b.addr, lb.opts.DialTimeout)
 			if err != nil {
-				b.healthy.Store(false)
+				lb.setHealthy(b, false)
 				continue
 			}
 			conn.Close()
-			b.healthy.Store(true)
+			lb.setHealthy(b, true)
 		}
 	}
 }

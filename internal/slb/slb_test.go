@@ -2,6 +2,7 @@ package slb
 
 import (
 	"context"
+	"sync"
 	"testing"
 	"time"
 
@@ -149,6 +150,68 @@ func TestBackendRecoveryRejoins(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	t.Fatalf("recovered backend never rejoined: %v", lb.HealthyBackends())
+}
+
+// TestOnStateChangeFiresOncePerTransition kills a backend and revives it,
+// checking the hook reports each transition exactly once even though the
+// prober re-confirms the same state every interval.
+func TestOnStateChangeFiresOncePerTransition(t *testing.T) {
+	backends := startBackends(t, 2)
+	flapAddr := backends[0].Addr().String()
+
+	type event struct {
+		addr    string
+		healthy bool
+	}
+	var mu sync.Mutex
+	var events []event
+	snapshot := func() []event {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]event(nil), events...)
+	}
+
+	lb, err := New("127.0.0.1:0", addrsOf(backends), Options{
+		HealthInterval: 30 * time.Millisecond,
+		OnStateChange: func(addr string, healthy bool) {
+			mu.Lock()
+			events = append(events, event{addr, healthy})
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+
+	backends[0].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && len(snapshot()) < 1 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := snapshot(); len(got) != 1 || got[0] != (event{flapAddr, false}) {
+		t.Fatalf("events after kill = %v, want exactly [{%s false}]", got, flapAddr)
+	}
+
+	// Let several probe intervals pass: the still-down state must not
+	// re-fire the hook.
+	time.Sleep(150 * time.Millisecond)
+	if got := snapshot(); len(got) != 1 {
+		t.Fatalf("down state re-reported: %v", got)
+	}
+
+	revived, err := netlib.NewTCPServer(flapAddr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", flapAddr, err)
+	}
+	defer revived.Close()
+	for time.Now().Before(deadline) && len(snapshot()) < 2 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	got := snapshot()
+	if len(got) != 2 || got[1] != (event{flapAddr, true}) {
+		t.Fatalf("events after revival = %v, want [... {%s true}]", got, flapAddr)
+	}
 }
 
 func TestRemoveBackend(t *testing.T) {

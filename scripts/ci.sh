@@ -17,8 +17,14 @@
 #                                      must stay allocation-free per request;
 #                                      a disabled/unsampled tracer must cost
 #                                      the probe and ingest paths one atomic
-#                                      load and zero allocations)
-#   4. short fuzz pass over the pinglist wire format and the streaming
+#                                      load and zero allocations; the
+#                                      controller's cached delta serving
+#                                      must be allocation-free per request)
+#   3b. churn-harness smoke           (the control-plane churn CLI end to
+#                                      end at reduced scale: delta serving,
+#                                      replica kill, convergence)
+#   4. short fuzz pass over the pinglist wire format, the delta codec
+#      (patch(old, diff) == new, byte-identical), and the streaming
 #      record decoder (optional, FUZZ=1)
 #
 # Usage: scripts/ci.sh [package...]   # default: ./...
@@ -39,13 +45,18 @@ echo "== tier 3: alloc-guard smoke"
 go test ./internal/scope ./internal/probe ./internal/analysis \
     ./internal/netsim ./internal/fleet \
     ./internal/httpcache ./internal/metrics ./internal/portal \
-    ./internal/trace ./internal/agent \
+    ./internal/trace ./internal/agent ./internal/controller \
     -run 'ZeroAlloc' -count=1 -v | grep -E '^(=== RUN|--- (PASS|FAIL)|ok|FAIL)'
+
+echo "== tier 3b: churn-harness smoke (reduced scale)"
+go run ./cmd/pingmesh-churnsim -agents 20000 -podsets 8 -pods 6 -mode compare \
+    -out "${TMPDIR:-/tmp}/pingmesh_churn_smoke.json"
 
 if [ "${FUZZ:-0}" = "1" ]; then
     echo "== tier 4: fuzz wire formats (30s each)"
     go test ./internal/pinglist -fuzz FuzzUnmarshal -fuzztime 30s
     go test ./internal/pinglist -fuzz FuzzMarshalRoundTrip -fuzztime 30s
+    go test ./internal/pinglist -fuzz FuzzDeltaPatchVsFull -fuzztime 30s
     go test ./internal/probe -fuzz FuzzScannerVsDecodeBatch -fuzztime 30s
 fi
 
