@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race ci fuzz bench bench-ingest bench-fleet bench-portal bench-trace bench-controlplane churn clean
+.PHONY: all build test race ci fuzz bench bench-ingest bench-fleet bench-portal bench-trace bench-controlplane bench-analysis churn foldsim clean
 
 all: build test
 
@@ -59,10 +59,23 @@ bench-controlplane:
 	$(GO) test -run '^$$' -bench 'BenchmarkServeDelta|BenchmarkServeFull|BenchmarkServeGzip|BenchmarkServeNotModified' \
 		-benchmem ./internal/controller
 
+# Analysis hot path: the per-record fold cost plus the full
+# million-server incremental-vs-rescan sweep. BENCH_PR7.json records the
+# tracked numbers.
+bench-analysis:
+	$(GO) test -run '^$$' -bench 'BenchmarkFoldExtent|BenchmarkPartialMerge' \
+		-benchmem ./internal/scope
+	$(MAKE) foldsim
+
 # Million-agent churn harness: delta vs full-body serving through a
 # rolling topology update with replica failover. Writes BENCH_PR6.json.
 churn:
 	$(GO) run ./cmd/pingmesh-churnsim -agents 1000000 -podsets 50 -out BENCH_PR6.json
+
+# Million-server fold harness: sharded incremental cycles vs the legacy
+# full re-scan over one 10-minute window. Writes BENCH_PR7.json.
+foldsim:
+	$(GO) run ./cmd/pingmesh-foldsim -servers 1000000 -shards 1,2,4 -out BENCH_PR7.json
 
 clean:
 	$(GO) clean -testcache

@@ -1,0 +1,83 @@
+// Command pingmesh-foldsim measures the sharded incremental analysis tier
+// against the legacy full re-scan on a synthetic million-server fleet:
+// one 10-minute window of probe records is uploaded as sealed cosmos
+// extents, then folded and cycled at each shard count. The JSON report
+// (BENCH_PR7.json in CI) records fold throughput, cycle latency per shard
+// count, steal counts, and the 20-minute-budget check.
+//
+// Usage:
+//
+//	pingmesh-foldsim -servers 1000000 -shards 1,2,4 -out BENCH_PR7.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pingmesh/internal/foldsim"
+)
+
+func main() {
+	servers := flag.Int("servers", 1_000_000, "fleet size (rounded up to whole 1000-server podsets)")
+	perServer := flag.Int("records-per-server", 12, "probe records per server in the 10-minute window")
+	extentSize := flag.Int("extent-size", 1<<20, "cosmos extent size in bytes")
+	batch := flag.Int("batch", 512, "records per upload batch")
+	foldBudget := flag.Int("fold-budget", 64, "extents folded per shard per background pass")
+	shards := flag.String("shards", "1,2,4", "comma-separated shard counts to measure")
+	seed := flag.Int64("seed", 1, "record synthesizer seed")
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	var counts []int
+	for _, f := range strings.Split(*shards, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "pingmesh-foldsim: bad -shards entry %q\n", f)
+			os.Exit(2)
+		}
+		counts = append(counts, n)
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	rep, err := foldsim.Run(foldsim.Config{
+		Servers:          *servers,
+		RecordsPerServer: *perServer,
+		ExtentSize:       *extentSize,
+		BatchRecords:     *batch,
+		FoldBudget:       *foldBudget,
+		Shards:           counts,
+		Seed:             *seed,
+	}, logf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pingmesh-foldsim: %v\n", err)
+		os.Exit(1)
+	}
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pingmesh-foldsim: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "pingmesh-foldsim: %v\n", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		logf("wrote %s", *out)
+	}
+}

@@ -74,6 +74,16 @@ func (s *LatencyStats) Add(r *probe.Record) {
 	}
 }
 
+// Clone returns a deep copy sharing no state with s: merging into the
+// clone leaves s untouched, so live partial aggregates can keep folding
+// while a cycle combines snapshots of them.
+func (s *LatencyStats) Clone() *LatencyStats {
+	c := *s
+	c.rtt = s.rtt.Clone()
+	c.payload = s.payload.Clone()
+	return &c
+}
+
 // Merge folds another aggregator in.
 func (s *LatencyStats) Merge(o *LatencyStats) {
 	s.rtt.Merge(o.rtt)

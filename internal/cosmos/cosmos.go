@@ -39,6 +39,26 @@ type Store struct {
 	strms map[string]*stream
 	next  uint64 // extent id counter
 	rr    int    // round-robin cursor for replica placement
+
+	// sealLog journals every extent seal in order, so incremental
+	// consumers (the DSA folders) discover newly sealed extents with a
+	// cursor instead of re-listing every extent each cycle. Entries carry
+	// a monotone seq; DeleteStream compacts entries without reusing seqs,
+	// so cursors survive compaction.
+	sealLog []SealEvent
+	sealSeq uint64
+}
+
+// SealEvent records the sealing of one extent: the stream it belongs to,
+// its index within the stream, and its store-global extent ID (the key
+// shard ownership hashes over). Seq is the journal position; pass Seq+1 of
+// the last event seen as the next VisitSealed cursor (VisitSealed returns
+// exactly that).
+type SealEvent struct {
+	Seq    uint64
+	Stream string
+	Index  int
+	ID     uint64
 }
 
 type node struct {
@@ -106,8 +126,10 @@ func (s *Store) Append(name string, data []byte) error {
 	}
 	replicas := ext.replicas
 	ext.size += len(data)
+	sealedIdx := -1
 	if ext.size >= s.cfg.ExtentSize {
 		ext.sealed = true
+		sealedIdx = len(st.extents) - 1
 	}
 	id := ext.id
 	s.mu.Unlock()
@@ -122,6 +144,17 @@ func (s *Store) Append(name string, data []byte) error {
 	}
 	if wrote == 0 {
 		return fmt.Errorf("cosmos: all %d replicas of extent %d unavailable", len(replicas), id)
+	}
+	if sealedIdx >= 0 {
+		// Journal the seal only after the final bytes are durable on at
+		// least one replica: a VisitSealed cursor must never hand out an
+		// extent whose sealed contents are not yet readable.
+		s.mu.Lock()
+		s.sealLog = append(s.sealLog, SealEvent{
+			Seq: s.sealSeq, Stream: name, Index: sealedIdx, ID: id,
+		})
+		s.sealSeq++
+		s.mu.Unlock()
 	}
 	return nil
 }
@@ -256,6 +289,51 @@ func (s *Store) Sealed(name string, i int) (bool, error) {
 	return st.extents[i].sealed, nil
 }
 
+// SealedFrom reports the number of leading sealed extents of a stream.
+// Extents seal strictly in order (a new extent is only opened once its
+// predecessor sealed), so the sealed extents of a stream are exactly
+// [0, SealedFrom(name)) and a caller that has folded extents [0, i) need
+// only process [i, SealedFrom(name)) to catch up. Unknown streams report 0.
+func (s *Store) SealedFrom(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.strms[name]
+	if !ok {
+		return 0
+	}
+	n := len(st.extents)
+	if n > 0 && !st.extents[n-1].sealed {
+		n--
+	}
+	return n
+}
+
+// VisitSealed calls fn for every extent sealed since cursor, in seal order,
+// and returns the cursor to pass on the next call. A cursor of 0 visits
+// every seal since the store was created. Events for streams deleted in the
+// meantime are compacted away and never visited; seqs are monotone and
+// never reused, so a cursor taken before a DeleteStream stays valid.
+//
+// fn runs without the store lock held (the events are snapshotted first),
+// so it may call back into the store — typically ReadExtent, whose
+// zero-copy aliasing contract makes visiting sealed extents free: sealed
+// extents are immutable, so the returned slice is a stable read-only view.
+func (s *Store) VisitSealed(cursor uint64, fn func(ev SealEvent)) uint64 {
+	s.mu.RLock()
+	// Seqs are strictly increasing, so binary search finds the resume point.
+	i := sort.Search(len(s.sealLog), func(i int) bool { return s.sealLog[i].Seq >= cursor })
+	events := append([]SealEvent(nil), s.sealLog[i:]...)
+	next := s.sealSeq
+	s.mu.RUnlock()
+	for _, ev := range events {
+		fn(ev)
+	}
+	if next < cursor {
+		next = cursor
+	}
+	return next
+}
+
 // Read concatenates every extent of a stream.
 func (s *Store) Read(name string) ([]byte, error) {
 	n := s.NumExtents(name)
@@ -293,6 +371,16 @@ func (s *Store) DeleteStream(name string) {
 	st, ok := s.strms[name]
 	if ok {
 		delete(s.strms, name)
+		// Compact the seal journal: events for the deleted stream will
+		// never be readable again. Seqs stay monotone, so cursors held by
+		// incremental consumers are unaffected.
+		kept := s.sealLog[:0]
+		for _, ev := range s.sealLog {
+			if ev.Stream != name {
+				kept = append(kept, ev)
+			}
+		}
+		s.sealLog = kept
 	}
 	s.mu.Unlock()
 	if !ok {

@@ -56,6 +56,19 @@ type Config struct {
 	// analysis cycles, marks dsa-cycle freshness, and exposes the
 	// dsa.last_cycle_age gauge on the job registry.
 	Tracer *trace.Tracer
+	// Shards enables the sharded incremental analysis tier for the
+	// 10-minute jobs: sealed extents are folded into mergeable per-scope
+	// partials as they land, spread across this many analysis shards by
+	// rendezvous hashing, and a cycle merges deltas instead of re-scanning
+	// the window. 0 (default) keeps the legacy full re-scan.
+	Shards int
+	// FoldInterval is the cadence of the background fold job when Shards
+	// > 0. Default 1 minute.
+	FoldInterval time.Duration
+	// FoldBudget bounds extents folded per shard per scheduled fold pass
+	// (idle shards steal stragglers' leftovers). 0 means unbounded.
+	// Cycles always drain fully regardless.
+	FoldBudget int
 }
 
 // Report database tables the pipeline writes.
@@ -91,6 +104,8 @@ type Pipeline struct {
 	db     *reportdb.DB
 	keyer  *analysis.Keyer
 
+	inc *incremental // nil when Config.Shards == 0
+
 	mu       sync.Mutex
 	alerts   []analysis.Alert
 	heatmaps map[string]HeatmapResult // latest per DC name
@@ -117,6 +132,9 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.Retention <= 0 {
 		cfg.Retention = 60 * 24 * time.Hour
 	}
+	if cfg.FoldInterval <= 0 {
+		cfg.FoldInterval = time.Minute
+	}
 	p := &Pipeline{
 		cfg:      cfg,
 		engine:   &scope.Engine{Tracer: cfg.Tracer},
@@ -129,6 +147,13 @@ func New(cfg Config) (*Pipeline, error) {
 		p.jm.Metrics().GaugeFunc("dsa.last_cycle_age", func() int64 {
 			return cfg.Tracer.Freshness().AgeMillis(trace.StageDSACycle)
 		})
+	}
+	if cfg.Shards > 0 {
+		inc, err := newIncremental(p, cfg.Clock.Now())
+		if err != nil {
+			return nil, err
+		}
+		p.inc = inc
 	}
 	for _, t := range []struct {
 		name string
@@ -201,11 +226,22 @@ func (p *Pipeline) Alerts() []analysis.Alert {
 	return append([]analysis.Alert(nil), p.alerts...)
 }
 
-// Start schedules the three recurring jobs. Call Stop to cancel.
+// Start schedules the three recurring jobs (plus the background fold job
+// when incremental analysis is on). Call Stop to cancel.
 func (p *Pipeline) Start() {
-	p.jm.Schedule("10min", scope.Every10Min, p.RunTenMinute)
-	p.jm.Schedule("1hour", scope.Every1Hour, p.RunHourly)
-	p.jm.Schedule("1day", scope.Every1Day, p.RunDaily)
+	now := p.cfg.Clock.Now()
+	if p.inc != nil {
+		// The fold-window grid must coincide with the scheduler's window
+		// grid or cycles could never be served from partials.
+		p.inc.rearm(now)
+		p.jm.ScheduleAt("fold", p.cfg.FoldInterval, now, func(from, to time.Time) error {
+			p.FoldNow()
+			return nil
+		})
+	}
+	p.jm.ScheduleAt("10min", scope.Every10Min, now, p.RunTenMinute)
+	p.jm.ScheduleAt("1hour", scope.Every1Hour, now, p.RunHourly)
+	p.jm.ScheduleAt("1day", scope.Every1Day, now, p.RunDaily)
 }
 
 // Stop cancels the recurring jobs.
@@ -269,8 +305,21 @@ func (p *Pipeline) finishCycle(cy *cycleTrace, kind string, from, to time.Time) 
 }
 
 // RunTenMinute computes near-real-time SLA per DC and per service over the
-// window and fires threshold alerts.
+// window and fires threshold alerts. With incremental analysis enabled and
+// a grid-aligned window, the cycle is served by merging folded shard
+// partials plus a tail scan of unfolded extents; any other window falls
+// back to the full re-scan below, which stays the reference semantics.
 func (p *Pipeline) RunTenMinute(from, to time.Time) error {
+	if p.inc != nil {
+		handled, err := p.runTenMinuteIncremental(from, to)
+		if handled || err != nil {
+			return err
+		}
+	}
+	return p.runTenMinuteScan(from, to)
+}
+
+func (p *Pipeline) runTenMinuteScan(from, to time.Time) error {
 	cy := p.beginCycle()
 	res, err := p.engine.Run(scope.Job{
 		Name:   "sla-dc",
@@ -455,6 +504,9 @@ func (p *Pipeline) ageOut(now time.Time) {
 		// endpoint falls behind the cutoff.
 		if day.Add(24 * time.Hour).Before(cutoff) {
 			p.cfg.Store.DeleteStream(name)
+			if p.inc != nil {
+				p.inc.forgetStream(name)
+			}
 		}
 	}
 }

@@ -1,0 +1,378 @@
+package dsa
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"pingmesh/internal/analysis"
+	"pingmesh/internal/cosmos"
+	"pingmesh/internal/metrics"
+	"pingmesh/internal/probe"
+	"pingmesh/internal/scope"
+	"pingmesh/internal/shard"
+)
+
+// incremental is the sharded delta-folding tier of the 10-minute path: it
+// discovers newly sealed cosmos extents through the store's seal journal,
+// assigns each to a shard by rendezvous hashing, folds it into per-(spec,
+// window) partial aggregates exactly once, and lets a cycle serve its
+// window by merging partials plus a tail scan of only the unfolded
+// extents — instead of re-decoding every extent of the day.
+//
+// Correctness invariant: at cycle snapshot time (under passMu, after a
+// full drain of the ledger) every extent is either in the folded set F —
+// its window-W records already summed into partials — or in the tail scan,
+// which decodes it with the [from, to) filter. Histogram merges are exact
+// integer bucket additions, so merging partials in any shard order yields
+// byte-identical report rows to one full re-scan.
+type incremental struct {
+	p      *Pipeline
+	shards int
+	specs  []foldJobSpec
+
+	// passMu serializes fold passes and cycles: a cycle must not race a
+	// fold pass, or an extent folded between the partial merge and the
+	// tail snapshot would be counted twice (or not at all).
+	passMu  sync.Mutex
+	ledger  *shard.Ledger
+	folders []*scope.Folder
+	cursor  uint64
+	folded  map[string]map[int]bool // stream -> folded extent indexes
+	minWin  int64                   // lowest retained window; older cycles fall back to full scan
+
+	foldedCtr []*metrics.Counter
+}
+
+// foldJobSpec couples a registered FoldSpec with how the cycle publishes
+// it (the legacy job it replaces).
+type foldJobSpec struct {
+	spec    scope.FoldSpec
+	kind    string // "dc", "interdc", "service"
+	service string // service name when kind == "service"
+}
+
+func newIncremental(p *Pipeline, anchor time.Time) (*incremental, error) {
+	inc := &incremental{
+		p:      p,
+		shards: p.cfg.Shards,
+		folded: make(map[string]map[int]bool),
+		minWin: math.MinInt64,
+	}
+	ledger, err := shard.NewLedger(inc.shards)
+	if err != nil {
+		return nil, err
+	}
+	inc.ledger = ledger
+
+	// The three 10-minute spec families, mirroring RunTenMinute's jobs.
+	inc.specs = append(inc.specs,
+		foldJobSpec{kind: "dc", spec: scope.FoldSpec{
+			Name:     "sla-dc",
+			Where:    func(r *probe.Record) bool { return r.Class != probe.InterDC && r.PayloadLen == 0 },
+			KeyBytes: p.keyer.AppendSrcDC,
+		}},
+		foldJobSpec{kind: "interdc", spec: scope.FoldSpec{
+			Name:     "sla-interdc",
+			Where:    func(r *probe.Record) bool { return r.Class == probe.InterDC },
+			KeyBytes: p.keyer.AppendDCPair,
+		}},
+	)
+	for _, svc := range p.cfg.Services {
+		svc := svc
+		inc.specs = append(inc.specs, foldJobSpec{kind: "service", service: svc.Name, spec: scope.FoldSpec{
+			Name: "sla-service-" + svc.Name,
+			Where: func(r *probe.Record) bool {
+				return r.Class != probe.InterDC && r.PayloadLen == 0 && svc.Contains(r)
+			},
+			// Legacy service jobs group everything under "".
+			KeyBytes: func(dst []byte, r *probe.Record) ([]byte, bool) { return dst, true },
+		}})
+	}
+
+	specs := make([]scope.FoldSpec, len(inc.specs))
+	for i, s := range inc.specs {
+		specs[i] = s.spec
+	}
+	reg := p.jm.Metrics()
+	for s := 0; s < inc.shards; s++ {
+		s := s
+		inc.folders = append(inc.folders, scope.NewFolder(anchor, scope.Every10Min, specs, p.cfg.Tracer))
+		inc.foldedCtr = append(inc.foldedCtr, reg.Counter(fmt.Sprintf("dsa.shard.%d.extents_folded", s)))
+		reg.GaugeFunc(fmt.Sprintf("dsa.shard.%d.fold_lag", s), func() int64 {
+			return int64(inc.ledger.PendingFor(s))
+		})
+		reg.GaugeFunc(fmt.Sprintf("dsa.shard.%d.extents_stolen", s), func() int64 {
+			return int64(inc.ledger.Stolen(s))
+		})
+	}
+	return inc, nil
+}
+
+// rearm re-anchors the window grid, allowed only while nothing has been
+// folded: Start calls it so the fold grid matches the job manager's
+// scheduling grid exactly (a real clock's Now() differs between New and
+// Start).
+func (inc *incremental) rearm(anchor time.Time) {
+	inc.passMu.Lock()
+	defer inc.passMu.Unlock()
+	if inc.cursor != 0 {
+		return
+	}
+	for _, f := range inc.folders {
+		if f.Extents() > 0 {
+			return
+		}
+	}
+	for _, f := range inc.folders {
+		f.Anchor = anchor
+	}
+}
+
+// foldPassLocked discovers newly sealed extents and folds pending ones.
+// budget bounds extents folded per shard this pass (<= 0: unbounded, as a
+// cycle requires). Each shard drains its own queue first; shards with
+// leftover budget then steal from stragglers' queues.
+func (inc *incremental) foldPassLocked(budget int) {
+	store := inc.p.cfg.Store
+	prefix := inc.p.cfg.StreamPrefix
+	inc.cursor = store.VisitSealed(inc.cursor, func(ev cosmos.SealEvent) {
+		if strings.HasPrefix(ev.Stream, prefix) {
+			inc.ledger.Add(shard.Extent{Stream: ev.Stream, Index: ev.Index, ID: ev.ID})
+		}
+	})
+	now := inc.p.cfg.Clock.Now()
+	left := make([]int, inc.shards)
+	for s := range left {
+		left[s] = budget
+		if budget <= 0 {
+			left[s] = math.MaxInt
+		}
+	}
+	for s := 0; s < inc.shards; s++ {
+		for left[s] > 0 && inc.ledger.PendingFor(s) > 0 {
+			ext, _, ok := inc.ledger.Next(s)
+			if !ok {
+				break
+			}
+			inc.foldOne(s, ext, now)
+			left[s]--
+		}
+	}
+	for s := 0; s < inc.shards && inc.ledger.Pending() > 0; s++ {
+		for left[s] > 0 {
+			ext, _, ok := inc.ledger.Next(s)
+			if !ok {
+				break
+			}
+			inc.foldOne(s, ext, now)
+			left[s]--
+		}
+	}
+}
+
+func (inc *incremental) foldOne(s int, ext shard.Extent, now time.Time) {
+	data, err := inc.p.cfg.Store.ReadExtent(ext.Stream, ext.Index)
+	if err != nil {
+		// Unreadable (replicas down, or stream aged out since sealing):
+		// leave it unfolded; the tail scan surfaces the error — or the
+		// deletion — exactly as a full re-scan would.
+		return
+	}
+	inc.folders[s].FoldExtent(data, now)
+	m := inc.folded[ext.Stream]
+	if m == nil {
+		m = make(map[int]bool)
+		inc.folded[ext.Stream] = m
+	}
+	m[ext.Index] = true
+	inc.foldedCtr[s].Inc()
+}
+
+// forgetStream drops fold bookkeeping for a deleted stream.
+func (inc *incremental) forgetStream(name string) {
+	inc.passMu.Lock()
+	delete(inc.folded, name)
+	inc.passMu.Unlock()
+}
+
+// tailExtents lists every extent not yet folded: the open tails plus any
+// sealed extent whose seal has not reached the journal. Callers hold
+// passMu.
+func (inc *incremental) tailExtents() []scope.Extent {
+	var out []scope.Extent
+	store := inc.p.cfg.Store
+	for _, name := range store.Streams(inc.p.cfg.StreamPrefix) {
+		fm := inc.folded[name]
+		n := store.NumExtents(name)
+		for i := 0; i < n; i++ {
+			if !fm[i] {
+				out = append(out, scope.Extent{Stream: name, Index: i})
+			}
+		}
+	}
+	return out
+}
+
+// scannedAcrossFolders sums records decoded by every shard's folder, so a
+// cycle's Scanned tally matches what one full re-scan would have counted.
+func (inc *incremental) scannedAcrossFolders() (scanned, parseErrors uint64) {
+	for _, f := range inc.folders {
+		scanned += f.Scanned()
+		parseErrors += f.ParseErrors()
+	}
+	return
+}
+
+// assemble produces the spec's Result for window win: merged shard
+// partials (deep-copied — live partials keep folding after the cycle)
+// plus the tail scan over the unfolded extents.
+func (inc *incremental) assemble(si int, win int64, from, to time.Time, tail []scope.Extent) (*scope.Result, error) {
+	sp := inc.specs[si]
+	merged := scope.NewPartial()
+	for _, f := range inc.folders {
+		if part := f.Partial(sp.spec.Name, win); part != nil {
+			merged.Merge(part)
+		}
+	}
+	tailRes, err := inc.p.engine.RunExtents(scope.Job{
+		Name:   sp.spec.Name,
+		Source: inc.p.source(),
+		From:   from, To: to,
+		Where:    sp.spec.Where,
+		KeyBytes: sp.spec.KeyBytes,
+	}, tail)
+	if err != nil {
+		return nil, err
+	}
+	res := &scope.Result{
+		Groups:  merged.Groups,
+		Records: merged.Records + tailRes.Records,
+		Traces:  tailRes.Traces,
+	}
+	for k, st := range tailRes.Groups {
+		if cur, ok := res.Groups[k]; ok {
+			cur.Merge(st)
+		} else {
+			res.Groups[k] = st
+		}
+	}
+	scanned, parseErrs := inc.scannedAcrossFolders()
+	res.Scanned = scanned + tailRes.Scanned
+	res.ParseErrors = parseErrs + tailRes.ParseErrors
+	return res, nil
+}
+
+// runTenMinute serves a 10-minute cycle from folded partials. It handles
+// the cycle only when [from, to) is exactly one grid window that has not
+// been dropped; otherwise it reports handled=false and the caller falls
+// back to the legacy full re-scan (manual runs over arbitrary windows keep
+// working unchanged).
+func (p *Pipeline) runTenMinuteIncremental(from, to time.Time) (bool, error) {
+	inc := p.inc
+	inc.passMu.Lock()
+	defer inc.passMu.Unlock()
+	win, ok := inc.folders[0].Aligned(from, to)
+	if !ok || win < inc.minWin {
+		return false, nil
+	}
+	cy := p.beginCycle()
+	inc.foldPassLocked(0) // drain: the folded set must be complete at snapshot
+	tail := inc.tailExtents()
+	for _, f := range inc.folders {
+		if tids := f.TakeTraces(); len(tids) > 0 {
+			cy.observe(&scope.Result{Traces: tids})
+		}
+	}
+
+	for si, sp := range inc.specs {
+		res, err := inc.assemble(si, win, from, to, tail)
+		if err != nil {
+			return true, err
+		}
+		cy.observe(res)
+		switch sp.kind {
+		case "dc":
+			for scopeName, st := range res.Groups {
+				p.insertSLA("dc/"+scopeName, from, to, st)
+			}
+			p.fireAlerts(prefixGroups("dc/", res.Groups), to)
+		case "interdc":
+			for scopeName, st := range res.Groups {
+				p.insertSLA("interdc/"+scopeName, from, to, st)
+			}
+		case "service":
+			st := res.Get("")
+			p.insertSLA("service/"+sp.service, from, to, st)
+			p.fireAlerts(map[string]*analysis.LatencyStats{"service/" + sp.service: st}, to)
+		}
+	}
+
+	// Published windows are never re-read; drop everything below this one.
+	for _, f := range inc.folders {
+		f.DropWindowsBefore(win)
+	}
+	inc.minWin = win
+	p.finishCycle(&cy, Cycle10Min, from, to)
+	return true, nil
+}
+
+// FoldNow runs one budgeted fold pass immediately: the scheduled fold
+// job's body, exported for tests and manual control.
+func (p *Pipeline) FoldNow() {
+	if p.inc == nil {
+		return
+	}
+	p.inc.passMu.Lock()
+	p.inc.foldPassLocked(p.cfg.FoldBudget)
+	p.inc.passMu.Unlock()
+}
+
+// ShardLag is one analysis shard's fold state, for /health and watchdogs.
+type ShardLag struct {
+	Shard    int       `json:"shard"`
+	Backlog  int       `json:"backlog"` // unfolded extents queued under this shard
+	Stolen   uint64    `json:"stolen"`
+	Folded   uint64    `json:"folded"`
+	LastFold time.Time `json:"last_fold,omitzero"`
+}
+
+// ShardLags reports per-shard fold lag; nil when incremental analysis is
+// disabled.
+func (p *Pipeline) ShardLags() []ShardLag {
+	inc := p.inc
+	if inc == nil {
+		return nil
+	}
+	inc.passMu.Lock()
+	defer inc.passMu.Unlock()
+	out := make([]ShardLag, inc.shards)
+	for s := 0; s < inc.shards; s++ {
+		out[s] = ShardLag{
+			Shard:    s,
+			Backlog:  inc.ledger.PendingFor(s),
+			Stolen:   inc.ledger.Stolen(s),
+			Folded:   inc.folders[s].Extents(),
+			LastFold: inc.folders[s].LastFold(),
+		}
+	}
+	return out
+}
+
+// MaxFoldBacklog returns the largest per-shard unfolded backlog (0 when
+// incremental analysis is disabled): the watchdog's staleness signal.
+func (p *Pipeline) MaxFoldBacklog() int {
+	inc := p.inc
+	if inc == nil {
+		return 0
+	}
+	max := 0
+	for s := 0; s < inc.shards; s++ {
+		if b := inc.ledger.PendingFor(s); b > max {
+			max = b
+		}
+	}
+	return max
+}

@@ -1,0 +1,271 @@
+package dsa
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"pingmesh/internal/analysis"
+	"pingmesh/internal/core"
+	"pingmesh/internal/cosmos"
+	"pingmesh/internal/fleet"
+	"pingmesh/internal/netsim"
+	"pingmesh/internal/probe"
+	"pingmesh/internal/simclock"
+	"pingmesh/internal/topology"
+)
+
+// diffFixture is one hour of probes from a two-DC fleet (with one podset
+// degraded so alerts fire), kept as encoded batches so trials can replay
+// them in randomized upload orders.
+type diffFixture struct {
+	top      *topology.Topology
+	services []*analysis.Service
+	batches  [][]byte
+}
+
+func buildDiffFixture(t *testing.T) *diffFixture {
+	t.Helper()
+	top, err := topology.Build(topology.Spec{DCs: []topology.DCSpec{
+		{Name: "DC1", Podsets: 2, PodsPerPodset: 2, ServersPerPod: 3, LeavesPerPodset: 2, Spines: 2},
+		{Name: "DC2", Podsets: 1, PodsPerPodset: 2, ServersPerPod: 3, LeavesPerPodset: 2, Spines: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := netsim.New(top, netsim.Config{Profiles: []netsim.Profile{netsim.DC1Profile()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degrade a podset so drop/SLA alerting paths produce rows to compare.
+	n.SetPodsetDegraded(0, 1, netsim.Degradation{ExtraLatencyMean: 8 * time.Millisecond})
+	lists, err := core.Generate(top, core.DefaultGeneratorConfig(), "v1", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &diffFixture{top: top}
+	fx.services = []*analysis.Service{
+		analysis.ServiceFromServers("search", top, top.DCs[0].Podsets[1].Servers()),
+	}
+	runner := &fleet.Runner{Net: n, Lists: lists, Seed: 21}
+	err = runner.Run(t0, t0.Add(time.Hour), func(src topology.ServerID, recs []probe.Record) {
+		// Chunked uploads: many small batches make upload-order shuffling
+		// (and extent sharding) meaningful.
+		const chunk = 32
+		for len(recs) > 0 {
+			n := chunk
+			if n > len(recs) {
+				n = len(recs)
+			}
+			fx.batches = append(fx.batches, probe.EncodeBatch(recs[:n]))
+			recs = recs[n:]
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fx.batches) < 50 {
+		t.Fatalf("fixture too small: %d batches", len(fx.batches))
+	}
+	return fx
+}
+
+// newDiffStore uploads the fixture's batches in the given order into a
+// fresh store with small extents (many extents -> real sharding work).
+func (fx *diffFixture) newDiffStore(t *testing.T, order []int) *cosmos.Store {
+	t.Helper()
+	store, err := cosmos.NewStore(3, cosmos.Config{ExtentSize: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range order {
+		if err := store.Append("pingmesh/2026-07-01", fx.batches[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return store
+}
+
+func (fx *diffFixture) newPipe(t *testing.T, store *cosmos.Store, shards int) *Pipeline {
+	t.Helper()
+	pipe, err := New(Config{
+		Store:    store,
+		Top:      fx.top,
+		Clock:    simclock.NewSim(t0),
+		Services: fx.services,
+		Shards:   shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pipe
+}
+
+// renderReports renders the pipeline's SLA and alert rows canonically
+// (sorted; map iteration randomizes insertion order in both pipelines).
+func renderReports(t *testing.T, p *Pipeline) string {
+	t.Helper()
+	var lines []string
+	slaRows, err := p.DB().Query(TableSLA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range slaRows {
+		lines = append(lines, fmt.Sprintf("sla|%v|%v|%v|%v|%v|%v|%v|%v",
+			r["scope"], r["window_start"], r["window_end"], r["probes"],
+			r["p50"], r["p99"], r["drop_rate"], r["failure_rate"]))
+	}
+	alertRows, err := p.DB().Query(TableAlerts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range alertRows {
+		lines = append(lines, fmt.Sprintf("alert|%v|%v|%v|%v|%v",
+			r["scope"], r["at"], r["reason"], r["drop_rate"], r["p99"]))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestIncrementalMatchesFullScanDifferential pins the tentpole invariant:
+// for every shard count and randomized upload order, 10-minute cycles
+// served from folded partials produce report rows byte-identical to the
+// legacy full re-scan.
+func TestIncrementalMatchesFullScanDifferential(t *testing.T) {
+	fx := buildDiffFixture(t)
+	windows := 6 // one hour of 10-minute cycles
+
+	for trial := 0; trial < 3; trial++ {
+		rng := rand.New(rand.NewSource(int64(40 + trial)))
+		order := rng.Perm(len(fx.batches))
+
+		// Reference: legacy full re-scan over each window.
+		refStore := fx.newDiffStore(t, order)
+		ref := fx.newPipe(t, refStore, 0)
+		for w := 0; w < windows; w++ {
+			from := t0.Add(time.Duration(w) * 10 * time.Minute)
+			if err := ref.RunTenMinute(from, from.Add(10*time.Minute)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := renderReports(t, ref)
+		if !strings.Contains(want, "sla|dc/DC1") || !strings.Contains(want, "sla|interdc/") ||
+			!strings.Contains(want, "sla|service/search") || !strings.Contains(want, "alert|") {
+			t.Fatalf("reference reports not exercising all row families:\n%s", want)
+		}
+
+		for _, shards := range []int{1, 2, 4} {
+			store := fx.newDiffStore(t, order)
+			pipe := fx.newPipe(t, store, shards)
+			// Budgeted background passes between cycles exercise the
+			// steal phase and partial drains; the cycle itself completes
+			// whatever is left.
+			pipe.cfg.FoldBudget = 3
+			for w := 0; w < windows; w++ {
+				pipe.FoldNow()
+				from := t0.Add(time.Duration(w) * 10 * time.Minute)
+				if err := pipe.RunTenMinute(from, from.Add(10*time.Minute)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := renderReports(t, pipe); got != want {
+				t.Fatalf("trial %d, %d shards: incremental reports differ from full re-scan\nwant:\n%s\ngot:\n%s",
+					trial, shards, want, got)
+			}
+			var folded int64
+			for _, lag := range pipe.ShardLags() {
+				folded += int64(lag.Folded)
+				if lag.Backlog != 0 {
+					t.Fatalf("trial %d, %d shards: shard %d left backlog %d after cycles",
+						trial, shards, lag.Shard, lag.Backlog)
+				}
+			}
+			if folded == 0 {
+				t.Fatalf("trial %d, %d shards: nothing was folded — cycles fell back to full scans", trial, shards)
+			}
+		}
+	}
+}
+
+// TestIncrementalFallsBackOffGrid pins the fallback contract: a window
+// that is not one grid-aligned fold window is served by the legacy full
+// re-scan and still matches a Shards=0 pipeline exactly.
+func TestIncrementalFallsBackOffGrid(t *testing.T) {
+	fx := buildDiffFixture(t)
+	order := make([]int, len(fx.batches))
+	for i := range order {
+		order[i] = i
+	}
+	refStore := fx.newDiffStore(t, order)
+	ref := fx.newPipe(t, refStore, 0)
+	store := fx.newDiffStore(t, order)
+	pipe := fx.newPipe(t, store, 2)
+	// The full hour is 6 windows wide: off-grid for the 10-minute folder.
+	if err := ref.RunTenMinute(t0, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.RunTenMinute(t0, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderReports(t, pipe), renderReports(t, ref); got != want {
+		t.Fatalf("off-grid window diverged\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestIncrementalScheduledPipeline drives a sharded pipeline through the
+// job manager on the sim clock: cycles must be served from partials (no
+// residual backlog), publish SLA rows, and surface per-shard fold
+// counters.
+func TestIncrementalScheduledPipeline(t *testing.T) {
+	fx := buildDiffFixture(t)
+	order := make([]int, len(fx.batches))
+	for i := range order {
+		order[i] = i
+	}
+	store := fx.newDiffStore(t, order)
+	clock := simclock.NewSim(t0)
+	pipe, err := New(Config{
+		Store:    store,
+		Top:      fx.top,
+		Clock:    clock,
+		Services: fx.services,
+		Shards:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.Start()
+	defer pipe.Stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		clock.Advance(time.Minute)
+		if pipe.JobMetrics()["scope.job.10min.runs"] >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("10min job never ran twice: %v", pipe.JobMetrics())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rows, err := pipe.DB().Query(TableSLA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("scheduled incremental cycles published no SLA rows")
+	}
+	counters := pipe.JobMetrics()
+	var folded int64
+	for s := 0; s < 2; s++ {
+		folded += counters[fmt.Sprintf("dsa.shard.%d.extents_folded", s)]
+	}
+	if folded == 0 {
+		t.Fatalf("no extents folded by the scheduled pipeline: %v", counters)
+	}
+	if pipe.MaxFoldBacklog() != 0 {
+		t.Fatalf("fold backlog %d after cycles", pipe.MaxFoldBacklog())
+	}
+}

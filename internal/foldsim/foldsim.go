@@ -1,0 +1,365 @@
+// Package foldsim benchmarks the sharded incremental DSA tier against the
+// legacy full re-scan on a synthetic million-server fleet.
+//
+// The harness builds a topology at the requested fleet size, synthesizes
+// one 10-minute window of probe records (the paper's agents produce
+// billions of records per day fleet-wide; one window is the unit a
+// near-real-time cycle must digest), uploads them as sealed cosmos
+// extents, and then measures three things:
+//
+//   - the legacy path: one full re-scan RunTenMinute over the window,
+//   - the incremental path at each shard count: background fold drain
+//     time (the work that happens off the cycle's critical path, divided
+//     across shard replicas) and the cycle itself (merge partials + tail
+//     scan + publish),
+//   - report parity: every configuration must publish the same number of
+//     SLA rows as the re-scan reference.
+//
+// The cycle latency is what the 20-minute budget of §3.5 applies to; the
+// harness records it per shard count so a run shows it staying flat as
+// shards are added.
+package foldsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pingmesh/internal/analysis"
+	"pingmesh/internal/cosmos"
+	"pingmesh/internal/dsa"
+	"pingmesh/internal/probe"
+	"pingmesh/internal/simclock"
+	"pingmesh/internal/topology"
+)
+
+// Config sizes the simulated fleet and the measurement sweep.
+type Config struct {
+	// Servers is the target fleet size. The generated topology rounds up
+	// to whole podsets (1000 servers) spread over up-to-50k-server DCs.
+	// Default 1,000,000.
+	Servers int
+	// RecordsPerServer is how many probe records each server contributes
+	// to the 10-minute window. Default 12 (one probe every ~50s, the
+	// low-frequency end of the paper's agent cadence).
+	RecordsPerServer int
+	// ExtentSize is the cosmos extent size. Default 1 MiB.
+	ExtentSize int
+	// BatchRecords is the number of records per upload batch. Default 512.
+	BatchRecords int
+	// FoldBudget bounds extents folded per shard per background pass, so
+	// drains take several passes and exercise the steal phase. Default 64.
+	FoldBudget int
+	// Shards is the list of shard counts to measure. Default [1, 2, 4].
+	Shards []int
+	// Seed for the record synthesizer. Default 1.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.Servers <= 0 {
+		c.Servers = 1_000_000
+	}
+	if c.RecordsPerServer <= 0 {
+		c.RecordsPerServer = 12
+	}
+	if c.ExtentSize <= 0 {
+		c.ExtentSize = 1 << 20
+	}
+	if c.BatchRecords <= 0 {
+		c.BatchRecords = 512
+	}
+	if c.FoldBudget <= 0 {
+		c.FoldBudget = 64
+	}
+	if len(c.Shards) == 0 {
+		c.Shards = []int{1, 2, 4}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// ShardRun is one measured shard-count configuration.
+type ShardRun struct {
+	Shards int `json:"shards"`
+	// FoldWallMS is the wall time this single process spent draining the
+	// whole window's extents through all shard folders.
+	FoldWallMS float64 `json:"fold_wall_ms"`
+	// FoldPerShardMS divides the drain across the shard replicas that
+	// would each run one folder in a deployment: the per-replica
+	// background busy time.
+	FoldPerShardMS float64 `json:"fold_per_shard_ms"`
+	// CycleMS is the 10-minute cycle served from folded partials: merge +
+	// tail scan + publish. This is the number the 20-minute budget bounds.
+	CycleMS         float64 `json:"cycle_ms"`
+	Folded          uint64  `json:"extents_folded"`
+	Stolen          uint64  `json:"extents_stolen"`
+	SLARows         int     `json:"sla_rows"`
+	SpeedupVsRescan float64 `json:"cycle_speedup_vs_rescan"`
+}
+
+// Report is the harness output, written to BENCH_PR7.json by the CLI.
+type Report struct {
+	GeneratedAt      string     `json:"generated_at,omitempty"`
+	Servers          int        `json:"servers"`
+	DCs              int        `json:"dcs"`
+	Records          int        `json:"records"`
+	Extents          int        `json:"extents"`
+	StoreBytes       int64      `json:"store_bytes"`
+	GenerateMS       float64    `json:"generate_ms"`
+	RescanCycleMS    float64    `json:"rescan_cycle_ms"`
+	RescanSLARows    int        `json:"rescan_sla_rows"`
+	FoldNsPerRecord  float64    `json:"fold_ns_per_record"`
+	BudgetMinutes    float64    `json:"budget_minutes"`
+	WithinBudget     bool       `json:"within_budget"`
+	MinCycleSpeedup  float64    `json:"min_cycle_speedup_vs_rescan"`
+	RowParityAcross  bool       `json:"sla_row_parity_across_configs"`
+	Runs             []ShardRun `json:"runs"`
+}
+
+var simStart = time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+
+const simStream = "pingmesh/2026-07-01"
+
+// buildTopology rounds the requested fleet up to whole 1000-server
+// podsets (20 pods x 50 servers) spread across DCs of at most 50 podsets,
+// honoring the 10.dc.x.y addressing plan's 65k-servers-per-DC limit.
+func buildTopology(servers int) (*topology.Topology, error) {
+	const perPodset = 1000
+	podsets := (servers + perPodset - 1) / perPodset
+	if podsets < 2 {
+		podsets = 2
+	}
+	dcs := (podsets + 49) / 50
+	if dcs < 2 {
+		dcs = 2 // inter-DC SLA needs at least two DCs
+	}
+	perDC := (podsets + dcs - 1) / dcs
+	spec := topology.Spec{}
+	for d := 0; d < dcs; d++ {
+		n := perDC
+		if left := podsets - d*perDC; n > left {
+			n = left
+		}
+		if n <= 0 {
+			break
+		}
+		spec.DCs = append(spec.DCs, topology.DCSpec{
+			Name: fmt.Sprintf("DC%02d", d+1), Podsets: n,
+			PodsPerPodset: 20, ServersPerPod: 50,
+			LeavesPerPodset: 2, Spines: 4,
+		})
+	}
+	return topology.Build(spec)
+}
+
+// synthesize uploads one 10-minute window of records for every server:
+// mostly intra-DC probes with a 1-in-16 inter-DC mix and a 1-in-512
+// failure rate, batched and appended so the store seals real extents.
+func synthesize(cfg Config, top *topology.Topology, store *cosmos.Store) (int, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	servers := top.Servers()
+	base, span := dcSpans(top)
+	window := 10 * time.Minute
+	step := window / time.Duration(cfg.RecordsPerServer)
+	batch := make([]probe.Record, 0, cfg.BatchRecords)
+	total := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := store.Append(simStream, probe.EncodeBatch(batch))
+		batch = batch[:0]
+		return err
+	}
+	for i := range servers {
+		src := &servers[i]
+		for j := 0; j < cfg.RecordsPerServer; j++ {
+			// Pick a peer: same-DC by default, another DC 1 in 16.
+			var dst *topology.Server
+			if rng.Intn(16) == 0 {
+				dst = &servers[rng.Intn(len(servers))]
+			} else {
+				// Same-DC peers are contiguous in the flat server slice.
+				dst = &servers[base[src.DC]+rng.Intn(span[src.DC])]
+			}
+			class := probe.IntraDC
+			if dst.DC != src.DC {
+				class = probe.InterDC
+			}
+			rtt := 200*time.Microsecond + time.Duration(rng.Intn(300))*time.Microsecond
+			if class == probe.InterDC {
+				rtt += 30 * time.Millisecond
+			}
+			errStr := ""
+			if rng.Intn(512) == 0 {
+				rtt = 3 * time.Second // TCP SYN retransmission signature
+				errStr = "probe: timeout"
+			}
+			batch = append(batch, probe.Record{
+				Start: simStart.Add(time.Duration(j)*step + time.Duration(rng.Int63n(int64(step)))),
+				Src:   src.Addr, SrcPort: 5000,
+				Dst: dst.Addr, DstPort: 4200,
+				Class: class, Proto: probe.TCP,
+				RTT: rtt, Err: errStr,
+			})
+			total++
+			if len(batch) == cfg.BatchRecords {
+				if err := flush(); err != nil {
+					return total, err
+				}
+			}
+		}
+	}
+	return total, flush()
+}
+
+// dcSpans returns each DC's [base, base+span) range in the flat server
+// slice; generation appends servers DC by DC, so each DC is contiguous.
+func dcSpans(top *topology.Topology) (base, span []int) {
+	base = make([]int, len(top.DCs))
+	span = make([]int, len(top.DCs))
+	off := 0
+	for d := range top.DCs {
+		n := 0
+		for _, ps := range top.DCs[d].Podsets {
+			for _, pod := range ps.Pods {
+				n += len(pod.Servers)
+			}
+		}
+		base[d], span[d] = off, n
+		off += n
+	}
+	return base, span
+}
+
+// Run executes the sweep. logf (optional) receives progress lines.
+func Run(cfg Config, logf func(format string, args ...any)) (*Report, error) {
+	cfg.fill()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	top, err := buildTopology(cfg.Servers)
+	if err != nil {
+		return nil, err
+	}
+	logf("topology: %d servers across %d DCs", top.NumServers(), len(top.DCs))
+
+	// Replicas=1: replica fan-out just multiplies memory; fold and scan
+	// read one replica either way.
+	store, err := cosmos.NewStore(1, cosmos.Config{ExtentSize: cfg.ExtentSize, Replicas: 1})
+	if err != nil {
+		return nil, err
+	}
+	genStart := time.Now()
+	records, err := synthesize(cfg, top, store)
+	if err != nil {
+		return nil, err
+	}
+	genMS := msSince(genStart)
+	extents := store.NumExtents(simStream)
+	storeBytes := store.TotalBytes(simStream)
+	logf("synthesized %d records into %d extents (%d MiB) in %.0fms",
+		records, extents, storeBytes>>20, genMS)
+
+	// One service (the first podset) keeps the per-service spec family in
+	// the measured fold work without adding fleet-scale key cardinality.
+	services := []*analysis.Service{
+		analysis.ServiceFromServers("search", top, top.DCs[0].Podsets[0].Servers()),
+	}
+	windowEnd := simStart.Add(10 * time.Minute)
+	newPipe := func(shards int) (*dsa.Pipeline, error) {
+		return dsa.New(dsa.Config{
+			Store: store, Top: top,
+			Clock:      simclock.NewSim(windowEnd),
+			Services:   services,
+			Shards:     shards,
+			FoldBudget: cfg.FoldBudget,
+		})
+	}
+
+	rep := &Report{
+		Servers: top.NumServers(), DCs: len(top.DCs),
+		Records: records, Extents: extents,
+		StoreBytes: int64(storeBytes), GenerateMS: genMS,
+		BudgetMinutes: 20, RowParityAcross: true,
+	}
+
+	// Reference: the legacy 1-process full re-scan cycle.
+	ref, err := newPipe(0)
+	if err != nil {
+		return nil, err
+	}
+	scanStart := time.Now()
+	if err := ref.RunTenMinute(simStart, windowEnd); err != nil {
+		return nil, err
+	}
+	rep.RescanCycleMS = msSince(scanStart)
+	rep.RescanSLARows = ref.DB().Count(dsa.TableSLA)
+	if rep.RescanSLARows == 0 {
+		return nil, fmt.Errorf("foldsim: re-scan reference published no SLA rows")
+	}
+	logf("legacy full re-scan cycle: %.0fms (%d SLA rows)", rep.RescanCycleMS, rep.RescanSLARows)
+
+	rep.WithinBudget = true
+	rep.MinCycleSpeedup = 0
+	for _, shards := range cfg.Shards {
+		pipe, err := newPipe(shards)
+		if err != nil {
+			return nil, err
+		}
+		// Background drain: budgeted passes until the ledger is empty,
+		// like the scheduled fold job ticking between cycles.
+		foldStart := time.Now()
+		for {
+			pipe.FoldNow()
+			if pipe.MaxFoldBacklog() == 0 {
+				break
+			}
+		}
+		foldMS := msSince(foldStart)
+		cycleStart := time.Now()
+		if err := pipe.RunTenMinute(simStart, windowEnd); err != nil {
+			return nil, err
+		}
+		cycleMS := msSince(cycleStart)
+		run := ShardRun{
+			Shards: shards, FoldWallMS: foldMS,
+			FoldPerShardMS: foldMS / float64(shards),
+			CycleMS:        cycleMS,
+			SLARows:        pipe.DB().Count(dsa.TableSLA),
+		}
+		for _, lag := range pipe.ShardLags() {
+			run.Folded += lag.Folded
+			run.Stolen += lag.Stolen
+		}
+		if run.Folded == 0 {
+			return nil, fmt.Errorf("foldsim: %d shards folded nothing — cycle fell back to a full scan", shards)
+		}
+		if cycleMS > 0 {
+			run.SpeedupVsRescan = rep.RescanCycleMS / cycleMS
+		}
+		if shards == 1 && records > 0 {
+			rep.FoldNsPerRecord = foldMS * 1e6 / float64(records)
+		}
+		if cycleMS > rep.BudgetMinutes*60*1000 {
+			rep.WithinBudget = false
+		}
+		if run.SLARows != rep.RescanSLARows {
+			rep.RowParityAcross = false
+		}
+		if rep.MinCycleSpeedup == 0 || run.SpeedupVsRescan < rep.MinCycleSpeedup {
+			rep.MinCycleSpeedup = run.SpeedupVsRescan
+		}
+		rep.Runs = append(rep.Runs, run)
+		logf("%d shards: fold %.0fms (%.0fms/shard, %d folded, %d stolen), cycle %.0fms (%.1fx vs re-scan)",
+			shards, run.FoldWallMS, run.FoldPerShardMS, run.Folded, run.Stolen,
+			run.CycleMS, run.SpeedupVsRescan)
+	}
+	return rep, nil
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}

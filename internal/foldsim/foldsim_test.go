@@ -1,0 +1,49 @@
+package foldsim
+
+import "testing"
+
+// TestRunSmallSweep runs the harness at reduced scale (the CI smoke
+// configuration): every shard configuration must fold real extents, match
+// the re-scan reference's SLA row count, and stay inside the budget.
+func TestRunSmallSweep(t *testing.T) {
+	rep, err := Run(Config{
+		Servers:          4000,
+		RecordsPerServer: 4,
+		ExtentSize:       32 << 10,
+		BatchRecords:     64,
+		FoldBudget:       8,
+		Shards:           []int{1, 2},
+	}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Servers < 4000 || rep.DCs < 2 {
+		t.Fatalf("topology too small: %d servers, %d DCs", rep.Servers, rep.DCs)
+	}
+	if rep.Records != rep.Servers*4 {
+		t.Fatalf("records = %d, want %d", rep.Records, rep.Servers*4)
+	}
+	if rep.Extents < 10 {
+		t.Fatalf("only %d extents — sharding has no real work", rep.Extents)
+	}
+	if !rep.RowParityAcross {
+		t.Fatalf("SLA row parity broken: rescan %d rows, runs %+v", rep.RescanSLARows, rep.Runs)
+	}
+	if !rep.WithinBudget {
+		t.Fatalf("cycle blew the 20-minute budget: %+v", rep.Runs)
+	}
+	if len(rep.Runs) != 2 {
+		t.Fatalf("want 2 runs, got %d", len(rep.Runs))
+	}
+	for _, run := range rep.Runs {
+		if run.Folded == 0 {
+			t.Fatalf("%d shards folded nothing", run.Shards)
+		}
+		if run.SLARows != rep.RescanSLARows {
+			t.Fatalf("%d shards: %d SLA rows, rescan has %d", run.Shards, run.SLARows, rep.RescanSLARows)
+		}
+	}
+	if rep.FoldNsPerRecord <= 0 {
+		t.Fatalf("fold ns/record not recorded: %+v", rep)
+	}
+}

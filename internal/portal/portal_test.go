@@ -17,6 +17,7 @@ import (
 	"pingmesh/internal/probe"
 	"pingmesh/internal/simclock"
 	"pingmesh/internal/topology"
+	"pingmesh/internal/trace"
 )
 
 var t0 = time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
@@ -231,6 +232,101 @@ func TestPortalMetrics(t *testing.T) {
 		"pingmesh_portal_serves 1",
 		"pingmesh_portal_epoch 1",
 		"pingmesh_agent_uploads 7", // extra sources scrape with their prefix
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestPortalShardHealthAndMetrics wires a sharded incremental pipeline
+// behind the portal: /health must carry one synthetic stage per analysis
+// shard and /metrics the per-shard fold gauges.
+func TestPortalShardHealthAndMetrics(t *testing.T) {
+	top, err := topology.Build(topology.Spec{DCs: []topology.DCSpec{
+		{Name: "DC1", Podsets: 2, PodsPerPodset: 2, ServersPerPod: 3, LeavesPerPodset: 2, Spines: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := netsim.New(top, netsim.Config{Profiles: []netsim.Profile{netsim.DC1Profile()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := cosmos.NewStore(3, cosmos.Config{ExtentSize: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists, err := core.Generate(top, core.DefaultGeneratorConfig(), "v1", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &fleet.Runner{Net: n, Lists: lists, Seed: 5}
+	err = runner.Run(t0, t0.Add(10*time.Minute), func(src topology.ServerID, recs []probe.Record) {
+		if err := store.Append("pingmesh/2026-07-01", probe.EncodeBatch(recs)); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := simclock.NewSim(t0)
+	tracer := trace.New(clock)
+	pipe, err := dsa.New(dsa.Config{
+		Store: store, Top: top, Clock: clock, Tracer: tracer, Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.AdvanceTo(t0.Add(10 * time.Minute))
+	tracer.Freshness().Mark(trace.StageUpload)
+	pipe.FoldNow()
+	if err := pipe.RunTenMinute(t0, t0.Add(10*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	p := New(Config{
+		Pipeline: pipe, Top: top, Clock: clock, Tracer: tracer,
+		Metrics: []MetricSource{{Prefix: "", Registry: pipe.JobRegistry()}},
+	})
+	if err := p.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	h := p.Handler()
+
+	w := get(t, h, "/health", nil)
+	var health struct {
+		Status string `json:"status"`
+		Stages []struct {
+			Stage  string `json:"stage"`
+			Marked bool   `json:"marked"`
+			Stale  bool   `json:"stale"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &health); err != nil {
+		t.Fatalf("health not JSON: %v\n%s", err, w.Body.String())
+	}
+	found := 0
+	for _, st := range health.Stages {
+		if st.Stage == "dsa-shard-0-fold" || st.Stage == "dsa-shard-1-fold" {
+			found++
+			if !st.Marked {
+				t.Fatalf("shard stage %s unmarked after folding: %s", st.Stage, w.Body.String())
+			}
+			if st.Stale {
+				t.Fatalf("shard stage %s stale with empty backlog: %s", st.Stage, w.Body.String())
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("health carries %d shard stages, want 2:\n%s", found, w.Body.String())
+	}
+
+	body := get(t, h, "/metrics", nil).Body.String()
+	for _, want := range []string{
+		"pingmesh_dsa_shard_0_fold_lag",
+		"pingmesh_dsa_shard_1_fold_lag",
+		"pingmesh_dsa_shard_0_extents_stolen",
+		"pingmesh_dsa_shard_0_extents_folded",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("scrape missing %q:\n%s", want, body)

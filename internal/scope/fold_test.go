@@ -1,0 +1,216 @@
+package scope
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"pingmesh/internal/probe"
+)
+
+// foldSpecs returns the two-spec family the fold property tests run:
+// a filtered, grouped spec plus a catch-all, so multi-spec demux and the
+// Where/KeyBytes paths are all exercised.
+func foldSpecs() []FoldSpec {
+	return []FoldSpec{
+		{
+			Name:  "ok-by-srcnet",
+			Where: func(r *probe.Record) bool { return r.Err == "" },
+			KeyBytes: func(dst []byte, r *probe.Record) ([]byte, bool) {
+				return append(dst, 'n', r.Src.As4()[2]), true
+			},
+		},
+		{
+			Name:     "all",
+			KeyBytes: func(dst []byte, r *probe.Record) ([]byte, bool) { return dst, true },
+		},
+	}
+}
+
+// foldExtents returns n single-record extents with RTTs, errors and Starts
+// spread over several 10-minute windows.
+func foldExtents(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		errStr := ""
+		if i%7 == 0 {
+			errStr = "connect: timeout"
+		}
+		r := mkRecord(i, time.Duration(200+i*13)*time.Microsecond, errStr)
+		out[i] = probe.EncodeBatch([]probe.Record{r})
+	}
+	return out
+}
+
+// mergeAll merges the given partials (nil entries skipped) into a fresh
+// partial in order.
+func mergeAll(parts ...*Partial) *Partial {
+	m := NewPartial()
+	for _, p := range parts {
+		if p != nil {
+			m.Merge(p)
+		}
+	}
+	return m
+}
+
+func TestPartialMergeAssociativeCommutative(t *testing.T) {
+	specs := foldSpecs()
+	exts := foldExtents(90)
+	// Three folders over three disjoint extent thirds give three
+	// independent partials per (spec, window).
+	folders := make([]*Folder, 3)
+	for i := range folders {
+		folders[i] = NewFolder(t0, Every10Min, specs, nil)
+		for j := i * 30; j < (i+1)*30; j++ {
+			folders[i].FoldExtent(exts[j], t0)
+		}
+	}
+	for _, sp := range specs {
+		for win := int64(0); win < 9; win++ {
+			a := folders[0].Partial(sp.Name, win)
+			b := folders[1].Partial(sp.Name, win)
+			c := folders[2].Partial(sp.Name, win)
+			abc := mergeAll(a, b, c)
+			// Associative: (a+b)+c == a+(b+c).
+			if got := mergeAll(mergeAll(a, b), c); !reflect.DeepEqual(abc, got) {
+				t.Fatalf("%s win %d: (a+b)+c != a+b+c", sp.Name, win)
+			}
+			if got := mergeAll(a, mergeAll(b, c)); !reflect.DeepEqual(abc, got) {
+				t.Fatalf("%s win %d: a+(b+c) != a+b+c", sp.Name, win)
+			}
+			// Commutative: c+b+a == a+b+c.
+			if got := mergeAll(c, b, a); !reflect.DeepEqual(abc, got) {
+				t.Fatalf("%s win %d: c+b+a != a+b+c", sp.Name, win)
+			}
+		}
+	}
+}
+
+// TestShardSplitMergeEqualsSingleFold is the sharding correctness
+// property: partition extents across k shard folders at random, fold each
+// shard's share in random order, and the merged per-window partials must
+// equal one folder folding everything.
+func TestShardSplitMergeEqualsSingleFold(t *testing.T) {
+	specs := foldSpecs()
+	exts := foldExtents(120)
+	single := NewFolder(t0, Every10Min, specs, nil)
+	for _, data := range exts {
+		single.FoldExtent(data, t0)
+	}
+	for trial := 0; trial < 5; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		k := 2 + trial%3
+		folders := make([]*Folder, k)
+		for s := range folders {
+			folders[s] = NewFolder(t0, Every10Min, specs, nil)
+		}
+		assign := make([][]int, k)
+		for i := range exts {
+			s := rng.Intn(k)
+			assign[s] = append(assign[s], i)
+		}
+		for s := range folders {
+			// Random fold order within the shard: Merge and folding must
+			// both be order-insensitive.
+			rng.Shuffle(len(assign[s]), func(a, b int) {
+				assign[s][a], assign[s][b] = assign[s][b], assign[s][a]
+			})
+			for _, i := range assign[s] {
+				folders[s].FoldExtent(exts[i], t0)
+			}
+		}
+		for _, sp := range specs {
+			for win := int64(0); win < 12; win++ {
+				want := mergeAll(single.Partial(sp.Name, win))
+				parts := make([]*Partial, k)
+				for s := range folders {
+					parts[s] = folders[s].Partial(sp.Name, win)
+				}
+				if got := mergeAll(parts...); !reflect.DeepEqual(want, got) {
+					t.Fatalf("trial %d, %s win %d: sharded merge != single fold", trial, sp.Name, win)
+				}
+			}
+		}
+	}
+}
+
+func TestFolderWindowing(t *testing.T) {
+	f := NewFolder(t0, Every10Min, foldSpecs(), nil)
+	if idx := f.windowIndex(t0); idx != 0 {
+		t.Fatalf("windowIndex(anchor) = %d", idx)
+	}
+	if idx := f.windowIndex(t0.Add(9*time.Minute + 59*time.Second)); idx != 0 {
+		t.Fatalf("windowIndex(anchor+9:59) = %d", idx)
+	}
+	if idx := f.windowIndex(t0.Add(10 * time.Minute)); idx != 1 {
+		t.Fatalf("windowIndex(anchor+10m) = %d", idx)
+	}
+	// Floor division: records before the anchor land in negative windows.
+	if idx := f.windowIndex(t0.Add(-time.Second)); idx != -1 {
+		t.Fatalf("windowIndex(anchor-1s) = %d", idx)
+	}
+	if idx := f.windowIndex(t0.Add(-10 * time.Minute)); idx != -1 {
+		t.Fatalf("windowIndex(anchor-10m) = %d", idx)
+	}
+	if win, ok := f.Aligned(t0.Add(20*time.Minute), t0.Add(30*time.Minute)); !ok || win != 2 {
+		t.Fatalf("Aligned(+20m,+30m) = %d, %v", win, ok)
+	}
+	if _, ok := f.Aligned(t0, t0.Add(20*time.Minute)); ok {
+		t.Fatal("Aligned accepted a 20-minute span")
+	}
+	if _, ok := f.Aligned(t0.Add(time.Minute), t0.Add(11*time.Minute)); ok {
+		t.Fatal("Aligned accepted an off-grid window")
+	}
+}
+
+func TestFolderDropWindowsBefore(t *testing.T) {
+	f := NewFolder(t0, Every10Min, foldSpecs(), nil)
+	for _, data := range foldExtents(40) {
+		f.FoldExtent(data, t0)
+	}
+	if f.Partial("all", 0) == nil || f.Partial("all", 3) == nil {
+		t.Fatal("expected partials in windows 0 and 3")
+	}
+	f.DropWindowsBefore(2)
+	if f.Partial("all", 0) != nil || f.Partial("all", 1) != nil {
+		t.Fatal("dropped windows still present")
+	}
+	if f.Partial("all", 2) == nil || f.Partial("all", 3) == nil {
+		t.Fatal("retained windows lost")
+	}
+	// Folding still works after the drop (window cache was invalidated).
+	before := f.Partial("all", 0)
+	f.FoldExtent(probe.EncodeBatch([]probe.Record{mkRecord(1, time.Millisecond, "")}), t0)
+	if before != nil {
+		t.Fatal("unreachable")
+	}
+	if f.Partial("all", 0) == nil {
+		t.Fatal("refold into dropped window did not recreate the partial")
+	}
+}
+
+// TestFoldExtentZeroAlloc guards the fold hot path: once group keys and
+// window partials exist, folding an extent allocates nothing per record
+// (CI tier 3).
+func TestFoldExtentZeroAlloc(t *testing.T) {
+	specs := foldSpecs()
+	f := NewFolder(t0, Every10Min, specs, nil)
+	recs := make([]probe.Record, 0, 256)
+	for i := 0; i < 256; i++ {
+		errStr := ""
+		if i%9 == 0 {
+			errStr = "connect: timeout"
+		}
+		recs = append(recs, mkRecord(i%30, time.Duration(150+i*7)*time.Microsecond, errStr))
+	}
+	data := probe.EncodeBatch(recs)
+	f.FoldExtent(data, t0) // warm up: materialize groups, windows, key buffer
+	allocs := testing.AllocsPerRun(20, func() {
+		f.FoldExtent(data, t0)
+	})
+	if allocs != 0 {
+		t.Fatalf("FoldExtent allocates %.1f times per extent (%d records), want 0", allocs, len(recs))
+	}
+}

@@ -2,6 +2,7 @@ package scope
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pingmesh/internal/metrics"
@@ -42,10 +43,12 @@ func (m *JobManager) Metrics() *metrics.Registry { return m.reg }
 
 // ScheduledJob is one recurring submission.
 type ScheduledJob struct {
-	name  string
-	every time.Duration
-	stop  chan struct{}
-	once  sync.Once
+	name     string
+	every    time.Duration
+	stop     chan struct{}
+	once     sync.Once
+	inFlight atomic.Bool
+	done     sync.WaitGroup
 }
 
 // Name returns the job's name.
@@ -54,10 +57,29 @@ func (s *ScheduledJob) Name() string { return s.name }
 // Stop cancels future runs.
 func (s *ScheduledJob) Stop() { s.once.Do(func() { close(s.stop) }) }
 
+// Wait blocks until any in-flight invocation has returned. Stop then Wait
+// gives a clean shutdown.
+func (s *ScheduledJob) Wait() { s.done.Wait() }
+
 // Schedule runs fn every interval. fn receives the window [from, to) it
-// should process: the interval that just ended. The first run happens one
-// interval after scheduling.
+// should process: the grid-aligned interval that just ended (windows are
+// anchored at scheduling time, so from and to always land on exact
+// multiples of the interval even when the ticker fires late). The first
+// run happens one interval after scheduling.
+//
+// Runs never overlap: if a tick arrives while the previous invocation of
+// fn is still in flight, the run is skipped — not queued — and counted on
+// scope.job.<name>.overlap_skipped. A job that persistently overruns its
+// interval processes every other window rather than stacking unboundedly;
+// the skip counter is the watchdog signal that the interval is too tight.
 func (m *JobManager) Schedule(name string, every time.Duration, fn func(from, to time.Time) error) *ScheduledJob {
+	return m.ScheduleAt(name, every, m.clock.Now(), fn)
+}
+
+// ScheduleAt is Schedule with an explicit window-grid anchor, for callers
+// that must line several jobs (or an incremental folder) up on one grid —
+// two clock.Now() reads on a real clock never coincide.
+func (m *JobManager) ScheduleAt(name string, every time.Duration, anchor time.Time, fn func(from, to time.Time) error) *ScheduledJob {
 	job := &ScheduledJob{name: name, every: every, stop: make(chan struct{})}
 	m.mu.Lock()
 	m.jobs = append(m.jobs, job)
@@ -65,6 +87,7 @@ func (m *JobManager) Schedule(name string, every time.Duration, fn func(from, to
 
 	runs := m.reg.Counter("scope.job." + name + ".runs")
 	errors := m.reg.Counter("scope.job." + name + ".errors")
+	skipped := m.reg.Counter("scope.job." + name + ".overlap_skipped")
 	lastMS := m.reg.Gauge("scope.job." + name + ".last_ms")
 	duration := m.reg.Histogram("scope.job." + name + ".duration")
 	go func() {
@@ -75,15 +98,31 @@ func (m *JobManager) Schedule(name string, every time.Duration, fn func(from, to
 			case <-job.stop:
 				return
 			case now := <-ticker.C:
-				start := m.clock.Now()
-				err := fn(now.Add(-every), now)
-				runs.Inc()
-				if err != nil {
-					errors.Inc()
+				if !job.inFlight.CompareAndSwap(false, true) {
+					skipped.Inc()
+					continue
 				}
-				elapsed := m.clock.Since(start)
-				lastMS.Set(int64(elapsed / time.Millisecond))
-				duration.Observe(elapsed)
+				// Snap the fire time onto the anchor grid: k is the
+				// nearest multiple of every (ticker jitter on a real clock
+				// stays well under every/2), so [from, to) is exact and an
+				// incremental cycle can serve it from folded partials.
+				k := int64((now.Sub(anchor) + every/2) / every)
+				to := anchor.Add(time.Duration(k) * every)
+				from := to.Add(-every)
+				job.done.Add(1)
+				go func() {
+					defer job.done.Done()
+					defer job.inFlight.Store(false)
+					start := m.clock.Now()
+					err := fn(from, to)
+					runs.Inc()
+					if err != nil {
+						errors.Inc()
+					}
+					elapsed := m.clock.Since(start)
+					lastMS.Set(int64(elapsed / time.Millisecond))
+					duration.Observe(elapsed)
+				}()
 			}
 		}
 	}()

@@ -93,12 +93,43 @@ type task struct {
 	extent int
 }
 
+// Extent names one extent of one stream, for jobs that run over an
+// explicit extent list instead of everything under a prefix.
+type Extent struct {
+	Stream string
+	Index  int
+}
+
 // Run executes one job across every extent of the source in parallel and
 // merges the per-worker aggregates.
 func (e *Engine) Run(job Job) (*Result, error) {
 	if job.Source.Store == nil {
 		return nil, fmt.Errorf("scope: job %q has no source store", job.Name)
 	}
+	var tasks []task
+	for _, stream := range job.Source.Store.Streams(job.Source.StreamPrefix) {
+		for i := 0; i < job.Source.Store.NumExtents(stream); i++ {
+			tasks = append(tasks, task{stream: stream, extent: i})
+		}
+	}
+	return e.runTasks(job, tasks)
+}
+
+// RunExtents executes one job over exactly the given extents: the tail-scan
+// half of an incremental cycle, where the already-folded sealed extents are
+// skipped and only the unfolded remainder is decoded.
+func (e *Engine) RunExtents(job Job, extents []Extent) (*Result, error) {
+	if job.Source.Store == nil {
+		return nil, fmt.Errorf("scope: job %q has no source store", job.Name)
+	}
+	tasks := make([]task, len(extents))
+	for i, ext := range extents {
+		tasks[i] = task{stream: ext.Stream, extent: ext.Index}
+	}
+	return e.runTasks(job, tasks)
+}
+
+func (e *Engine) runTasks(job Job, tasks []task) (*Result, error) {
 	var runStart time.Time
 	if e.Tracer != nil {
 		runStart = e.Tracer.Now()
@@ -106,13 +137,6 @@ func (e *Engine) Run(job Job) (*Result, error) {
 	par := e.Parallelism
 	if par <= 0 {
 		par = runtime.NumCPU()
-	}
-
-	var tasks []task
-	for _, stream := range job.Source.Store.Streams(job.Source.StreamPrefix) {
-		for i := 0; i < job.Source.Store.NumExtents(stream); i++ {
-			tasks = append(tasks, task{stream: stream, extent: i})
-		}
 	}
 
 	// The channel is buffered to len(tasks) so the send loop below can

@@ -254,6 +254,58 @@ func TestJobManagerStop(t *testing.T) {
 	}
 }
 
+// TestJobManagerSkipsOverlappingRuns pins the no-stacking contract: a tick
+// arriving while the previous invocation is still in flight is skipped and
+// counted, and the next run after the slow one finishes gets the current
+// grid-aligned window, not a backlog of stale ones.
+func TestJobManagerSkipsOverlappingRuns(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	m := NewJobManager(clock)
+	defer m.StopAll()
+	block := make(chan struct{})
+	var started, finished atomic.Int64
+	var lastFrom, lastTo atomic.Value
+	m.Schedule("slow", Every10Min, func(from, to time.Time) error {
+		started.Add(1)
+		lastFrom.Store(from)
+		lastTo.Store(to)
+		<-block
+		finished.Add(1)
+		return nil
+	})
+	skippedCount := func() int64 {
+		return m.Metrics().Snapshot().Counters["scope.job.slow.overlap_skipped"]
+	}
+
+	waitFor(t, func() bool { return clock.PendingTimers() >= 1 })
+	clock.Advance(Every10Min) // first run starts and blocks
+	waitFor(t, func() bool { return started.Load() == 1 })
+
+	clock.Advance(Every10Min) // still in flight: skipped
+	waitFor(t, func() bool { return skippedCount() == 1 })
+	clock.Advance(Every10Min) // and again
+	waitFor(t, func() bool { return skippedCount() == 2 })
+	if started.Load() != 1 {
+		t.Fatalf("overlapping run started: %d invocations", started.Load())
+	}
+
+	close(block) // unblock; later invocations return immediately
+	waitFor(t, func() bool { return finished.Load() == 1 })
+	clock.Advance(Every10Min) // next run proceeds normally
+	waitFor(t, func() bool { return finished.Load() == 2 })
+
+	// The post-skip run covers the CURRENT window [t0+30m, t0+40m) on the
+	// grid — skipped windows are dropped, not replayed.
+	from, to := lastFrom.Load().(time.Time), lastTo.Load().(time.Time)
+	if !to.Equal(t0.Add(40*time.Minute)) || to.Sub(from) != Every10Min {
+		t.Fatalf("post-skip window = [%v, %v), want [t0+30m, t0+40m)", from, to)
+	}
+	snap := m.Metrics().Snapshot()
+	if snap.Counters["scope.job.slow.runs"] != 2 {
+		t.Fatalf("runs counter = %d, want 2", snap.Counters["scope.job.slow.runs"])
+	}
+}
+
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)

@@ -1,0 +1,144 @@
+// Package shard assigns cosmos extents to analysis replicas. Ownership is
+// rendezvous (highest-random-weight) hashing over extent IDs — every shard
+// computes the same owner independently, with minimal disruption when the
+// shard count changes — and a Ledger hands each shard its owned, unfolded
+// extents exactly once, letting idle shards steal from stragglers so one
+// slow replica cannot hold a cycle past its budget.
+package shard
+
+import (
+	"fmt"
+	"sync"
+)
+
+// mix64 is a splitmix64-style finalizer: a cheap, well-distributed 64-bit
+// mix used to score (extent, shard) pairs.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Owner returns which of n shards owns the extent with the given ID, by
+// rendezvous hashing: the shard whose mixed (id, shard) score is highest.
+// Deterministic, uniform, and minimally disruptive — growing n to n+1
+// reassigns only ~1/(n+1) of extents (those the new shard now wins).
+func Owner(id uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	best, bestScore := 0, uint64(0)
+	for s := 0; s < n; s++ {
+		score := mix64(id ^ mix64(uint64(s)+0x9e3779b97f4a7c15))
+		if score > bestScore {
+			best, bestScore = s, score
+		}
+	}
+	return best
+}
+
+// Extent identifies one sealed cosmos extent awaiting a fold.
+type Extent struct {
+	Stream string
+	Index  int
+	ID     uint64
+}
+
+// Ledger tracks which sealed extents remain unfolded and hands them out
+// exactly once. Each extent queues under its rendezvous owner; a shard
+// asking for work drains its own queue first and then steals from the
+// shard with the longest backlog. Safe for concurrent use.
+type Ledger struct {
+	mu      sync.Mutex
+	shards  int
+	queues  [][]Extent
+	stolen  []uint64
+	pending int
+}
+
+// NewLedger returns a ledger for n shards (n >= 1).
+func NewLedger(n int) (*Ledger, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: ledger needs >= 1 shard, got %d", n)
+	}
+	return &Ledger{
+		shards: n,
+		queues: make([][]Extent, n),
+		stolen: make([]uint64, n),
+	}, nil
+}
+
+// Shards returns the shard count.
+func (l *Ledger) Shards() int { return l.shards }
+
+// Add enqueues a newly sealed extent under its owner.
+func (l *Ledger) Add(ext Extent) {
+	owner := Owner(ext.ID, l.shards)
+	l.mu.Lock()
+	l.queues[owner] = append(l.queues[owner], ext)
+	l.pending++
+	l.mu.Unlock()
+}
+
+// Next hands shard its next extent to fold. Owned work drains first
+// (FIFO); when the shard's own queue is empty it steals from the longest
+// other queue (the straggler). stolen reports whether the extent came from
+// another shard's queue; ok is false when no work remains anywhere.
+func (l *Ledger) Next(shard int) (ext Extent, stolen, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if shard < 0 || shard >= l.shards {
+		return Extent{}, false, false
+	}
+	if q := l.queues[shard]; len(q) > 0 {
+		ext, l.queues[shard] = q[0], q[1:]
+		l.pending--
+		return ext, false, true
+	}
+	victim, longest := -1, 0
+	for s, q := range l.queues {
+		if len(q) > longest {
+			victim, longest = s, len(q)
+		}
+	}
+	if victim < 0 {
+		return Extent{}, false, false
+	}
+	q := l.queues[victim]
+	ext, l.queues[victim] = q[0], q[1:]
+	l.pending--
+	l.stolen[shard]++
+	return ext, true, true
+}
+
+// Stolen returns how many extents the shard has taken from other shards'
+// queues over the ledger's lifetime.
+func (l *Ledger) Stolen(shard int) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if shard < 0 || shard >= l.shards {
+		return 0
+	}
+	return l.stolen[shard]
+}
+
+// Pending returns how many extents await folding across all queues.
+func (l *Ledger) Pending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pending
+}
+
+// PendingFor returns the backlog of one shard's own queue: its fold lag in
+// extents.
+func (l *Ledger) PendingFor(shard int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if shard < 0 || shard >= l.shards {
+		return 0
+	}
+	return len(l.queues[shard])
+}

@@ -1,0 +1,183 @@
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestOwnerDeterministicAndInRange(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		for id := uint64(0); id < 200; id++ {
+			a, b := Owner(id, n), Owner(id, n)
+			if a != b {
+				t.Fatalf("Owner(%d, %d) nondeterministic: %d vs %d", id, n, a, b)
+			}
+			if a < 0 || a >= n {
+				t.Fatalf("Owner(%d, %d) = %d out of range", id, n, a)
+			}
+		}
+	}
+}
+
+func TestOwnerBalance(t *testing.T) {
+	const n, ids = 4, 40000
+	counts := make([]int, n)
+	for id := uint64(0); id < ids; id++ {
+		counts[Owner(id, n)]++
+	}
+	want := ids / n
+	for s, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("shard %d owns %d of %d extents, want ~%d (counts %v)", s, c, ids, want, counts)
+		}
+	}
+}
+
+func TestOwnerMinimalDisruption(t *testing.T) {
+	const ids = 10000
+	for n := 1; n <= 6; n++ {
+		moved := 0
+		for id := uint64(0); id < ids; id++ {
+			before := Owner(id, n)
+			after := Owner(id, n+1)
+			if before != after {
+				moved++
+				if after != n {
+					// Rendezvous only ever moves keys to the NEW shard:
+					// relative scores of existing shards are unchanged.
+					t.Fatalf("id %d moved %d -> %d when adding shard %d", id, before, after, n)
+				}
+			}
+		}
+		// Expect ~ids/(n+1) moves; allow generous slack.
+		want := ids / (n + 1)
+		if moved < want/2 || moved > want*2 {
+			t.Fatalf("adding shard %d moved %d of %d extents, want ~%d", n, moved, ids, want)
+		}
+	}
+}
+
+func TestLedgerOwnedFirstThenSteal(t *testing.T) {
+	l, err := NewLedger(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find IDs owned by each shard.
+	var own0, own1 []uint64
+	for id := uint64(0); len(own0) < 3 || len(own1) < 3; id++ {
+		if Owner(id, 2) == 0 {
+			own0 = append(own0, id)
+		} else {
+			own1 = append(own1, id)
+		}
+	}
+	for _, id := range own0[:3] {
+		l.Add(Extent{Stream: "s", ID: id})
+	}
+	for _, id := range own1[:3] {
+		l.Add(Extent{Stream: "s", ID: id})
+	}
+
+	// Shard 0 drains its own three first (FIFO), then steals shard 1's.
+	for i := 0; i < 3; i++ {
+		ext, stolen, ok := l.Next(0)
+		if !ok || stolen {
+			t.Fatalf("draw %d: ok=%v stolen=%v", i, ok, stolen)
+		}
+		if ext.ID != own0[i] {
+			t.Fatalf("draw %d: got id %d, want FIFO id %d", i, ext.ID, own0[i])
+		}
+	}
+	for i := 0; i < 3; i++ {
+		ext, stolen, ok := l.Next(0)
+		if !ok || !stolen {
+			t.Fatalf("steal draw %d: ok=%v stolen=%v", i, ok, stolen)
+		}
+		if Owner(ext.ID, 2) != 1 {
+			t.Fatalf("steal draw %d: id %d not owned by shard 1", i, ext.ID)
+		}
+	}
+	if _, _, ok := l.Next(0); ok {
+		t.Fatal("ledger handed out extra work")
+	}
+	if got := l.Stolen(0); got != 3 {
+		t.Fatalf("Stolen(0) = %d, want 3", got)
+	}
+	if got := l.Stolen(1); got != 0 {
+		t.Fatalf("Stolen(1) = %d, want 0", got)
+	}
+	if l.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", l.Pending())
+	}
+}
+
+// TestLedgerConcurrentExactlyOnce races all shards draining a shared
+// ledger: every extent must come out exactly once.
+func TestLedgerConcurrentExactlyOnce(t *testing.T) {
+	const shards, extents = 4, 2000
+	l, err := NewLedger(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	ids := rng.Perm(extents)
+	go func() {
+		for _, id := range ids {
+			l.Add(Extent{Stream: "s", Index: id, ID: uint64(id)})
+		}
+	}()
+
+	var mu sync.Mutex
+	seen := make(map[uint64]int)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			misses := 0
+			for misses < 1000 {
+				ext, _, ok := l.Next(s)
+				if !ok {
+					misses++
+					continue
+				}
+				misses = 0
+				mu.Lock()
+				seen[ext.ID]++
+				mu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+	if len(seen) != extents {
+		t.Fatalf("drained %d extents, want %d", len(seen), extents)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("extent %d handed out %d times", id, n)
+		}
+	}
+}
+
+// TestLedgerZeroAlloc guards the shard hot paths (CI tier 3): ownership
+// hashing, dequeuing, and the lag/steal gauge reads that every /metrics
+// scrape hits must not allocate.
+func TestLedgerZeroAlloc(t *testing.T) {
+	l, err := NewLedger(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		l.Add(Extent{Stream: "s", Index: i, ID: uint64(i) * 0x9e3779b9})
+	}
+	var sink int
+	allocs := testing.AllocsPerRun(100, func() {
+		sink += Owner(uint64(sink), 8)
+		l.Next(sink & 3)
+		sink += l.PendingFor(0) + int(l.Stolen(1)) + l.Pending()
+	})
+	if allocs != 0 {
+		t.Fatalf("ledger hot paths allocate %.1f times per round, want 0 (sink %d)", allocs, sink)
+	}
+}

@@ -19,10 +19,16 @@
 #                                      the probe and ingest paths one atomic
 #                                      load and zero allocations; the
 #                                      controller's cached delta serving
-#                                      must be allocation-free per request)
+#                                      must be allocation-free per request;
+#                                      the incremental analysis fold path
+#                                      must be allocation-free per record)
 #   3b. churn-harness smoke           (the control-plane churn CLI end to
 #                                      end at reduced scale: delta serving,
 #                                      replica kill, convergence)
+#   3c. fold-harness smoke            (the sharded incremental analysis
+#                                      sweep at reduced scale: fold drain,
+#                                      steal phase, SLA row parity with the
+#                                      full re-scan)
 #   4. short fuzz pass over the pinglist wire format, the delta codec
 #      (patch(old, diff) == new, byte-identical), and the streaming
 #      record decoder (optional, FUZZ=1)
@@ -46,11 +52,17 @@ go test ./internal/scope ./internal/probe ./internal/analysis \
     ./internal/netsim ./internal/fleet \
     ./internal/httpcache ./internal/metrics ./internal/portal \
     ./internal/trace ./internal/agent ./internal/controller \
+    ./internal/shard ./internal/dsa \
     -run 'ZeroAlloc' -count=1 -v | grep -E '^(=== RUN|--- (PASS|FAIL)|ok|FAIL)'
 
 echo "== tier 3b: churn-harness smoke (reduced scale)"
 go run ./cmd/pingmesh-churnsim -agents 20000 -podsets 8 -pods 6 -mode compare \
     -out "${TMPDIR:-/tmp}/pingmesh_churn_smoke.json"
+
+echo "== tier 3c: fold-harness smoke (reduced scale)"
+go run ./cmd/pingmesh-foldsim -servers 20000 -records-per-server 4 \
+    -extent-size 65536 -shards 1,2 -q \
+    -out "${TMPDIR:-/tmp}/pingmesh_fold_smoke.json"
 
 if [ "${FUZZ:-0}" = "1" ]; then
     echo "== tier 4: fuzz wire formats (30s each)"
