@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race ci fuzz bench bench-ingest bench-fleet bench-portal bench-trace bench-controlplane bench-analysis churn foldsim clean
+.PHONY: all build test race ci fuzz bench bench-ingest bench-fleet bench-portal bench-trace bench-controlplane bench-analysis bench-upload churn foldsim uploadsim clean
 
 all: build test
 
@@ -67,6 +67,14 @@ bench-analysis:
 		-benchmem ./internal/scope
 	$(MAKE) foldsim
 
+# Upload hot path: sketch/binary encode + scan microbenchmarks plus the
+# fleet differential sweep (sketch uploads vs raw CSV). BENCH_PR8.json
+# records the tracked numbers.
+bench-upload:
+	$(GO) test -run '^$$' -bench 'BenchmarkAppendBinaryBatch|BenchmarkBinaryScan|BenchmarkAppendBatch' \
+		-benchmem ./internal/probe
+	$(MAKE) uploadsim
+
 # Million-agent churn harness: delta vs full-body serving through a
 # rolling topology update with replica failover. Writes BENCH_PR6.json.
 churn:
@@ -76,6 +84,12 @@ churn:
 # full re-scan over one 10-minute window. Writes BENCH_PR7.json.
 foldsim:
 	$(GO) run ./cmd/pingmesh-foldsim -servers 1000000 -shards 1,2,4 -out BENCH_PR7.json
+
+# Fleet upload differential: the same probes shipped as raw CSV and as
+# sketch/binary batches, compared on bytes, percentiles, and SLA parity.
+# Writes BENCH_PR8.json.
+uploadsim:
+	$(GO) run ./cmd/pingmesh-uploadsim -servers 20000 -peers 8 -out BENCH_PR8.json
 
 clean:
 	$(GO) clean -testcache

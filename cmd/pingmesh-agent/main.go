@@ -39,6 +39,10 @@ func main() {
 		statsEvery  = flag.Duration("stats", time.Minute, "perf counter print interval")
 		debugAddr   = flag.String("debug-addr", "", "serve pprof, /debug/trace, /health, and /metrics on this address (empty = off)")
 		traceSample = flag.Uint64("trace-sample", 0, "trace 1 in N probes end to end (0 = off)")
+
+		sketchUpload = flag.Bool("sketch-upload", false, "aggregate healthy probes into per-peer latency sketches and upload the binary format (requires an uploader)")
+		gzipUpload   = flag.Bool("gzip-upload", false, "gzip upload batches on the wire (storage inflates before append)")
+		rawThreshold = flag.Duration("raw-threshold", time.Second, "in sketch mode, RTT at or above which a record ships raw")
 	)
 	flag.Parse()
 	if *name == "" || *source == "" || *ctrlURL == "" {
@@ -67,12 +71,15 @@ func main() {
 	tracer := trace.Default()
 	tracer.SetSampleEvery(*traceSample)
 	a, err := agent.New(agent.Config{
-		ServerName: *name,
-		SourceAddr: addr,
-		Controller: &controller.Client{BaseURL: *ctrlURL},
-		Prober:     agent.NewRealProber(25 * time.Second),
-		LocalLog:   localLog,
-		Tracer:     tracer,
+		ServerName:   *name,
+		SourceAddr:   addr,
+		Controller:   &controller.Client{BaseURL: *ctrlURL},
+		Prober:       agent.NewRealProber(25 * time.Second),
+		LocalLog:     localLog,
+		Tracer:       tracer,
+		SketchUpload: *sketchUpload,
+		GzipUploads:  *gzipUpload,
+		RawThreshold: *rawThreshold,
 	})
 	if err != nil {
 		log.Fatalf("agent: %v", err)

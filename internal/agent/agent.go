@@ -18,6 +18,8 @@
 package agent
 
 import (
+	"bytes"
+	"compress/gzip"
 	"context"
 	"errors"
 	"fmt"
@@ -26,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"pingmesh/internal/analysis"
 	"pingmesh/internal/metrics"
 	"pingmesh/internal/pinglist"
 	"pingmesh/internal/probe"
@@ -131,6 +134,26 @@ type Config struct {
 	// Tracer, if non-nil, lets sampled probes carry an end-to-end trace
 	// and marks upload freshness. Nil disables tracing entirely.
 	Tracer *trace.Tracer
+
+	// SketchUpload switches uploads to the binary sketch format: each
+	// reporting window's successful, non-anomalous probes aggregate into
+	// per-peer latency sketches and only anomalies (failures, SYN-
+	// retransmit signatures, RTTs at or above RawThreshold, traced probes)
+	// ship as raw records. Off by default: the raw-CSV path is the
+	// fallback and remains byte-identical to the pre-sketch agent.
+	SketchUpload bool
+	// SketchWindow is the sketch cut window, aligned to the UTC epoch
+	// grid. It must equal the analysis pipeline's fold window so sketches
+	// never straddle an analysis window. Default 10m (the DSA cadence).
+	SketchWindow time.Duration
+	// RawThreshold is the successful-probe RTT at or above which a record
+	// ships raw even in sketch mode, keeping per-record identity for the
+	// tail the operators will drill into. Default 1s.
+	RawThreshold time.Duration
+	// GzipUploads compresses upload batches with a pooled gzip writer.
+	// The cosmos client transparently inflates before storing, so stored
+	// extents stay scannable.
+	GzipUploads bool
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -174,6 +197,12 @@ func (c *Config) withDefaults() (Config, error) {
 	if out.MaxConcurrentProbes <= 0 {
 		out.MaxConcurrentProbes = 8
 	}
+	if out.SketchWindow <= 0 {
+		out.SketchWindow = 10 * time.Minute
+	}
+	if out.RawThreshold <= 0 {
+		out.RawThreshold = time.Second
+	}
 	return out, nil
 }
 
@@ -194,6 +223,9 @@ type Agent struct {
 	cDropped      *metrics.Counter
 	cRTT3s        *metrics.Counter
 	cRTT9s        *metrics.Counter
+	cUploadRaw    *metrics.Counter // agent.upload_raw_records
+	cUploadSketch *metrics.Counter // agent.upload_sketches
+	cUploadBytes  *metrics.Counter // agent.upload_bytes (on-wire, post-gzip)
 	hRTT          [3]*metrics.LockedHistogram
 	hPayloadRTT   [3]*metrics.LockedHistogram
 
@@ -203,7 +235,8 @@ type Agent struct {
 	fetchFailures int
 	failedClosed  bool
 	buffer        []probe.Record
-	dropped       int64 // records discarded to respect the memory bound
+	dropped       int64              // records discarded to respect the memory bound
+	sketch        *SketchAccumulator // nil unless SketchUpload
 
 	peersChanged chan struct{} // kicks the scheduler
 	uploadKick   chan struct{} // kicks the uploader on buffer-threshold
@@ -211,9 +244,15 @@ type Agent struct {
 	// encMu serializes flushes; encBuf is the batch encode buffer reused
 	// across uploads so steady-state encoding allocates nothing. flushTIDs
 	// is the per-flush scratch of sampled traces riding in the batch.
-	encMu     sync.Mutex
-	encBuf    []byte
-	flushTIDs []trace.TraceID
+	// pendingSketches is the per-flush scratch of cut sketches, and the
+	// gzip writer/buffer are pooled the same way — one instance reused
+	// across every flush, never re-allocated per batch.
+	encMu           sync.Mutex
+	encBuf          []byte
+	flushTIDs       []trace.TraceID
+	pendingSketches []probe.PeerSketch
+	gzw             *gzip.Writer
+	gzBuf           bytes.Buffer
 }
 
 type peerState struct {
@@ -250,6 +289,17 @@ func New(cfg Config) (*Agent, error) {
 	a.cDropped = a.reg.Counter("agent.records_dropped")
 	a.cRTT3s = a.reg.Counter("agent.rtt_3s")
 	a.cRTT9s = a.reg.Counter("agent.rtt_9s")
+	a.cUploadRaw = a.reg.Counter("agent.upload_raw_records")
+	a.cUploadSketch = a.reg.Counter("agent.upload_sketches")
+	a.cUploadBytes = a.reg.Counter("agent.upload_bytes")
+	// Sketch mode only engages with an uploader: without one, records stay
+	// in the bounded raw buffer for in-process consumers, exactly as before.
+	if c.SketchUpload && c.Uploader != nil {
+		a.sketch = NewSketchAccumulator(c.SourceAddr, c.SketchWindow)
+	}
+	if c.GzipUploads {
+		a.gzw = gzip.NewWriter(&a.gzBuf)
+	}
 	for cls := probe.IntraPod; cls <= probe.InterDC; cls++ {
 		a.hRTT[cls] = a.reg.Histogram("agent.rtt." + cls.String())
 		a.hPayloadRTT[cls] = a.reg.Histogram("agent.rtt_payload." + cls.String())
@@ -367,17 +417,31 @@ func (a *Agent) kick() {
 }
 
 // record stores one result, enforcing the memory bound, mirroring to the
-// local log, and updating perf counters.
+// local log, and updating perf counters. In sketch mode the anomaly policy
+// routes here: successful, non-anomalous probes fold into the per-peer
+// sketch accumulator; failures, SYN-retransmit drop signatures, RTTs at or
+// above RawThreshold, and traced probes keep per-record identity and go
+// through the raw buffer.
 func (a *Agent) record(r probe.Record) {
-	a.mu.Lock()
-	if len(a.buffer) >= a.cfg.MaxBufferedRecords {
-		// Drop oldest: bounded memory beats complete data (§3.4.2).
-		copy(a.buffer, a.buffer[1:])
-		a.buffer = a.buffer[:len(a.buffer)-1]
-		a.dropped++
-		a.cDropped.Inc()
+	sketchable := a.sketch != nil && r.Success() &&
+		r.RTT < a.cfg.RawThreshold && analysis.DropSignature(r.RTT) == 0
+	if sketchable && a.tracer != nil && a.tracer.HasActiveProbes() &&
+		a.tracer.MatchProbe(r.Src, r.SrcPort, r.Start.UnixNano()) != 0 {
+		sketchable = false // a sampled trace needs its record on the wire
 	}
-	a.buffer = append(a.buffer, r)
+	a.mu.Lock()
+	if sketchable {
+		a.sketch.Observe(&r)
+	} else {
+		if len(a.buffer) >= a.cfg.MaxBufferedRecords {
+			// Drop oldest: bounded memory beats complete data (§3.4.2).
+			copy(a.buffer, a.buffer[1:])
+			a.buffer = a.buffer[:len(a.buffer)-1]
+			a.dropped++
+			a.cDropped.Inc()
+		}
+		a.buffer = append(a.buffer, r)
+	}
 	n := len(a.buffer)
 	a.mu.Unlock()
 

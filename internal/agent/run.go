@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"hash/fnv"
+	"math"
 	"math/rand"
 	"time"
 
@@ -22,8 +23,9 @@ func (a *Agent) Run(ctx context.Context) error {
 	go a.fetchLoop(ctx)
 	go a.uploadLoop(ctx)
 	a.scheduleLoop(ctx)
-	// Final upload attempt so short-lived runs don't lose data.
-	a.flush(context.Background())
+	// Final upload attempt so short-lived runs don't lose data; it ships
+	// open sketch windows too instead of waiting for the grid to pass them.
+	a.flush(context.Background(), true)
 	return ctx.Err()
 }
 
@@ -254,34 +256,59 @@ func (a *Agent) uploadLoop(ctx context.Context) {
 		case <-ticker.C:
 		case <-a.uploadKick:
 		}
-		a.flush(ctx)
+		a.flush(ctx, false)
 	}
 }
 
-// flush uploads everything buffered. On persistent failure the batch is
+// flush uploads everything buffered: the raw record batch plus, in sketch
+// mode, the completed sketch windows. On persistent failure the batch is
 // discarded: bounded memory wins over completeness (§3.4.2); the local log
-// still has the data.
-func (a *Agent) flush(ctx context.Context) {
+// still has the raw data. final additionally cuts the still-open sketch
+// windows — the shutdown path must not strand partial windows.
+func (a *Agent) flush(ctx context.Context, final bool) {
 	if a.cfg.Uploader == nil {
 		// No uploader configured: records stay buffered for in-process
 		// consumers; record() already enforces the memory bound.
 		return
 	}
+	// encMu serializes the upload loop's flush with the final flush in Run
+	// and guards the pooled per-flush state (encBuf, flushTIDs,
+	// pendingSketches, the gzip writer), so all of it is reused verbatim on
+	// the next flush — the Uploader contract says the batch is only valid
+	// during the call.
+	a.encMu.Lock()
+	defer a.encMu.Unlock()
 	a.mu.Lock()
 	batch := a.buffer
 	a.buffer = nil
+	sks := a.pendingSketches[:0]
+	if a.sketch != nil {
+		cut := a.sketch.WindowIndex(a.clock.Now())
+		if final {
+			cut = math.MaxInt64
+		}
+		sks = a.sketch.CutBefore(cut, sks)
+	}
+	a.pendingSketches = sks
 	a.mu.Unlock()
-	if len(batch) == 0 {
+	if len(batch) == 0 && len(sks) == 0 {
 		return
 	}
-	// Encode into the agent's pooled buffer. encMu serializes the upload
-	// loop's flush with the final flush in Run, and the Uploader contract
-	// says the batch is only valid during the call, so the buffer can be
-	// reused verbatim on the next flush.
-	a.encMu.Lock()
-	defer a.encMu.Unlock()
-	// Sampled probes riding in this batch get encode/upload spans. The tid
-	// scratch slice is guarded by encMu and reused across flushes.
+	if len(sks) > 0 {
+		// The cut sketches own freelisted histograms; hand them back after
+		// the upload settles, win or lose.
+		defer func() {
+			a.mu.Lock()
+			a.sketch.Release(sks)
+			a.mu.Unlock()
+		}()
+	}
+	var skRecords int64
+	for i := range sks {
+		skRecords += int64(sks[i].RTT.Count())
+	}
+	// Sampled probes riding in this batch get encode/upload spans. Sketched
+	// probes never do: record() routes traced probes to the raw buffer.
 	a.flushTIDs = a.flushTIDs[:0]
 	if a.tracer != nil && a.tracer.HasActiveProbes() {
 		for i := range batch {
@@ -292,8 +319,20 @@ func (a *Agent) flush(ctx context.Context) {
 		}
 	}
 	encStart := a.clock.Now()
-	data := probe.AppendBatch(a.encBuf[:0], batch)
+	var data []byte
+	if a.sketch != nil {
+		data = probe.AppendBinaryBatch(a.encBuf[:0], batch, sks)
+	} else {
+		data = probe.AppendBatch(a.encBuf[:0], batch)
+	}
 	a.encBuf = data[:0]
+	if a.gzw != nil {
+		a.gzBuf.Reset()
+		a.gzw.Reset(&a.gzBuf)
+		a.gzw.Write(data) // bytes.Buffer writes cannot fail
+		a.gzw.Close()
+		data = a.gzBuf.Bytes()
+	}
 	encEnd := a.clock.Now()
 	for _, tid := range a.flushTIDs {
 		a.tring.SpanAttr(tid, trace.StageEncode, "batch", encStart, encEnd, true, "records", int64(len(batch)))
@@ -311,7 +350,10 @@ func (a *Agent) flush(ctx context.Context) {
 				a.tracer.Freshness().Mark(trace.StageUpload)
 			}
 			a.reg.Counter("agent.uploads_ok").Inc()
-			a.reg.Counter("agent.uploaded_records").Add(int64(len(batch)))
+			a.reg.Counter("agent.uploaded_records").Add(int64(len(batch)) + skRecords)
+			a.cUploadRaw.Add(int64(len(batch)))
+			a.cUploadSketch.Add(int64(len(sks)))
+			a.cUploadBytes.Add(int64(len(data)))
 			return
 		}
 		a.reg.Counter("agent.upload_errors").Inc()
@@ -321,5 +363,5 @@ func (a *Agent) flush(ctx context.Context) {
 		a.clock.Sleep(time.Second << attempt)
 	}
 	a.reg.Counter("agent.uploads_discarded").Inc()
-	a.reg.Counter("agent.discarded_records").Add(int64(len(batch)))
+	a.reg.Counter("agent.discarded_records").Add(int64(len(batch)) + skRecords)
 }

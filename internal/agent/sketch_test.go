@@ -1,0 +1,287 @@
+package agent
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pingmesh/internal/analysis"
+	"pingmesh/internal/cosmos"
+	"pingmesh/internal/probe"
+	"pingmesh/internal/simclock"
+)
+
+func sketchConfig(clock simclock.Clock, fu Uploader) Config {
+	cfg := testConfig(&fakeFetcher{results: []fetchResult{{f: testFile("v1", 1)}}}, &fakeProber{}, clock)
+	cfg.Uploader = fu
+	cfg.SketchUpload = true
+	return cfg
+}
+
+// scanUpload decodes one uploaded batch into raw records and sketches.
+func scanUpload(t *testing.T, data []byte) ([]probe.Record, []probe.Sketch) {
+	t.Helper()
+	var sc probe.Scanner
+	sc.Reset(data)
+	var recs []probe.Record
+	var sks []probe.Sketch
+	for {
+		kind := sc.ScanEntry()
+		if kind == probe.EntryEOF {
+			break
+		}
+		if err := sc.RowErr(); err != nil {
+			t.Fatalf("row error in uploaded batch: %v", err)
+		}
+		switch kind {
+		case probe.EntryRecord:
+			r := *sc.Record()
+			r.Err = string(append([]byte(nil), r.Err...)) // un-alias interned string
+			recs = append(recs, r)
+		case probe.EntrySketch:
+			sk := *sc.Sketch()
+			sks = append(sks, sk)
+			// The sketch aliases the scan buffer, but data outlives the scan
+			// here, so keeping it is fine.
+		}
+	}
+	return recs, sks
+}
+
+// TestSketchModeFlushMatchesExact: a sketch-mode agent's upload, folded back
+// into LatencyStats, must equal Add-ing every probe result raw — and the
+// anomalies (failures, drop signatures, over-threshold RTTs) must ship as
+// raw records so they keep per-record identity.
+func TestSketchModeFlushMatchesExact(t *testing.T) {
+	clock := simclock.NewSim(epoch)
+	fu := &fakeUploader{}
+	a, err := New(sketchConfig(clock, fu))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exact := analysis.NewLatencyStats()
+	var wantRaw int
+	add := func(r probe.Record) {
+		exact.Add(&r)
+		if r.Err != "" || analysis.DropSignature(r.RTT) != 0 || (r.Success() && r.RTT >= a.cfg.RawThreshold) {
+			wantRaw++
+		}
+		a.record(r)
+	}
+	for i := 0; i < 200; i++ {
+		add(probe.Record{Start: epoch.Add(time.Duration(i) * time.Second), Src: agentAddr, Dst: peerAddr,
+			RTT: time.Duration(200+i) * time.Microsecond})
+	}
+	add(probe.Record{Start: epoch, Src: agentAddr, Dst: peerAddr, RTT: 21 * time.Second, Err: "connect timeout"})
+	add(probe.Record{Start: epoch, Src: agentAddr, Dst: peerAddr, RTT: 3 * time.Second})         // drop signature
+	add(probe.Record{Start: epoch, Src: agentAddr, Dst: peerAddr, RTT: 1500 * time.Millisecond}) // >= RawThreshold
+
+	if n := len(a.BufferedRecords()); n != wantRaw {
+		t.Fatalf("raw buffer has %d records, want only the %d anomalies", n, wantRaw)
+	}
+
+	a.flush(context.Background(), true)
+	if fu.batchCount() != 1 {
+		t.Fatalf("batchCount = %d", fu.batchCount())
+	}
+	recs, sks := scanUpload(t, fu.batches[0])
+	if len(recs) != wantRaw {
+		t.Fatalf("uploaded %d raw records, want %d", len(recs), wantRaw)
+	}
+	if len(sks) == 0 {
+		t.Fatal("no sketches uploaded")
+	}
+	got := analysis.NewLatencyStats()
+	for i := range recs {
+		got.Add(&recs[i])
+	}
+	for i := range sks {
+		got.AddSketch(&sks[i])
+	}
+	if got.Total() != exact.Total() || got.Failed() != exact.Failed() {
+		t.Fatalf("counts diverged: got %d/%d want %d/%d", got.Total(), got.Failed(), exact.Total(), exact.Failed())
+	}
+	if got.Summary() != exact.Summary() {
+		t.Fatalf("summary diverged:\ngot  %v\nwant %v", got.Summary(), exact.Summary())
+	}
+	if got.DropRate() != exact.DropRate() {
+		t.Fatalf("drop rate diverged: %v vs %v", got.DropRate(), exact.DropRate())
+	}
+
+	snap := a.Metrics().Snapshot()
+	if snap.Counters["agent.upload_raw_records"] != int64(wantRaw) {
+		t.Fatalf("upload_raw_records = %d, want %d", snap.Counters["agent.upload_raw_records"], wantRaw)
+	}
+	if snap.Counters["agent.upload_sketches"] != int64(len(sks)) {
+		t.Fatalf("upload_sketches = %d, want %d", snap.Counters["agent.upload_sketches"], len(sks))
+	}
+	if uint64(snap.Counters["agent.uploaded_records"]) != exact.Total() {
+		t.Fatalf("uploaded_records = %d, want %d (raw + summarized)", snap.Counters["agent.uploaded_records"], exact.Total())
+	}
+}
+
+// TestSketchWindowCutsOnGrid: a periodic flush ships only windows the grid
+// has moved past; the open window keeps accumulating. Each (peer, window)
+// therefore uploads exactly one sketch.
+func TestSketchWindowCutsOnGrid(t *testing.T) {
+	clock := simclock.NewSim(epoch)
+	fu := &fakeUploader{}
+	a, err := New(sketchConfig(clock, fu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.record(probe.Record{Start: clock.Now(), Src: agentAddr, Dst: peerAddr, RTT: time.Millisecond})
+
+	// Mid-window flush: nothing to ship — the only sketch window is open.
+	clock.Advance(5 * time.Minute)
+	a.flush(context.Background(), false)
+	if fu.batchCount() != 0 {
+		t.Fatalf("mid-window flush shipped %d batches, want 0", fu.batchCount())
+	}
+	if a.sketch.Len() != 1 {
+		t.Fatalf("accumulator holds %d sketches, want 1", a.sketch.Len())
+	}
+
+	// Cross the 10-minute grid boundary: the window is complete, ship it.
+	clock.Advance(6 * time.Minute)
+	a.record(probe.Record{Start: clock.Now(), Src: agentAddr, Dst: peerAddr, RTT: time.Millisecond})
+	a.flush(context.Background(), false)
+	if fu.batchCount() != 1 {
+		t.Fatalf("post-window flush shipped %d batches, want 1", fu.batchCount())
+	}
+	recs, sks := scanUpload(t, fu.batches[0])
+	if len(recs) != 0 || len(sks) != 1 {
+		t.Fatalf("got %d records + %d sketches, want 0 + 1", len(recs), len(sks))
+	}
+	if sks[0].Records() != 1 {
+		t.Fatalf("sketch summarizes %d probes, want 1", sks[0].Records())
+	}
+	// The second probe's window is still open.
+	if a.sketch.Len() != 1 {
+		t.Fatalf("accumulator holds %d sketches after cut, want 1", a.sketch.Len())
+	}
+}
+
+// TestSketchModeOffIsByteIdenticalCSV: with SketchUpload unset the upload
+// path is the pre-sketch raw CSV encoder, byte for byte.
+func TestSketchModeOffIsByteIdenticalCSV(t *testing.T) {
+	clock := simclock.NewSim(epoch)
+	fu := &fakeUploader{}
+	cfg := testConfig(&fakeFetcher{results: []fetchResult{{f: testFile("v1", 1)}}}, &fakeProber{}, clock)
+	cfg.Uploader = fu
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []probe.Record
+	for i := 0; i < 10; i++ {
+		r := probe.Record{Start: epoch.Add(time.Duration(i) * time.Second), Src: agentAddr, Dst: peerAddr,
+			RTT: time.Duration(300+i) * time.Microsecond}
+		recs = append(recs, r)
+		a.record(r)
+	}
+	a.flush(context.Background(), true)
+	if fu.batchCount() != 1 {
+		t.Fatalf("batchCount = %d", fu.batchCount())
+	}
+	want := probe.AppendBatch(nil, recs)
+	if string(fu.batches[0]) != string(want) {
+		t.Fatal("raw-CSV fallback not byte-identical to AppendBatch")
+	}
+}
+
+// TestGzipUploadThroughCosmos: a gzip-enabled sketch agent uploading through
+// the cosmos client stores inflated, scannable bytes — the wire is
+// compressed, the extents are not.
+func TestGzipUploadThroughCosmos(t *testing.T) {
+	clock := simclock.NewSim(epoch)
+	store, err := cosmos.NewStore(1, cosmos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &cosmos.Client{Store: store, Clock: clock, Stream: func(time.Time) string { return "pingmesh/gz" }}
+	cfg := sketchConfig(clock, cl)
+	cfg.GzipUploads = true
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		a.record(probe.Record{Start: epoch.Add(time.Duration(i) * time.Second), Src: agentAddr, Dst: peerAddr,
+			RTT: time.Duration(200+i) * time.Microsecond})
+	}
+	for i := 0; i < 50; i++ {
+		a.record(probe.Record{Start: epoch.Add(time.Duration(i) * time.Second), Src: agentAddr, Dst: peerAddr,
+			RTT: 21 * time.Second, Err: "connect: connection timed out"})
+	}
+	a.flush(context.Background(), true)
+
+	stored, err := store.Read("pingmesh/gz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stored) == 0 {
+		t.Fatal("nothing stored")
+	}
+	if stored[0] == 0x1f {
+		t.Fatal("store holds gzip bytes; client must inflate before Append")
+	}
+	recs, sks := scanUpload(t, stored)
+	if len(recs) != 50 || len(sks) != 1 {
+		t.Fatalf("stored batch decodes to %d records + %d sketches, want 50 + 1", len(recs), len(sks))
+	}
+	if got := sks[0].Records(); got != 100 {
+		t.Fatalf("sketch summarizes %d probes, want 100", got)
+	}
+	// The wire was actually compressed: upload_bytes counts post-gzip bytes,
+	// which must be smaller than the stored (inflated) batch.
+	wire := a.Metrics().Snapshot().Counters["agent.upload_bytes"]
+	if wire <= 0 || wire >= int64(len(stored)) {
+		t.Fatalf("upload_bytes = %d, want in (0, %d)", wire, len(stored))
+	}
+}
+
+// TestSketchFlushSteadyStateZeroAlloc: after warmup, a sketch-mode flush
+// reuses its pooled encode buffer and sketch scratch — the encode itself
+// must not allocate. (The upload side and map churn are exercised
+// elsewhere; this pins the pooled-buffer contract for the binary path.)
+func TestSketchFlushSteadyStateZeroAlloc(t *testing.T) {
+	clock := simclock.NewSim(epoch)
+	fu := &fakeUploader{}
+	a, err := New(sketchConfig(clock, fu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := func() {
+		base := clock.Now()
+		for i := 0; i < 64; i++ {
+			a.record(probe.Record{Start: base, Src: agentAddr, Dst: peerAddr,
+				RTT: time.Duration(200+i) * time.Microsecond})
+		}
+	}
+	// Warm: freelist histograms, pendingSketches scratch, encode buffer,
+	// and the fakeUploader's batches slice.
+	for i := 0; i < 3; i++ {
+		fill()
+		clock.Advance(10 * time.Minute)
+		a.flush(context.Background(), false)
+	}
+	fu.mu.Lock()
+	fu.batches = fu.batches[:0]
+	fu.mu.Unlock()
+	allocs := testing.AllocsPerRun(10, func() {
+		fill()
+		clock.Advance(10 * time.Minute)
+		a.flush(context.Background(), false)
+		fu.mu.Lock()
+		fu.batches = fu.batches[:0]
+		fu.mu.Unlock()
+	})
+	// The fakeUploader copies the batch (one alloc) and the sim clock's
+	// timer path may allocate; everything under the agent's control must
+	// not. Allow the copy, nothing more.
+	if allocs > 2 {
+		t.Fatalf("sketch flush allocated %.1f/op in steady state", allocs)
+	}
+}

@@ -74,6 +74,25 @@ func (s *LatencyStats) Add(r *probe.Record) {
 	}
 }
 
+// AddSketch folds a decoded per-peer latency sketch in: the wire bucket
+// counts land directly in the same histogram buckets Add's Observe would
+// have filled, so a sketch is indistinguishable from having added every
+// summarized record — no per-record replay, one pass over the non-empty
+// buckets.
+//
+// Sketch-covered probes are by contract successful and non-anomalous: the
+// agent ships failures, retransmit-signature RTTs, and over-threshold RTTs
+// as raw records (see internal/agent). AddSketch therefore counts all
+// summarized probes as successes and leaves the drop-signature tallies to
+// the raw records that carry them.
+func (s *LatencyStats) AddSketch(sk *probe.Sketch) {
+	n := sk.Records()
+	s.total += n
+	s.success += n
+	sk.RTT.AddTo(s.rtt)
+	sk.Payload.AddTo(s.payload)
+}
+
 // Clone returns a deep copy sharing no state with s: merging into the
 // clone leaves s untouched, so live partial aggregates can keep folding
 // while a cycle combines snapshots of them.

@@ -1,0 +1,51 @@
+package controller
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/textproto"
+	"testing"
+)
+
+// TestAIMCanonicalKeyPinned pins the literal map key aimValues indexes
+// with to the stdlib's canonical MIME form of "A-IM". If textproto's
+// canonicalization ever changed, headers set by real clients would land
+// under a different key and the literal would silently stop matching —
+// this test turns that into a loud failure.
+func TestAIMCanonicalKeyPinned(t *testing.T) {
+	if got := textproto.CanonicalMIMEHeaderKey("A-IM"); got != "A-Im" {
+		t.Fatalf("canonical form of A-IM is %q; update aimValues' literal key", got)
+	}
+	// End to end: a header set via the public API must be visible to
+	// aimValues regardless of the caller's capitalization.
+	for _, spelling := range []string{"A-IM", "a-im", "A-Im"} {
+		r := httptest.NewRequest(http.MethodGet, "/pinglist/x", nil)
+		r.Header.Set(spelling, DeltaIM)
+		if vs := aimValues(r); len(vs) != 1 || vs[0] != DeltaIM {
+			t.Fatalf("aimValues missed header set as %q: %v", spelling, vs)
+		}
+		if !wantsDelta(r) {
+			t.Fatalf("wantsDelta missed header set as %q", spelling)
+		}
+	}
+}
+
+// TestWantsDeltaZeroAlloc: the A-IM sniff runs on every pinglist request,
+// so it must not allocate — neither on the hit path (even with the token
+// buried in a quality list) nor on the miss path. Tier-3 guard.
+func TestWantsDeltaZeroAlloc(t *testing.T) {
+	hit := httptest.NewRequest(http.MethodGet, "/pinglist/x", nil)
+	hit.Header.Set("A-IM", "gzip, "+DeltaIM)
+	miss := httptest.NewRequest(http.MethodGet, "/pinglist/x", nil)
+	miss.Header.Set("A-IM", "vcdiff, gzip")
+	if n := testing.AllocsPerRun(200, func() {
+		if !wantsDelta(hit) {
+			t.Fatal("hit request not detected")
+		}
+		if wantsDelta(miss) {
+			t.Fatal("miss request detected")
+		}
+	}); n != 0 {
+		t.Errorf("wantsDelta allocates %v allocs/op, want 0", n)
+	}
+}

@@ -118,12 +118,23 @@ func (b *deltaBody) wire() int64 {
 	return int64(len(b.data))
 }
 
+// aimValues returns the request's A-IM header values without allocating.
+// net/http stores header keys in canonical MIME form, and for "A-IM" that
+// form is "A-Im" — textproto capitalizes only the first letter of each
+// hyphen-separated part, it does not know IM is an acronym. Indexing the
+// map with that literal key is what keeps this allocation-free: calling
+// r.Header.Get("A-IM") would canonicalize (allocate) the key on every
+// request. TestAIMCanonicalKeyPinned guards the literal against a stdlib
+// canonicalization change; TestWantsDeltaZeroAlloc guards the no-alloc
+// property itself.
+func aimValues(r *http.Request) []string {
+	return r.Header["A-Im"]
+}
+
 // wantsDelta reports whether the request advertises the pingmesh-delta
-// instance manipulation. Allocation-free A-IM list walk; the header map is
-// indexed with the canonical MIME key directly because Get("A-IM") would
-// allocate canonicalizing the key ("A-Im" is the stored form).
+// instance manipulation. Allocation-free A-IM list walk.
 func wantsDelta(r *http.Request) bool {
-	for _, v := range r.Header["A-Im"] {
+	for _, v := range aimValues(r) {
 		for rest := v; rest != ""; {
 			var part string
 			part, rest, _ = strings.Cut(rest, ",")

@@ -139,6 +139,69 @@ func TestDeleteStreamCompactsSealLog(t *testing.T) {
 	}
 }
 
+// TestVisitSealedCursorResumeAcrossCompaction: a cursor held across a
+// DeleteStream compaction must resume by skipping forward over the
+// compacted entries — no error, no replay of already-visited seals — even
+// when the exact seq the cursor points at was compacted away.
+func TestVisitSealedCursorResumeAcrossCompaction(t *testing.T) {
+	s := newSealStore(t)
+	payload := bytes.Repeat([]byte{'w'}, 64)
+	appendSeal := func(name string) {
+		t.Helper()
+		if err := s.Append(name, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Interleaved seals: keep/0 (seq 0), drop/0 (1), keep/1 (2).
+	appendSeal("keep")
+	appendSeal("drop")
+	appendSeal("keep")
+	var before []SealEvent
+	cur := s.VisitSealed(0, func(ev SealEvent) { before = append(before, ev) })
+	if len(before) != 3 {
+		t.Fatalf("visited %d seals before compaction, want 3", len(before))
+	}
+
+	// More seals land — drop/1 (seq 3), keep/2 (4), drop/2 (5) — then the
+	// drop stream ages out. The held cursor (3) now points exactly at a
+	// compacted seq, and compacted entries exist on both sides of it.
+	appendSeal("drop")
+	appendSeal("keep")
+	appendSeal("drop")
+	s.DeleteStream("drop")
+
+	var after []SealEvent
+	cur2 := s.VisitSealed(cur, func(ev SealEvent) { after = append(after, ev) })
+	if len(after) != 1 || after[0].Stream != "keep" || after[0].Index != 2 {
+		t.Fatalf("resumed visit = %+v, want exactly keep/2", after)
+	}
+	// The surviving event's extent is readable: the cursor never hands out
+	// a seal whose stream is gone.
+	if _, err := s.ReadExtent(after[0].Stream, after[0].Index); err != nil {
+		t.Fatal(err)
+	}
+	if cur2 <= cur {
+		t.Fatalf("cursor did not advance across compaction: %d -> %d", cur, cur2)
+	}
+
+	// Everything compacts away: a stale cursor pointing into the removed
+	// region skips to the live end and stays there, still without replaying.
+	s.DeleteStream("keep")
+	if got := s.VisitSealed(cur, func(ev SealEvent) { t.Fatalf("visited %+v after full compaction", ev) }); got != cur2 {
+		t.Fatalf("stale cursor resolved to %d, want live end %d", got, cur2)
+	}
+	if got := s.VisitSealed(cur2, func(ev SealEvent) { t.Fatalf("revisited %+v", ev) }); got != cur2 {
+		t.Fatalf("cursor moved without new seals: %d -> %d", cur2, got)
+	}
+	// New seals after the wipe keep seqs monotone and resume cleanly.
+	appendSeal("keep")
+	n := 0
+	if got := s.VisitSealed(cur2, func(SealEvent) { n++ }); n != 1 || got <= cur2 {
+		t.Fatalf("post-wipe visit = %d events, cursor %d -> %d", n, cur2, got)
+	}
+}
+
 // TestVisitSealedConcurrent races appends (sealing extents) against cursor
 // walks reading the sealed extents zero-copy: every sealed extent must be
 // visited exactly once across the cursor chain, and its bytes must be the

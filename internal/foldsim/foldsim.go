@@ -101,21 +101,21 @@ type ShardRun struct {
 
 // Report is the harness output, written to BENCH_PR7.json by the CLI.
 type Report struct {
-	GeneratedAt      string     `json:"generated_at,omitempty"`
-	Servers          int        `json:"servers"`
-	DCs              int        `json:"dcs"`
-	Records          int        `json:"records"`
-	Extents          int        `json:"extents"`
-	StoreBytes       int64      `json:"store_bytes"`
-	GenerateMS       float64    `json:"generate_ms"`
-	RescanCycleMS    float64    `json:"rescan_cycle_ms"`
-	RescanSLARows    int        `json:"rescan_sla_rows"`
-	FoldNsPerRecord  float64    `json:"fold_ns_per_record"`
-	BudgetMinutes    float64    `json:"budget_minutes"`
-	WithinBudget     bool       `json:"within_budget"`
-	MinCycleSpeedup  float64    `json:"min_cycle_speedup_vs_rescan"`
-	RowParityAcross  bool       `json:"sla_row_parity_across_configs"`
-	Runs             []ShardRun `json:"runs"`
+	GeneratedAt     string     `json:"generated_at,omitempty"`
+	Servers         int        `json:"servers"`
+	DCs             int        `json:"dcs"`
+	Records         int        `json:"records"`
+	Extents         int        `json:"extents"`
+	StoreBytes      int64      `json:"store_bytes"`
+	GenerateMS      float64    `json:"generate_ms"`
+	RescanCycleMS   float64    `json:"rescan_cycle_ms"`
+	RescanSLARows   int        `json:"rescan_sla_rows"`
+	FoldNsPerRecord float64    `json:"fold_ns_per_record"`
+	BudgetMinutes   float64    `json:"budget_minutes"`
+	WithinBudget    bool       `json:"within_budget"`
+	MinCycleSpeedup float64    `json:"min_cycle_speedup_vs_rescan"`
+	RowParityAcross bool       `json:"sla_row_parity_across_configs"`
+	Runs            []ShardRun `json:"runs"`
 }
 
 var simStart = time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)

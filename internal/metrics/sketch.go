@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Sketch view of Histogram.
+//
+// Every latency histogram in the system shares one exponent-table bucket
+// layout (1µs–120s, geometric growth LatencyBucketGrowth). That makes a
+// histogram a mergeable sketch in the DDSketch sense: two histograms merge
+// by exact integer bucket addition (Merge), and a histogram can be shipped
+// on the wire as its sparse (bucket index, count) pairs plus the exact
+// sum/min/max tallies, then folded into any other latency histogram with
+// AddBucket/AddTallies — no per-observation replay.
+//
+// Error-bound contract: a value placed in bucket i is somewhere in
+// [lo, hi) = LatencyBucketRange(i) with hi/lo <= LatencyBucketGrowth, so
+// any percentile read from bucket counts alone is within a factor of
+// LatencyBucketGrowth of the true value — a relative error of at most
+// LatencyBucketGrowth-1 (~5%), independent of how many sketches were
+// merged. Because agents and the analysis pipeline use the *same* bucket
+// layout, shipping bucket counts instead of raw records loses nothing the
+// analysis side would have kept: the folded histogram is bucket-for-bucket
+// identical to observing every raw value directly.
+
+// LatencyBucketGrowth is the geometric growth factor between consecutive
+// latency-histogram bucket bounds. The relative error of any percentile
+// estimated from bucket counts is at most LatencyBucketGrowth-1.
+const LatencyBucketGrowth = histGrowth
+
+// LatencyBucketCount returns the number of buckets in the shared latency
+// layout, including the final overflow bucket. All histograms from
+// NewLatencyHistogram have exactly this many counts.
+func LatencyBucketCount() int { return len(latencyBounds) + 1 }
+
+// LatencyBucketOf returns the bucket index a duration falls into under the
+// shared latency layout: the same bucket Observe would increment. Negative
+// durations clamp to 0, matching Observe.
+func LatencyBucketOf(d time.Duration) int {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	return latencyIndex.find(latencyBounds, ns)
+}
+
+// LatencyBucketRange returns the value range [lo, hi) covered by bucket i
+// of the shared latency layout. The overflow bucket's hi is the maximum
+// representable duration. It panics if i is out of range.
+func LatencyBucketRange(i int) (lo, hi time.Duration) {
+	switch {
+	case i < 0 || i > len(latencyBounds):
+		panic(fmt.Sprintf("metrics: bucket %d out of range [0,%d]", i, len(latencyBounds)))
+	case i == 0:
+		return 0, time.Duration(latencyBounds[0])
+	case i == len(latencyBounds):
+		return time.Duration(latencyBounds[len(latencyBounds)-1]), math.MaxInt64
+	default:
+		return time.Duration(latencyBounds[i-1]), time.Duration(latencyBounds[i])
+	}
+}
+
+// Bucket is one non-empty histogram bucket: its index in the shared layout
+// and its observation count.
+type Bucket struct {
+	Index int
+	Count uint64
+}
+
+// Buckets returns an iterator over h's non-empty buckets in ascending
+// index order. The iterator is a value type and allocates nothing; it
+// reads h's live counts, so h must not be modified during iteration.
+func (h *Histogram) Buckets() BucketIter {
+	return BucketIter{counts: h.counts}
+}
+
+// BucketIter iterates the non-empty buckets of a Histogram. The zero value
+// is an exhausted iterator.
+type BucketIter struct {
+	counts []uint64
+	i      int
+}
+
+// Next returns the next non-empty bucket, or ok=false when exhausted.
+func (it *BucketIter) Next() (b Bucket, ok bool) {
+	for it.i < len(it.counts) {
+		i := it.i
+		it.i++
+		if c := it.counts[i]; c != 0 {
+			return Bucket{Index: i, Count: c}, true
+		}
+	}
+	return Bucket{}, false
+}
+
+// AddBucket folds n observations directly into bucket i, the decode-side
+// inverse of Buckets. It updates the bucket count and the total count but
+// not sum/min/max — callers folding a wire sketch follow up with one
+// AddTallies carrying the exact tallies. It panics if i is outside h's
+// layout.
+func (h *Histogram) AddBucket(i int, n uint64) {
+	if i < 0 || i >= len(h.counts) {
+		panic(fmt.Sprintf("metrics: bucket %d out of range [0,%d)", i, len(h.counts)))
+	}
+	h.counts[i] += n
+	h.count += n
+}
+
+// AddTallies folds the exact sum/min/max tallies of a wire sketch into h,
+// completing a sequence of AddBucket calls. Call it only for a sketch with
+// at least one observation (min/max of an empty sketch are meaningless).
+func (h *Histogram) AddTallies(sum, min, max int64) {
+	h.sum += sum
+	if min < h.min {
+		h.min = min
+	}
+	if max > h.max {
+		h.max = max
+	}
+}

@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"math/rand"
 	"testing"
 )
 
@@ -51,6 +52,78 @@ func BenchmarkDecodeBatch(b *testing.B) {
 			b.Fatal("decode failed")
 		}
 	}
+}
+
+// benchBinaryBatch is a representative sketch-mode upload: a handful of
+// raw anomalies plus one window's per-peer sketches.
+func benchBinaryBatch() ([]Record, []PeerSketch) {
+	rng := rand.New(rand.NewSource(7))
+	recs := make([]Record, 16)
+	for i := range recs {
+		recs[i] = sampleRecord()
+		if i%3 == 0 {
+			recs[i].Err = "connect timeout"
+		}
+	}
+	sks := make([]PeerSketch, 64)
+	for i := range sks {
+		sks[i] = randomSketch(rng)
+	}
+	return recs, sks
+}
+
+// BenchmarkAppendBinaryBatch measures the agent-side sketch-mode encode:
+// the per-flush cost of shipping one window's sketches plus raw anomalies.
+// Must be zero allocations (TestSketchEncodeZeroAlloc pins it).
+func BenchmarkAppendBinaryBatch(b *testing.B) {
+	recs, sks := benchBinaryBatch()
+	buf := AppendBinaryBatch(nil, recs, sks)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendBinaryBatch(buf[:0], recs, sks)
+	}
+}
+
+// BenchmarkBinaryScan measures the ingest-side decode of a binary batch
+// through the format-sniffing scanner, sketches folded into a histogram the
+// way scope.FoldExtent folds them. MB/s is not comparable to
+// BenchmarkScanner directly — a binary batch carries ~50x the probes per
+// byte — so compare ns per summarized probe instead.
+func BenchmarkBinaryScan(b *testing.B) {
+	recs, sks := benchBinaryBatch()
+	data := AppendBinaryBatch(nil, recs, sks)
+	var probes uint64
+	for i := range sks {
+		probes += sks[i].RTT.Count()
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	var sc Scanner
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Reset(data)
+		nr, ns := 0, 0
+		for {
+			kind := sc.ScanEntry()
+			if kind == EntryEOF {
+				break
+			}
+			if sc.RowErr() != nil {
+				b.Fatal("row error")
+			}
+			if kind == EntrySketch {
+				ns++
+			} else {
+				nr++
+			}
+		}
+		if nr != len(recs) || ns != len(sks) {
+			b.Fatalf("scanned %d records + %d sketches", nr, ns)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(probes+uint64(len(recs))), "ns/probe")
 }
 
 // BenchmarkScanner measures the streaming ingest path the scope workers

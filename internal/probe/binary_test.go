@@ -1,0 +1,368 @@
+package probe
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"pingmesh/internal/metrics"
+)
+
+func randAddr(rng *rand.Rand) netip.Addr {
+	if rng.Intn(2) == 0 {
+		var b [4]byte
+		rng.Read(b[:])
+		return netip.AddrFrom4(b)
+	}
+	var b [16]byte
+	rng.Read(b[:])
+	return netip.AddrFrom16(b)
+}
+
+func randomSketch(rng *rand.Rand) PeerSketch {
+	h := metrics.NewLatencyHistogram()
+	n := rng.Intn(200) + 1
+	for i := 0; i < n; i++ {
+		h.Observe(time.Duration(rng.Int63n(int64(5 * time.Second))))
+	}
+	var ph *metrics.Histogram
+	if rng.Intn(2) == 0 {
+		ph = metrics.NewLatencyHistogram()
+		for i := 0; i < n; i++ {
+			ph.Observe(time.Duration(rng.Int63n(int64(time.Second))))
+		}
+	}
+	minStart := time.Unix(rng.Int63n(1<<33), rng.Int63n(1e9)).UTC()
+	return PeerSketch{
+		Src:        randAddr(rng),
+		Dst:        randAddr(rng),
+		DstPort:    uint16(rng.Intn(1 << 16)),
+		Class:      Class(rng.Intn(3)),
+		Proto:      Proto(rng.Intn(2)),
+		QoS:        QoS(rng.Intn(2)),
+		PayloadLen: rng.Intn(1 << 16),
+		MinStart:   minStart,
+		MaxStart:   minStart.Add(time.Duration(rng.Int63n(int64(10 * time.Minute)))),
+		RTT:        h,
+		Payload:    ph,
+	}
+}
+
+// scanAllEntries drives ScanEntry over data, returning parsed records,
+// sketch copies, and the number of row errors.
+func scanAllEntries(data []byte) (recs []Record, sks []Sketch, errs int) {
+	var sc Scanner
+	sc.Reset(data)
+	for {
+		switch sc.ScanEntry() {
+		case EntryEOF:
+			return recs, sks, errs
+		case EntryRecord:
+			if sc.RowErr() != nil {
+				errs++
+				continue
+			}
+			recs = append(recs, *sc.Record())
+		case EntrySketch:
+			sks = append(sks, *sc.Sketch())
+		}
+	}
+}
+
+// compareSketch checks a decoded sketch against the PeerSketch it encoded.
+func compareSketch(t *testing.T, got *Sketch, want *PeerSketch) {
+	t.Helper()
+	if got.Src != want.Src || got.Dst != want.Dst || got.DstPort != want.DstPort ||
+		got.Class != want.Class || got.Proto != want.Proto || got.QoS != want.QoS ||
+		got.PayloadLen != want.PayloadLen {
+		t.Fatalf("sketch identity diverged:\ngot  %+v\nwant %+v", got, want)
+	}
+	if !got.MinStart.Equal(want.MinStart) || !got.MaxStart.Equal(want.MaxStart) {
+		t.Fatalf("sketch time range diverged: got [%v,%v] want [%v,%v]",
+			got.MinStart, got.MaxStart, want.MinStart, want.MaxStart)
+	}
+	compareHist(t, "rtt", &got.RTT, want.RTT)
+	compareHist(t, "payload", &got.Payload, want.Payload)
+}
+
+func compareHist(t *testing.T, label string, got *SketchHist, want *metrics.Histogram) {
+	t.Helper()
+	if want == nil || want.Count() == 0 {
+		if got.Count != 0 {
+			t.Fatalf("%s: decoded %d observations from an empty histogram", label, got.Count)
+		}
+		return
+	}
+	if got.Count != want.Count() || got.Sum != int64(want.Sum()) ||
+		got.MinNS != int64(want.Min()) || got.MaxNS != int64(want.Max()) {
+		t.Fatalf("%s: tallies diverged: got n=%d sum=%d min=%d max=%d, want n=%d sum=%v min=%v max=%v",
+			label, got.Count, got.Sum, got.MinNS, got.MaxNS,
+			want.Count(), int64(want.Sum()), int64(want.Min()), int64(want.Max()))
+	}
+	gi, wi := got.Buckets(), want.Buckets()
+	for {
+		gb, gok := gi.Next()
+		wb, wok := wi.Next()
+		if gok != wok {
+			t.Fatalf("%s: bucket streams ended at different lengths", label)
+		}
+		if !gok {
+			return
+		}
+		if gb != wb {
+			t.Fatalf("%s: bucket diverged: got %+v want %+v", label, gb, wb)
+		}
+	}
+}
+
+func TestBinaryBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	recs := make([]Record, 50)
+	for i := range recs {
+		recs[i] = randomRecord(rng)
+	}
+	sks := make([]PeerSketch, 20)
+	for i := range sks {
+		sks[i] = randomSketch(rng)
+	}
+	data := AppendBinaryBatch(nil, recs, sks)
+
+	gotRecs, gotSks, errs := scanAllEntries(data)
+	if errs != 0 {
+		t.Fatalf("round trip produced %d row errors", errs)
+	}
+	if len(gotRecs) != len(recs) || len(gotSks) != len(sks) {
+		t.Fatalf("decoded %d records + %d sketches, want %d + %d",
+			len(gotRecs), len(gotSks), len(recs), len(sks))
+	}
+	for i := range recs {
+		if gotRecs[i] != recs[i] {
+			t.Fatalf("record %d diverged:\ngot  %+v\nwant %+v", i, gotRecs[i], recs[i])
+		}
+	}
+	for i := range sks {
+		compareSketch(t, &gotSks[i], &sks[i])
+	}
+}
+
+// An extent interleaving CSV documents and binary batches must yield all
+// entries of both, in order, through one Scanner pass — and Scan (the
+// records-only view) must see the records of both formats.
+func TestScannerMixedFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	csv1 := make([]Record, 10)
+	for i := range csv1 {
+		csv1[i] = randomRecord(rng)
+	}
+	binRecs := make([]Record, 5)
+	for i := range binRecs {
+		binRecs[i] = randomRecord(rng)
+	}
+	sks := []PeerSketch{randomSketch(rng), randomSketch(rng)}
+	csv2 := []Record{randomRecord(rng)}
+
+	var data []byte
+	data = AppendBatch(data, csv1)
+	data = AppendBinaryBatch(data, binRecs, sks)
+	data = AppendBinaryBatch(data, nil, sks[:1]) // records-free batch
+	data = AppendBatch(data, csv2)
+
+	wantRecs := append(append(append([]Record{}, csv1...), binRecs...), csv2...)
+	gotRecs, gotSks, errs := scanAllEntries(data)
+	if errs != 0 {
+		t.Fatalf("mixed extent produced %d row errors", errs)
+	}
+	if len(gotSks) != 3 {
+		t.Fatalf("decoded %d sketches, want 3", len(gotSks))
+	}
+	if len(gotRecs) != len(wantRecs) {
+		t.Fatalf("decoded %d records, want %d", len(gotRecs), len(wantRecs))
+	}
+	for i := range wantRecs {
+		if gotRecs[i] != wantRecs[i] {
+			t.Fatalf("record %d diverged:\ngot  %+v\nwant %+v", i, gotRecs[i], wantRecs[i])
+		}
+	}
+
+	// The records-only Scan view sees the same records.
+	var sc Scanner
+	sc.Reset(data)
+	var viaScan []Record
+	for sc.Scan() {
+		if sc.RowErr() != nil {
+			t.Fatalf("line %d: %v", sc.Line(), sc.RowErr())
+		}
+		viaScan = append(viaScan, *sc.Record())
+	}
+	if len(viaScan) != len(wantRecs) {
+		t.Fatalf("Scan saw %d records, want %d", len(viaScan), len(wantRecs))
+	}
+}
+
+// Corruption inside one batch payload must cost exactly that batch (one
+// row error) and resync at the next batch boundary.
+func TestBinaryBatchCorruptionResync(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	recs := []Record{randomRecord(rng), randomRecord(rng)}
+	good := AppendBinaryBatch(nil, recs, nil)
+
+	// A batch with a valid length prefix but garbage payload: the length
+	// is trusted, so exactly this batch is lost and scanning resumes at
+	// the next one. (There is deliberately no checksum — a bit flip that
+	// still decodes is indistinguishable from data; framing corruption is
+	// what the resync path must contain.)
+	bad := append([]byte(binaryMagic), 20)
+	for i := 0; i < 20; i++ {
+		bad = append(bad, 0xff)
+	}
+
+	data := append(append([]byte{}, bad...), good...)
+	gotRecs, _, errs := scanAllEntries(data)
+	if errs != 1 {
+		t.Fatalf("got %d row errors, want exactly 1 for the corrupt batch", errs)
+	}
+	if len(gotRecs) != len(recs) {
+		t.Fatalf("resync lost records from the good batch: got %d, want %d", len(gotRecs), len(recs))
+	}
+	for i := range recs {
+		if gotRecs[i] != recs[i] {
+			t.Fatalf("good-batch record %d diverged after resync", i)
+		}
+	}
+
+	// A batch whose header (length prefix) is corrupt has no resync point:
+	// the rest of the input is one row error.
+	headerBad := append([]byte(binaryMagic), 0xff) // truncated uvarint
+	headerBad = append(headerBad, good...)
+	gotRecs, _, errs = scanAllEntries(headerBad)
+	if errs != 1 || len(gotRecs) != 0 {
+		t.Fatalf("bad header: got %d records %d errors, want 0 records 1 error", len(gotRecs), errs)
+	}
+}
+
+// A CSV line that merely starts with the magic is a binary batch attempt
+// now (documented acceptance change): still exactly one row error, and
+// surrounding batches still decode when the length prefix happens to be
+// invalid early.
+func TestMagicPrefixedCSVLineIsRowError(t *testing.T) {
+	data := []byte("PMB1,this,used,to,be,a,corrupt,csv,row\n")
+	recs, sks, errs := scanAllEntries(data)
+	if len(recs) != 0 || len(sks) != 0 || errs != 1 {
+		t.Fatalf("got %d recs %d sketches %d errors, want 0/0/1", len(recs), len(sks), errs)
+	}
+}
+
+// TestSketchEncodeZeroAlloc: the agent's flush path encodes whole batches
+// (records + sketches) into a reused buffer; steady state must be
+// allocation-free. Tier-3 guard.
+func TestSketchEncodeZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	recs := make([]Record, 32)
+	for i := range recs {
+		recs[i] = randomRecord(rng)
+	}
+	sks := make([]PeerSketch, 16)
+	for i := range sks {
+		sks[i] = randomSketch(rng)
+	}
+	buf := AppendBinaryBatch(nil, recs, sks) // size the buffer once
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendBinaryBatch(buf[:0], recs, sks)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendBinaryBatch allocated %.1f/op, want 0", allocs)
+	}
+}
+
+// TestBinaryScanZeroAlloc: the analysis-side decode of a binary batch must
+// be allocation-free per entry once the error intern table is warm.
+// Tier-3 guard.
+func TestBinaryScanZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	recs := make([]Record, 64)
+	for i := range recs {
+		recs[i] = randomRecord(rng)
+	}
+	sks := make([]PeerSketch, 16)
+	for i := range sks {
+		sks[i] = randomSketch(rng)
+	}
+	data := AppendBinaryBatch(nil, recs, sks)
+
+	agg := metrics.NewLatencyHistogram()
+	var sc Scanner
+	sc.Reset(data) // warm the intern table
+	for sc.Scan() {
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		sc.Reset(data)
+		for {
+			k := sc.ScanEntry()
+			if k == EntryEOF {
+				break
+			}
+			if k == EntrySketch {
+				sc.Sketch().RTT.AddTo(agg)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("binary scan allocated %.1f/op, want 0", allocs)
+	}
+}
+
+// FuzzBinaryCodecRoundTrip fuzzes the binary path from both ends: (1) the
+// Scanner must survive arbitrary bytes — no panics, guaranteed
+// termination, bounded entries; (2) a batch generated from the fuzz input
+// as a seed must round-trip exactly.
+func FuzzBinaryCodecRoundTrip(f *testing.F) {
+	rng := rand.New(rand.NewSource(12))
+	f.Add(AppendBinaryBatch(nil, []Record{randomRecord(rng)}, []PeerSketch{randomSketch(rng)}))
+	f.Add(AppendBinaryBatch(nil, nil, nil))
+	f.Add([]byte(binaryMagic))
+	f.Add([]byte(binaryMagic + "\x02\x00\x00garbage"))
+	f.Add([]byte("csv,line\n" + binaryMagic + "\x05\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sc Scanner
+		sc.Reset(data)
+		for entries := 0; ; entries++ {
+			if k := sc.ScanEntry(); k == EntryEOF {
+				break
+			}
+			if entries > 2*len(data)+16 {
+				t.Fatalf("scanner yielded more entries than the input can hold")
+			}
+		}
+
+		var seed int64 = int64(len(data))
+		for _, b := range data {
+			seed = seed*131 + int64(b)
+		}
+		g := rand.New(rand.NewSource(seed))
+		recs := make([]Record, g.Intn(8))
+		for i := range recs {
+			recs[i] = randomRecord(g)
+		}
+		sks := make([]PeerSketch, g.Intn(4))
+		for i := range sks {
+			sks[i] = randomSketch(g)
+		}
+		enc := AppendBinaryBatch(nil, recs, sks)
+		gotRecs, gotSks, errs := scanAllEntries(enc)
+		if errs != 0 {
+			t.Fatalf("round trip produced %d row errors", errs)
+		}
+		if len(gotRecs) != len(recs) || len(gotSks) != len(sks) {
+			t.Fatalf("decoded %d+%d entries, want %d+%d", len(gotRecs), len(gotSks), len(recs), len(sks))
+		}
+		for i := range recs {
+			if gotRecs[i] != recs[i] {
+				t.Fatalf("record %d diverged", i)
+			}
+		}
+		for i := range sks {
+			compareSketch(t, &gotSks[i], &sks[i])
+		}
+	})
+}

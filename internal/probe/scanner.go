@@ -39,6 +39,11 @@ import (
 // Set HeaderOnlyAtStart for standalone documents where only the first line
 // may be a header.
 //
+// Binary batches: extents may interleave CSV documents with "PMB1" binary
+// batches (see binary.go). Scan yields only records, silently skipping
+// sketch entries, so existing record-only consumers work unchanged on
+// mixed input; sketch-aware consumers drive ScanEntry instead.
+//
 // The zero value is ready to use after Reset. A Scanner is not safe for
 // concurrent use.
 type Scanner struct {
@@ -55,8 +60,28 @@ type Scanner struct {
 	HeaderOnlyAtStart bool
 	sawLine           bool // a non-empty line has been consumed
 
+	// Binary batch in progress (see binary.go).
+	binPhase  int8 // binNone / binRecords / binSketches
+	binRemain int  // entries left in the current phase
+	binEnd    int  // offset one past the current batch payload
+	sk        Sketch
+
 	errIntern map[string]string
 }
+
+// EntryKind says what the last ScanEntry yielded.
+type EntryKind int8
+
+// Entry kinds.
+const (
+	EntryEOF    EntryKind = iota // input exhausted
+	EntryRecord                  // a record (or a corrupt row — check RowErr)
+	EntrySketch                  // a per-peer latency sketch
+)
+
+// entryAgain is an internal sentinel: the state machine consumed input
+// (batch framing, blank line, header) without yielding an entry.
+const entryAgain EntryKind = -1
 
 // maxInternedErrs bounds the error-string intern table so adversarial
 // input (every row failing with a unique message) cannot grow memory
@@ -81,13 +106,54 @@ func (s *Scanner) Reset(data []byte) {
 	s.line = 0
 	s.rowErr = nil
 	s.sawLine = false
+	s.binPhase = binNone
+	s.binRemain = 0
+	s.binEnd = 0
 }
 
-// Scan advances to the next data row. It returns false when the input is
-// exhausted. After Scan returns true, exactly one of RowErr (corrupt row)
-// or Record (parsed row) is meaningful.
+// Scan advances to the next data row, CSV or binary, skipping sketch
+// entries. It returns false when the input is exhausted. After Scan
+// returns true, exactly one of RowErr (corrupt row) or Record (parsed row)
+// is meaningful. On pure CSV input Scan behaves exactly as it did before
+// the binary format existed.
 func (s *Scanner) Scan() bool {
-	for s.off < len(s.data) {
+	for {
+		switch s.ScanEntry() {
+		case EntryEOF:
+			return false
+		case EntryRecord:
+			return true
+		}
+		// EntrySketch: Scan is the records-only view.
+	}
+}
+
+// ScanEntry advances to the next entry — a record (EntryRecord; check
+// RowErr before Record) or a per-peer sketch (EntrySketch; read it with
+// Sketch) — returning EntryEOF when the input is exhausted. The "PMB1"
+// magic is only recognized at top level (offset 0 or immediately after a
+// newline), never inside a CSV line or a binary payload.
+func (s *Scanner) ScanEntry() EntryKind {
+	for {
+		if s.binPhase != binNone {
+			if k := s.scanBinary(); k != entryAgain {
+				return k
+			}
+			continue
+		}
+		if s.off >= len(s.data) {
+			return EntryEOF
+		}
+		if hasBinaryMagic(s.data[s.off:]) {
+			// A binary batch counts as one physical "line" for Line()
+			// purposes — its entries carry no line structure.
+			s.line++
+			s.sawLine = true
+			if k := s.startBinaryBatch(); k != entryAgain {
+				return k
+			}
+			continue
+		}
 		start := s.off
 		var line []byte
 		if i := bytes.IndexByte(s.data[s.off:], '\n'); i >= 0 {
@@ -112,10 +178,14 @@ func (s *Scanner) Scan() bool {
 			continue
 		}
 		s.rowErr = s.parseLine(line)
-		return true
+		return EntryRecord
 	}
-	return false
 }
+
+// Sketch returns the sketch parsed by the last ScanEntry that returned
+// EntrySketch. It is owned by the Scanner and overwritten by the next
+// ScanEntry; its histograms alias the input buffer.
+func (s *Scanner) Sketch() *Sketch { return &s.sk }
 
 // Record returns the row parsed by the last Scan. It is only valid when
 // RowErr is nil, and only until the next Scan or Reset; see the aliasing

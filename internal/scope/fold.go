@@ -83,6 +83,26 @@ func (p *Partial) observe(kb []byte, r *probe.Record) {
 	}
 }
 
+// observeSketch folds one per-peer sketch into the partial: summarized
+// probe counts land straight in the group's histogram buckets (no
+// per-record replay), and the freshness marks advance by the sketch's
+// exact time range.
+func (p *Partial) observeSketch(kb []byte, sk *probe.Sketch) {
+	st := p.Groups[string(kb)]
+	if st == nil {
+		st = analysis.NewLatencyStats()
+		p.Groups[string(kb)] = st
+	}
+	st.AddSketch(sk)
+	p.Records += sk.Records()
+	if p.MinStart.IsZero() || sk.MinStart.Before(p.MinStart) {
+		p.MinStart = sk.MinStart
+	}
+	if sk.MaxStart.After(p.MaxStart) {
+		p.MaxStart = sk.MaxStart
+	}
+}
+
 // specState is one spec's fold state: per-window partials plus a one-entry
 // cache of the window the last record landed in (records arrive in rough
 // time order, so the cache turns the per-record map lookup into a compare).
@@ -119,6 +139,7 @@ type Folder struct {
 
 	sc     probe.Scanner
 	keyBuf []byte
+	rep    probe.Record // representative record for the current sketch
 	traces []trace.TraceID
 }
 
@@ -162,17 +183,36 @@ func (f *Folder) Aligned(from, to time.Time) (int64, bool) {
 // partials. data is only read during the call (the cosmos zero-copy
 // aliasing contract); nothing the folder retains aliases it. The
 // steady-state loop allocates nothing per record (TestFoldExtentZeroAlloc).
+//
+// Binary extents fold their sketches straight into the partials' histogram
+// buckets: filters and keyers see a representative record (identity fields
+// plus Start = MinStart), and the whole sketch lands in MinStart's window
+// — sound because the agent cuts sketches on the analysis window grid, so
+// a sketch never straddles a window boundary.
 func (f *Folder) FoldExtent(data []byte, at time.Time) {
 	f.sc.Reset(data)
-	for f.sc.Scan() {
+	for {
+		kind := f.sc.ScanEntry()
+		if kind == probe.EntryEOF {
+			break
+		}
 		if f.sc.RowErr() != nil {
 			f.parseErrors++
 			continue
 		}
-		r := f.sc.Record()
-		f.scanned++
-		if f.Tracer != nil && f.Tracer.HasActiveProbes() {
-			f.matchTrace(r)
+		var r *probe.Record
+		var sk *probe.Sketch
+		if kind == probe.EntrySketch {
+			sk = f.sc.Sketch()
+			sk.FillRecord(&f.rep)
+			r = &f.rep
+			f.scanned += sk.Records()
+		} else {
+			r = f.sc.Record()
+			f.scanned++
+			if f.Tracer != nil && f.Tracer.HasActiveProbes() {
+				f.matchTrace(r)
+			}
 		}
 		idx := f.windowIndex(r.Start)
 		for _, ss := range f.specs {
@@ -192,7 +232,11 @@ func (f *Folder) FoldExtent(data []byte, at time.Time) {
 				}
 				ss.curIdx, ss.cur = idx, p
 			}
-			ss.cur.observe(kb, r)
+			if sk != nil {
+				ss.cur.observeSketch(kb, sk)
+			} else {
+				ss.cur.observe(kb, r)
+			}
 		}
 	}
 	f.extents++

@@ -55,10 +55,15 @@ type Job struct {
 type Result struct {
 	// Groups holds one aggregate per group key.
 	Groups map[string]*analysis.LatencyStats
-	// Records is how many records were aggregated (after filtering).
+	// Records is how many records were aggregated (after filtering),
+	// counting each sketch as the number of probes it summarizes.
 	Records uint64
-	// Scanned is how many records were decoded.
+	// Scanned is how many records were decoded, counting sketches by
+	// their summarized probe count so the tally matches what a raw-record
+	// upload of the same probes would have scanned.
 	Scanned uint64
+	// Sketches is how many per-peer sketch entries were aggregated.
+	Sketches uint64
 	// ParseErrors counts undecodable rows (skipped, not fatal — corrupt
 	// rows must not kill a fleet-wide job).
 	ParseErrors uint64
@@ -169,6 +174,7 @@ func (e *Engine) runTasks(job Job, tasks []task) (*Result, error) {
 		r := results[w]
 		out.Records += r.Records
 		out.Scanned += r.Scanned
+		out.Sketches += r.Sketches
 		out.ParseErrors += r.ParseErrors
 		for _, tid := range r.Traces {
 			out.addTrace(tid)
@@ -233,6 +239,7 @@ type extentSink struct {
 	tracer *trace.Tracer // nil when tracing is disabled
 	sc     probe.Scanner
 	keyBuf []byte
+	rep    probe.Record // representative record for the current sketch
 }
 
 // matchTrace is the cold half of the ingest trace hook: a sampled probe is
@@ -249,22 +256,43 @@ func (s *extentSink) matchTrace(r *probe.Record) {
 // process folds one extent into the sink's result. data is only read
 // during the call (the store's zero-copy aliasing contract); nothing the
 // sink retains aliases it.
+//
+// Sketch entries are evaluated through a representative record carrying
+// the identity fields every summarized probe shares and Start = MinStart.
+// That is sound because (a) job filters and keyers only read identity
+// fields for grouping, and (b) the agent cuts sketches on the analysis
+// window grid, so MinStart's window membership is whole-sketch membership.
+// Sketches carry no per-record identity, so trace re-attachment is
+// record-only — the agent ships traced probes raw for exactly this reason.
 func (s *extentSink) process(data []byte) {
 	job, res := s.job, s.res
 	s.sc.Reset(data)
-	for s.sc.Scan() {
+	for {
+		kind := s.sc.ScanEntry()
+		if kind == probe.EntryEOF {
+			break
+		}
 		if s.sc.RowErr() != nil {
 			res.ParseErrors++
 			continue
 		}
-		r := s.sc.Record()
-		res.Scanned++
-		// Trace re-attachment happens before the job's window/Where
-		// filters: the record was ingested whether or not this particular
-		// job aggregates it. Cost with no trace in flight: one nil check
-		// and one atomic load.
-		if s.tracer != nil && s.tracer.HasActiveProbes() {
-			s.matchTrace(r)
+		var r *probe.Record
+		var sk *probe.Sketch
+		if kind == probe.EntrySketch {
+			sk = s.sc.Sketch()
+			sk.FillRecord(&s.rep)
+			r = &s.rep
+			res.Scanned += sk.Records()
+		} else {
+			r = s.sc.Record()
+			res.Scanned++
+			// Trace re-attachment happens before the job's window/Where
+			// filters: the record was ingested whether or not this particular
+			// job aggregates it. Cost with no trace in flight: one nil check
+			// and one atomic load.
+			if s.tracer != nil && s.tracer.HasActiveProbes() {
+				s.matchTrace(r)
+			}
 		}
 		if !job.From.IsZero() && r.Start.Before(job.From) {
 			continue
@@ -305,7 +333,13 @@ func (s *extentSink) process(data []byte) {
 				res.Groups[key] = st
 			}
 		}
-		st.Add(r)
-		res.Records++
+		if sk != nil {
+			st.AddSketch(sk)
+			res.Records += sk.Records()
+			res.Sketches++
+		} else {
+			st.Add(r)
+			res.Records++
+		}
 	}
 }

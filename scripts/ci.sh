@@ -29,9 +29,14 @@
 #                                      sweep at reduced scale: fold drain,
 #                                      steal phase, SLA row parity with the
 #                                      full re-scan)
+#   3d. upload-harness smoke          (the sketch-upload differential at
+#                                      reduced scale: byte reduction,
+#                                      percentile parity, SLA row parity
+#                                      through the sharded fold)
 #   4. short fuzz pass over the pinglist wire format, the delta codec
-#      (patch(old, diff) == new, byte-identical), and the streaming
-#      record decoder (optional, FUZZ=1)
+#      (patch(old, diff) == new, byte-identical), the streaming record
+#      decoder, the binary sketch codec, and the sketch-vs-exact
+#      aggregation equivalence (optional, FUZZ=1)
 #
 # Usage: scripts/ci.sh [package...]   # default: ./...
 set -eu
@@ -64,12 +69,19 @@ go run ./cmd/pingmesh-foldsim -servers 20000 -records-per-server 4 \
     -extent-size 65536 -shards 1,2 -q \
     -out "${TMPDIR:-/tmp}/pingmesh_fold_smoke.json"
 
+echo "== tier 3d: upload-harness smoke (reduced scale)"
+go run ./cmd/pingmesh-uploadsim -servers 2000 -peers 4 -probes-per-peer 30 \
+    -extent-size 262144 -q \
+    -out "${TMPDIR:-/tmp}/pingmesh_upload_smoke.json"
+
 if [ "${FUZZ:-0}" = "1" ]; then
     echo "== tier 4: fuzz wire formats (30s each)"
     go test ./internal/pinglist -fuzz FuzzUnmarshal -fuzztime 30s
     go test ./internal/pinglist -fuzz FuzzMarshalRoundTrip -fuzztime 30s
     go test ./internal/pinglist -fuzz FuzzDeltaPatchVsFull -fuzztime 30s
     go test ./internal/probe -fuzz FuzzScannerVsDecodeBatch -fuzztime 30s
+    go test ./internal/probe -fuzz FuzzBinaryCodecRoundTrip -fuzztime 30s
+    go test ./internal/analysis -fuzz FuzzSketchMergeVsExact -fuzztime 30s
 fi
 
 echo "== ci ok"
