@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race ci fuzz bench bench-ingest bench-fleet bench-portal bench-trace bench-controlplane bench-analysis bench-upload churn foldsim uploadsim clean
+.PHONY: all build test race ci fuzz bench bench-ingest bench-fleet bench-portal bench-trace bench-controlplane bench-analysis bench-upload bench-diagnosis churn foldsim uploadsim diagnose clean
 
 all: build test
 
@@ -74,6 +74,18 @@ bench-upload:
 	$(GO) test -run '^$$' -bench 'BenchmarkAppendBinaryBatch|BenchmarkBinaryScan|BenchmarkAppendBatch' \
 		-benchmem ./internal/probe
 	$(MAKE) uploadsim
+
+# Diagnosis hot paths: vote ingest per probe record (must be zero-alloc
+# once warm), the greedy explain-away ranking, the per-TTL loss sweep, and
+# the full per-pair evidence chain.
+bench-diagnosis:
+	$(GO) test -run '^$$' -bench 'BenchmarkVoteIngest|BenchmarkRankGreedy|BenchmarkDiagnoseSweep|BenchmarkDiagnoseChain' \
+		-benchmem ./internal/diagnosis
+
+# Root-cause localization experiment: injects a spine silent drop plus a
+# ToR black-hole and requires the diagnosis subsystem to locate both.
+diagnose:
+	$(GO) run ./cmd/pingmesh-diagnose -check
 
 # Million-agent churn harness: delta vs full-body serving through a
 # rolling topology update with replica failover. Writes BENCH_PR6.json.

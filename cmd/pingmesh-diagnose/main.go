@@ -1,0 +1,221 @@
+// Command pingmesh-diagnose runs a root-cause localization experiment on a
+// simulated deployment: it injects two simultaneous faults — a silent
+// random drop on a spine and a TCAM black-hole on a ToR — replays a window
+// of fleet probing, and then asks the diagnosis subsystem to find them
+// twice over:
+//
+//   - fleet-wide: the vote-based ranking over every probe's path must
+//     surface both faulty switches at the top, and
+//   - per-pair: the /diagnose assertion chain for an affected server pair
+//     must pin the true hop via its TTL sweep.
+//
+// With -check the command exits non-zero unless both faults land in the
+// ranking's top two AND each chain pins the right switch — the CI smoke
+// and the EXPERIMENTS.md accuracy row both run it this way.
+//
+// Usage:
+//
+//	pingmesh-diagnose [-minutes 12] [-seed 1] [-json] [-check]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"pingmesh"
+	"pingmesh/internal/diagnosis"
+	"pingmesh/internal/netsim"
+	"pingmesh/internal/topology"
+)
+
+type report struct {
+	Seed      uint64             `json:"seed"`
+	Minutes   int                `json:"minutes"`
+	Injected  []string           `json:"injected"`
+	Observed  uint64             `json:"observed"`
+	Failures  uint64             `json:"failures"`
+	Ranking   []rankedSwitch     `json:"ranking"`
+	Chains    []*diagnosis.Chain `json:"chains"`
+	TopTwoHit bool               `json:"top_two_hit"`
+	ChainsHit bool               `json:"chains_hit"`
+}
+
+type rankedSwitch struct {
+	Switch   string  `json:"switch"`
+	Score    float64 `json:"score"`
+	Votes    float64 `json:"votes"`
+	Coverage float64 `json:"coverage"`
+}
+
+func main() {
+	var (
+		minutes   = flag.Int("minutes", 12, "simulated minutes of fleet probing")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		spineDrop = flag.Float64("spine-drop", 0.05, "silent random drop rate injected on the spine")
+		bhFrac    = flag.Float64("bh-fraction", 0.6, "header-space fraction the ToR black-hole covers")
+		topN      = flag.Int("top", 8, "ranking entries to print")
+		asJSON    = flag.Bool("json", false, "emit the report as JSON")
+		check     = flag.Bool("check", false, "exit non-zero unless both faults are located")
+	)
+	flag.Parse()
+
+	spec := pingmesh.TopologySpec{DCs: []pingmesh.DCSpec{
+		{Name: "DC1", Podsets: 3, PodsPerPodset: 4, ServersPerPod: 4, LeavesPerPodset: 3, Spines: 6},
+	}}
+	tb, err := pingmesh.NewSimTestbed(spec, pingmesh.SimOptions{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fault 1: silent random drop on a spine — hits cross-podset traffic
+	// fleet-wide, but only the fraction of flows ECMP sends through it.
+	spine := tb.Top.DCs[0].Spines[0]
+	tb.Net.SetRandomDrop(spine, *spineDrop, true)
+	// Fault 2: an address-pattern (type 1) black-hole on a ToR in another
+	// podset — deterministic 100% drop for the matched pairs.
+	tor := tb.Top.ToRs(0)[2]
+	tb.Net.AddBlackhole(tor, netsim.Blackhole{MatchFraction: *bhFrac})
+
+	spineName := tb.Top.Switch(spine).Name
+	torName := tb.Top.Switch(tor).Name
+	rep := report{
+		Seed: *seed, Minutes: *minutes,
+		Injected: []string{
+			fmt.Sprintf("%s: silent random drop %.3f", spineName, *spineDrop),
+			fmt.Sprintf("%s: black-hole fraction %.2f", torName, *bhFrac),
+		},
+	}
+
+	if err := tb.RunWindow(time.Duration(*minutes) * time.Minute); err != nil {
+		log.Fatal(err)
+	}
+
+	ranking := tb.Diag.Snapshot(*topN)
+	rep.Observed, rep.Failures = ranking.Observed, ranking.Failures
+	for _, c := range ranking.Candidates {
+		rep.Ranking = append(rep.Ranking, rankedSwitch{
+			Switch: tb.Top.Switch(c.Switch).Name,
+			Score:  c.Score, Votes: c.Votes, Coverage: c.Coverage,
+		})
+	}
+	rep.TopTwoHit = inTop(rep.Ranking, spineName, 2) && inTop(rep.Ranking, torName, 2)
+
+	// Per-pair chains: a cross-podset pair for the spine (its path crosses
+	// the spine layer), and a same-podset pair ending under the black-holed
+	// ToR (its path never leaves the podset, so the chain must blame the
+	// ToR, not the also-faulty spine). The black-hole matches only a
+	// fraction of pairs, so scan the ToR's servers for a matched one.
+	engine := tb.NewDiagnosisEngine()
+	spineChain := engine.Diagnose(crossPodsetPair(tb.Top))
+	rep.Chains = append(rep.Chains, spineChain)
+	torChain := blackholeChain(tb.Top, engine, tor, torName)
+	rep.Chains = append(rep.Chains, torChain)
+	rep.ChainsHit = spineChain.PinnedHop == spineName &&
+		torChain != nil && torChain.PinnedHop == torName
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&rep); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		printReport(&rep)
+	}
+	if *check && !(rep.TopTwoHit && rep.ChainsHit) {
+		fmt.Fprintln(os.Stderr, "check failed: injected faults not located")
+		os.Exit(1)
+	}
+}
+
+// crossPodsetPair returns (src, dst, nil evidence) for a pair whose path
+// crosses the spine layer: first server of podset 0 to first server of
+// podset 1.
+func crossPodsetPair(top *topology.Topology) (topology.ServerID, topology.ServerID, diagnosis.EvidenceSource) {
+	src := top.DCs[0].Podsets[0].Pods[0].Servers[0]
+	dst := top.DCs[0].Podsets[1].Pods[0].Servers[0]
+	return src, dst, nil
+}
+
+// blackholeChain diagnoses same-podset pairs ending under the black-holed
+// ToR until one chain pins it (the black-hole only matches a fraction of
+// the address space), returning the last chain otherwise.
+func blackholeChain(top *topology.Topology, engine *pingmesh.DiagnosisEngine, tor topology.SwitchID, torName string) *diagnosis.Chain {
+	var victim *topology.Pod
+	ps := -1
+	for psi := range top.DCs[0].Podsets {
+		for pi := range top.DCs[0].Podsets[psi].Pods {
+			if top.DCs[0].Podsets[psi].Pods[pi].ToR == tor {
+				victim = &top.DCs[0].Podsets[psi].Pods[pi]
+				ps = psi
+			}
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	srcPod := &top.DCs[0].Podsets[ps].Pods[0]
+	if srcPod.ToR == tor {
+		srcPod = &top.DCs[0].Podsets[ps].Pods[1]
+	}
+	var last *diagnosis.Chain
+	for _, src := range srcPod.Servers {
+		for _, dst := range victim.Servers {
+			last = engine.Diagnose(src, dst, nil)
+			if last.PinnedHop == torName {
+				return last
+			}
+		}
+	}
+	return last
+}
+
+func inTop(ranking []rankedSwitch, name string, n int) bool {
+	for i, c := range ranking {
+		if i >= n {
+			break
+		}
+		if c.Switch == name {
+			return true
+		}
+	}
+	return false
+}
+
+func printReport(rep *report) {
+	fmt.Println("-- injected --")
+	for _, s := range rep.Injected {
+		fmt.Println(s)
+	}
+	fmt.Printf("\n-- probes --\nobserved=%d failures=%d\n", rep.Observed, rep.Failures)
+	fmt.Println("\n-- vote ranking --")
+	if len(rep.Ranking) == 0 {
+		fmt.Println("(no failures: empty ranking)")
+	}
+	for i, c := range rep.Ranking {
+		fmt.Printf("%2d. %-16s score=%.4f votes=%.1f coverage=%.0f\n",
+			i+1, c.Switch, c.Score, c.Votes, c.Coverage)
+	}
+	fmt.Println("\n-- evidence chains --")
+	for _, ch := range rep.Chains {
+		if ch == nil {
+			continue
+		}
+		fmt.Printf("%s -> %s: verdict=%s pinned=%s\n", ch.Src, ch.Dst, ch.Verdict, orDash(ch.PinnedHop))
+		for _, st := range ch.Steps {
+			fmt.Printf("    [%-4s] %-14s %s\n", st.Verdict, st.Assertion, st.Detail)
+		}
+	}
+	fmt.Printf("\ntop-two ranking hit: %v\nchains pinned both:  %v\n", rep.TopTwoHit, rep.ChainsHit)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

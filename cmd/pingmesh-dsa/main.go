@@ -28,6 +28,7 @@ import (
 	"pingmesh/internal/blackhole"
 	"pingmesh/internal/cosmos"
 	"pingmesh/internal/debugsrv"
+	"pingmesh/internal/diagnosis"
 	"pingmesh/internal/dsa"
 	"pingmesh/internal/probe"
 	"pingmesh/internal/simclock"
@@ -43,6 +44,7 @@ func main() {
 		foldBudget = flag.Int("fold-budget", 32, "extents folded per shard per background pass in -shards mode")
 		extentSize = flag.Int("extent-size", 256<<10, "in-process store extent size in -shards mode")
 		debugAddr  = flag.String("debug-addr", "", "serve pprof on this address while the analysis runs (empty = off)")
+		diagnose   = flag.Bool("diagnose", false, "rank root-cause suspect switches from failed probes (requires -topology)")
 	)
 	flag.Parse()
 	if *debugAddr != "" {
@@ -71,6 +73,26 @@ func main() {
 		recs = append(recs, got...)
 	}
 	fmt.Printf("loaded %d records\n", len(recs))
+
+	if *diagnose {
+		if *topoPath == "" {
+			log.Fatal("-diagnose requires -topology")
+		}
+		// No path resolver for CSV uploads: the collector attributes votes
+		// over topology candidate stage sets.
+		top := loadTopology(*topoPath)
+		col := diagnosis.NewCollector(diagnosis.CollectorConfig{Top: top})
+		col.ObserveBatch(recs)
+		r := col.Snapshot(16)
+		fmt.Printf("diagnosis: observed=%d failures=%d\n", r.Observed, r.Failures)
+		if len(r.Candidates) == 0 {
+			fmt.Println("diagnosis: no failures, empty ranking")
+		}
+		for i, c := range r.Candidates {
+			fmt.Printf("%2d. %-20s score=%.4f votes=%.1f coverage=%.1f\n",
+				i+1, top.Switch(c.Switch).Name, c.Score, c.Votes, c.Coverage)
+		}
+	}
 
 	th := analysis.Thresholds{MaxDropRate: *maxDrop, MaxP99: *maxP99, MinProbes: 100}
 	if *shards > 0 {

@@ -17,6 +17,7 @@ import (
 
 	"pingmesh/internal/analysis"
 	"pingmesh/internal/autopilot"
+	"pingmesh/internal/diagnosis"
 	"pingmesh/internal/topology"
 )
 
@@ -146,6 +147,11 @@ func Detect(top *topology.Topology, pairs map[string]*analysis.LatencyStats, cfg
 	torsOf := map[psKey][]topology.SwitchID{}
 	candidateSet := map[topology.SwitchID]bool{}
 
+	// Shared 007-style scorer: each pod's victim count is vote mass and
+	// its server count the traversal coverage, so a ToR's normalized score
+	// stays victims/servers — the §5.1 formula — while the tally and
+	// ranking mechanics live in internal/diagnosis.
+	vt := diagnosis.NewVoteTable(top.NumSwitches())
 	for di := range top.DCs {
 		for psi := range top.DCs[di].Podsets {
 			ps := &top.DCs[di].Podsets[psi]
@@ -157,7 +163,8 @@ func Detect(top *topology.Topology, pairs map[string]*analysis.LatencyStats, cfg
 						nVictims++
 					}
 				}
-				score := float64(nVictims) / float64(len(pod.Servers))
+				vt.AddVotes(pod.ToR, float64(nVictims), float64(len(pod.Servers)))
+				score := vt.Score(pod.ToR)
 				det.Scores[pod.ToR] = score
 				torsOf[psKey{di, psi}] = append(torsOf[psKey{di, psi}], pod.ToR)
 				if score >= c.ScoreThreshold {
@@ -169,6 +176,7 @@ func Detect(top *topology.Topology, pairs map[string]*analysis.LatencyStats, cfg
 
 	// Podset rule: if only part of a podset's ToRs show the symptom,
 	// reload them; if all do, escalate the podset (§5.1).
+	var ranked []diagnosis.Candidate
 	for key, tors := range torsOf {
 		flagged := 0
 		for _, tor := range tors {
@@ -185,16 +193,19 @@ func Detect(top *topology.Topology, pairs map[string]*analysis.LatencyStats, cfg
 		}
 		for _, tor := range tors {
 			if candidateSet[tor] {
-				det.Candidates = append(det.Candidates, Candidate{ToR: tor, Score: det.Scores[tor]})
+				ranked = append(ranked, diagnosis.Candidate{
+					Switch: tor, Score: det.Scores[tor],
+					Votes: vt.Votes(tor),
+				})
 			}
 		}
 	}
-	sort.Slice(det.Candidates, func(i, j int) bool {
-		if det.Candidates[i].Score != det.Candidates[j].Score {
-			return det.Candidates[i].Score > det.Candidates[j].Score
-		}
-		return det.Candidates[i].ToR < det.Candidates[j].ToR
-	})
+	// §5.1 candidate order: highest score first, device identity breaking
+	// ties — the shared scorer's SortByScore policy.
+	diagnosis.SortByScore(ranked)
+	for _, rc := range ranked {
+		det.Candidates = append(det.Candidates, Candidate{ToR: rc.Switch, Score: rc.Score})
+	}
 	sort.Slice(det.Escalations, func(i, j int) bool {
 		if det.Escalations[i].DC != det.Escalations[j].DC {
 			return det.Escalations[i].DC < det.Escalations[j].DC

@@ -1,0 +1,182 @@
+package diagnosis
+
+import (
+	"sync"
+
+	"pingmesh/internal/metrics"
+	"pingmesh/internal/probe"
+	"pingmesh/internal/topology"
+)
+
+// PathResolver recovers the exact hop sequence of a five-tuple.
+// netsim.Network implements it; deployments without a fabric model leave
+// it nil and the collector falls back to topology candidate stage sets.
+type PathResolver interface {
+	AppendPath(dst []topology.SwitchID, src, dstID topology.ServerID, sport, dport uint16) ([]topology.SwitchID, bool)
+}
+
+// CollectorConfig wires a Collector.
+type CollectorConfig struct {
+	Top *topology.Topology
+	// Paths, when set, supplies exact per-five-tuple hop sequences
+	// (including link tallies). Nil means candidate stage sets from the
+	// topology alone.
+	Paths PathResolver
+	// Registry receives diagnosis.* counters; nil creates a private one.
+	Registry *metrics.Registry
+}
+
+// Collector ingests probe records into a VoteTable. Safe for concurrent
+// use; the ingest path is allocation-free once warm.
+type Collector struct {
+	top   *topology.Topology
+	paths PathResolver
+	reg   *metrics.Registry
+
+	cObserved *metrics.Counter // probes ingested
+	cVotes    *metrics.Counter // failed probes that cast votes
+	cSkipped  *metrics.Counter // records with unknown endpoints
+	cRanked   *metrics.Counter // ranking snapshots produced
+
+	mu      sync.Mutex
+	vt      *VoteTable
+	pathBuf []topology.SwitchID
+	ps      PathSet
+}
+
+// NewCollector builds a collector for a fleet.
+func NewCollector(cfg CollectorConfig) *Collector {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	c := &Collector{
+		top:       cfg.Top,
+		paths:     cfg.Paths,
+		reg:       reg,
+		cObserved: reg.Counter("diagnosis.probes_observed"),
+		cVotes:    reg.Counter("diagnosis.votes_cast"),
+		cSkipped:  reg.Counter("diagnosis.records_skipped"),
+		cRanked:   reg.Counter("diagnosis.episodes_ranked"),
+		vt:        NewVoteTable(cfg.Top.NumSwitches()),
+		pathBuf:   make([]topology.SwitchID, 0, 8),
+	}
+	return c
+}
+
+// Metrics returns the registry holding the diagnosis.* counters.
+func (c *Collector) Metrics() *metrics.Registry { return c.reg }
+
+// Top returns the topology the collector resolves endpoints against.
+func (c *Collector) Top() *topology.Topology { return c.top }
+
+// Observe ingests one probe record: the hot failed-probe path. Records
+// whose endpoints are not in the topology (VIPs, stale entries) are
+// counted and skipped.
+func (c *Collector) Observe(r *probe.Record) {
+	src, okS := c.top.ServerByAddr(r.Src)
+	dst, okD := c.top.ServerByAddr(r.Dst)
+	if !okS || !okD {
+		c.cSkipped.Inc()
+		return
+	}
+	failed := !r.Success()
+	c.mu.Lock()
+	if c.paths != nil {
+		if hops, ok := c.paths.AppendPath(c.pathBuf[:0], src, dst, r.SrcPort, r.DstPort); ok {
+			c.vt.ObservePath(hops, failed)
+			c.pathBuf = hops[:0]
+		} else {
+			c.mu.Unlock()
+			c.cSkipped.Inc()
+			return
+		}
+	} else {
+		if !CandidateHops(&c.ps, c.top, src, dst) {
+			c.mu.Unlock()
+			c.cSkipped.Inc()
+			return
+		}
+		c.vt.ObserveStages(&c.ps, failed)
+	}
+	c.mu.Unlock()
+	c.cObserved.Inc()
+	if failed {
+		c.cVotes.Inc()
+	}
+}
+
+// ObserveBatch ingests a record batch (the agent upload sink).
+func (c *Collector) ObserveBatch(recs []probe.Record) {
+	for i := range recs {
+		c.Observe(&recs[i])
+	}
+}
+
+// ObservePath ingests one probe with an externally recovered hop sequence
+// (a real traceroute, or a test fixture) instead of a record.
+func (c *Collector) ObservePath(hops []topology.SwitchID, failed bool) {
+	c.mu.Lock()
+	c.vt.ObservePath(hops, failed)
+	c.mu.Unlock()
+	c.cObserved.Inc()
+	if failed {
+		c.cVotes.Inc()
+	}
+}
+
+// Score returns a switch's current normalized vote score.
+func (c *Collector) Score(sw topology.SwitchID) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vt.Score(sw)
+}
+
+// Ranked returns the current explain-away ranking (worst first, detached).
+func (c *Collector) Ranked() []Candidate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vt.AppendRankGreedy(nil)
+}
+
+// Reset clears the vote state (window rotation).
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.vt.Reset()
+	c.mu.Unlock()
+}
+
+// Ranking is one immutable ranked root-cause snapshot.
+type Ranking struct {
+	// Observed and Failures count the ingested probes behind the ranking.
+	Observed uint64 `json:"observed"`
+	Failures uint64 `json:"failures"`
+	// Candidates are suspect switches, worst first.
+	Candidates []Candidate `json:"candidates"`
+	// Links are suspect directed links, worst first (exact-path mode only).
+	Links []LinkCandidate `json:"links,omitempty"`
+}
+
+// Snapshot ranks the current episode with greedy explain-away (see
+// VoteTable.AppendRankGreedy). limit > 0 caps both lists. The result is
+// detached from the collector and safe to publish.
+func (c *Collector) Snapshot(limit int) *Ranking {
+	c.mu.Lock()
+	r := &Ranking{
+		Observed:   c.vt.Observed(),
+		Failures:   c.vt.Failures(),
+		Candidates: c.vt.AppendRankGreedy(nil),
+		Links:      c.vt.AppendRankLinks(nil),
+	}
+	c.mu.Unlock()
+	if limit > 0 {
+		if len(r.Candidates) > limit {
+			r.Candidates = r.Candidates[:limit]
+		}
+		if len(r.Links) > limit {
+			r.Links = r.Links[:limit]
+		}
+	}
+	c.cRanked.Inc()
+	return r
+}

@@ -1,0 +1,515 @@
+package diagnosis
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+
+	"pingmesh/internal/metrics"
+	"pingmesh/internal/netsim"
+	"pingmesh/internal/probe"
+	"pingmesh/internal/simclock"
+	"pingmesh/internal/topology"
+)
+
+// Chain verdicts (shared vocabulary with the portal's §4.3 triage).
+const (
+	VerdictNetwork      = "network"
+	VerdictNotNetwork   = "not-network"
+	VerdictInconclusive = "inconclusive"
+)
+
+// Step verdicts: pass means the assertion holds (that layer is healthy),
+// fail means it implicates the network, skip means the evidence is
+// unavailable.
+const (
+	StepPass = "pass"
+	StepFail = "fail"
+	StepSkip = "skip"
+)
+
+// Assertion names, in chain order.
+const (
+	AssertPairSLA    = "pair-sla"
+	AssertCell       = "heatmap-cell"
+	AssertHopVotes   = "hop-votes"
+	AssertTracePin   = "traceroute-pin"
+	AssertRepairBudg = "repair-budget"
+)
+
+// Step is one assertion's outcome with its supporting evidence.
+type Step struct {
+	Assertion string `json:"assertion"`
+	Verdict   string `json:"verdict"`
+	Detail    string `json:"detail"`
+	// Hop names the implicated switch, when the assertion localizes one.
+	Hop string `json:"hop,omitempty"`
+	// Score carries the assertion's headline number: vote score for
+	// hop-votes, estimated per-traversal loss for traceroute-pin.
+	Score float64 `json:"score,omitempty"`
+}
+
+// Chain is the full evidence chain for one (src, dst) diagnosis query.
+type Chain struct {
+	Src string `json:"src"`
+	Dst string `json:"dst"`
+	// Path is the modeled hop sequence of a representative five-tuple
+	// (empty when no path source is wired).
+	Path    []string `json:"path"`
+	Steps   []Step   `json:"steps"`
+	Verdict string   `json:"verdict"`
+	// PinnedHop names the located faulty switch when any assertion pinned
+	// one (traceroute pin wins over vote score).
+	PinnedHop string `json:"pinned_hop,omitempty"`
+}
+
+// SLAFacts is the pair-scope SLA evidence the first assertion judges.
+type SLAFacts struct {
+	Scope    string
+	Probes   int64
+	P99      time.Duration
+	DropRate float64
+	// Violated reports whether the scope breaches the deployment's
+	// thresholds (with MinProbes suppression already applied).
+	Violated bool
+}
+
+// CellFacts is the pod-pair heatmap evidence the second assertion judges.
+type CellFacts struct {
+	Probes uint64
+	P99    time.Duration
+	// Color is the cell classification ("green"/"yellow"/"red").
+	Color string
+	// Judgeable reports whether the cell clears the MinProbes floor.
+	Judgeable bool
+}
+
+// EvidenceSource supplies the read-side evidence for the first two
+// assertions. The portal's immutable snapshot implements it; a nil source
+// skips both steps.
+type EvidenceSource interface {
+	// PairSLA returns the SLA facts of the pair's scope (DC or inter-DC).
+	PairSLA(src, dst topology.ServerID) (SLAFacts, bool)
+	// PairCell returns the pair's pod-pair heatmap cell facts.
+	PairCell(src, dst topology.ServerID) (CellFacts, bool)
+}
+
+// Engine walks a (src, dst) pair's modeled path through the ordered
+// assertion list and emits an evidence Chain. Every dependency is
+// optional: a missing one turns its assertion into a skip, so the engine
+// degrades from full fabric-model diagnosis (sim) down to SLA-only
+// summaries (real deployments without a prober).
+type Engine struct {
+	Top *topology.Topology
+	// Votes supplies per-hop vote scores (assertion 3).
+	Votes *Collector
+	// Paths models exact per-tuple paths; also guides the pin step toward
+	// tuples that cross the top vote suspect.
+	Paths PathResolver
+	// Tracer issues the TTL sweeps of the pin step (assertion 4).
+	Tracer TraceProber
+	// Budget reports the repair budget (remaining, per-day) for
+	// assertion 5; nil skips it.
+	Budget func() (remaining, perDay int)
+
+	// ProbesPerHop is the pin sweep's per-TTL probe count (default 200).
+	ProbesPerHop int
+	// PinThreshold is the per-hop loss estimate that pins a hop (default
+	// 0.02 — about 2.5 binomial standard deviations of a per-hop estimate
+	// at the default probe budget, so sampling noise rarely clears it even
+	// before the confirmation sweep).
+	PinThreshold float64
+	// SuspectScore is the normalized vote score that makes a path hop a
+	// suspect (default 0.01 — an order of magnitude above what the
+	// baseline ~1e-4 drop rate can produce on a 6-hop path).
+	SuspectScore float64
+	// PortTries is how many source ports the pin step samples when
+	// looking for a five-tuple that reproduces the loss (default 8).
+	PortTries int
+	// Seed makes pin sweeps reproducible.
+	Seed uint64
+	// Clock times chains for the latency histogram (default wall clock).
+	Clock simclock.Clock
+	// Registry receives diagnosis.chain.* metrics; nil creates one.
+	Registry *metrics.Registry
+
+	once    sync.Once
+	reg     *metrics.Registry
+	cChains *metrics.Counter
+	cPins   *metrics.Counter
+	hDur    *metrics.LockedHistogram
+}
+
+// defaults resolves zero-value knobs and metric handles once; chains can
+// then run concurrently (the portal serves /diagnose from many goroutines).
+func (e *Engine) defaults() {
+	e.once.Do(e.applyDefaults)
+}
+
+func (e *Engine) applyDefaults() {
+	if e.ProbesPerHop <= 0 {
+		e.ProbesPerHop = 200
+	}
+	if e.PinThreshold <= 0 {
+		e.PinThreshold = 0.02
+	}
+	if e.SuspectScore <= 0 {
+		e.SuspectScore = 0.01
+	}
+	if e.PortTries <= 0 {
+		e.PortTries = 8
+	}
+	if e.Clock == nil {
+		e.Clock = simclock.NewReal()
+	}
+	if e.Registry == nil {
+		e.Registry = metrics.NewRegistry()
+	}
+	e.reg = e.Registry
+	e.cChains = e.reg.Counter("diagnosis.chains")
+	e.cPins = e.reg.Counter("diagnosis.chain_pins")
+	e.hDur = e.reg.Histogram("diagnosis.chain.duration")
+}
+
+// Metrics returns the registry holding the diagnosis.chain.* metrics.
+func (e *Engine) Metrics() *metrics.Registry {
+	e.defaults()
+	return e.reg
+}
+
+// enginePorts synthesizes the deterministic five-tuples the pin step
+// sweeps: distinct source ports against the traceroute destination port.
+const (
+	engineBaseSrcPort = 33434
+	engineDstPort     = 8765
+)
+
+// Diagnose runs the assertion chain for one server pair. ev supplies the
+// snapshot evidence for the first two steps (nil skips them).
+func (e *Engine) Diagnose(src, dst topology.ServerID, ev EvidenceSource) *Chain {
+	e.defaults()
+	start := e.Clock.Now()
+	ch := &Chain{
+		Src:     e.Top.Server(src).Name,
+		Dst:     e.Top.Server(dst).Name,
+		Verdict: VerdictInconclusive,
+	}
+
+	// The modeled path of a representative five-tuple, for operators to
+	// read the chain against.
+	if e.Paths != nil {
+		if hops, ok := e.Paths.AppendPath(nil, src, dst, engineBaseSrcPort, engineDstPort); ok {
+			for _, sw := range hops {
+				ch.Path = append(ch.Path, e.Top.Switch(sw).Name)
+			}
+		}
+	}
+
+	slaFail := e.assertPairSLA(ch, src, dst, ev)
+	cellFail := e.assertCell(ch, src, dst, ev)
+	voteHop, _, votesFail := e.assertHopVotes(ch, src, dst)
+	pinHop, _, pinFail := e.assertTracePin(ch, src, dst, voteHop)
+	e.assertRepairBudget(ch)
+
+	switch {
+	case pinFail:
+		ch.Verdict = VerdictNetwork
+		ch.PinnedHop = e.Top.Switch(pinHop).Name
+		e.cPins.Inc()
+	case votesFail:
+		ch.Verdict = VerdictNetwork
+		ch.PinnedHop = e.Top.Switch(voteHop).Name
+		e.cPins.Inc()
+	case slaFail || cellFail:
+		ch.Verdict = VerdictNetwork
+	case stepPassed(ch, AssertPairSLA) || stepPassed(ch, AssertCell):
+		ch.Verdict = VerdictNotNetwork
+	}
+
+	e.cChains.Inc()
+	e.hDur.Observe(e.Clock.Now().Sub(start))
+	return ch
+}
+
+func stepPassed(ch *Chain, assertion string) bool {
+	for _, s := range ch.Steps {
+		if s.Assertion == assertion {
+			return s.Verdict == StepPass
+		}
+	}
+	return false
+}
+
+func (e *Engine) assertPairSLA(ch *Chain, src, dst topology.ServerID, ev EvidenceSource) (fail bool) {
+	if ev == nil {
+		ch.Steps = append(ch.Steps, Step{Assertion: AssertPairSLA, Verdict: StepSkip, Detail: "no snapshot evidence wired"})
+		return false
+	}
+	f, ok := ev.PairSLA(src, dst)
+	if !ok {
+		ch.Steps = append(ch.Steps, Step{Assertion: AssertPairSLA, Verdict: StepSkip, Detail: "no SLA entry for the pair's scope"})
+		return false
+	}
+	st := Step{Assertion: AssertPairSLA, Verdict: StepPass,
+		Detail: fmt.Sprintf("scope %s healthy: p99=%v drop=%.2g over %d probes", f.Scope, f.P99, f.DropRate, f.Probes)}
+	if f.Violated {
+		st.Verdict = StepFail
+		st.Detail = fmt.Sprintf("scope %s violates SLA: p99=%v drop=%.2g over %d probes", f.Scope, f.P99, f.DropRate, f.Probes)
+	}
+	ch.Steps = append(ch.Steps, st)
+	return f.Violated
+}
+
+func (e *Engine) assertCell(ch *Chain, src, dst topology.ServerID, ev EvidenceSource) (fail bool) {
+	if ev == nil {
+		ch.Steps = append(ch.Steps, Step{Assertion: AssertCell, Verdict: StepSkip, Detail: "no snapshot evidence wired"})
+		return false
+	}
+	f, ok := ev.PairCell(src, dst)
+	if !ok {
+		ch.Steps = append(ch.Steps, Step{Assertion: AssertCell, Verdict: StepSkip, Detail: "pod pair has no heatmap cell in the latest window"})
+		return false
+	}
+	if !f.Judgeable {
+		ch.Steps = append(ch.Steps, Step{Assertion: AssertCell, Verdict: StepSkip,
+			Detail: fmt.Sprintf("pod-pair cell has only %d probes: below the floor, not judgeable", f.Probes)})
+		return false
+	}
+	st := Step{Assertion: AssertCell, Verdict: StepPass,
+		Detail: fmt.Sprintf("pod-pair cell %s: p99=%v over %d probes", f.Color, f.P99, f.Probes)}
+	if f.Color == "red" {
+		st.Verdict = StepFail
+		st.Detail = fmt.Sprintf("pod-pair cell red: p99=%v over %d probes", f.P99, f.Probes)
+	}
+	ch.Steps = append(ch.Steps, st)
+	return st.Verdict == StepFail
+}
+
+// maxVoteHop returns the pair's most-implicated candidate hop: the first
+// switch of the fleet-wide explain-away ranking that lies on one of the
+// pair's candidate stages. Selection uses explained (residual) vote mass —
+// a loud fault elsewhere cannot nominate an innocent shared hop — while
+// the returned score is the hop's raw vote score, the evidence magnitude
+// the threshold judges. hop is -1 when no ranked switch touches the pair;
+// ok is false when no vote collector is wired or the endpoints are
+// unknown.
+func (e *Engine) maxVoteHop(src, dst topology.ServerID) (hop topology.SwitchID, score float64, ok bool) {
+	if e.Votes == nil {
+		return -1, 0, false
+	}
+	var ps PathSet
+	if !CandidateHops(&ps, e.Top, src, dst) {
+		return -1, 0, false
+	}
+	for _, cand := range e.Votes.Ranked() {
+		for s := 0; s < ps.Stages(); s++ {
+			for _, sw := range ps.Stage(s) {
+				if sw == cand.Switch {
+					return sw, e.Votes.Score(sw), true
+				}
+			}
+		}
+	}
+	return -1, 0, true
+}
+
+// TopSuspect returns the name and score of the pair's highest-scoring
+// candidate hop when it clears SuspectScore — the cheap, votes-only
+// summary /triage attaches without running a full chain.
+func (e *Engine) TopSuspect(src, dst topology.ServerID) (string, float64, bool) {
+	e.defaults()
+	best, score, ok := e.maxVoteHop(src, dst)
+	if !ok || score < e.SuspectScore {
+		return "", 0, false
+	}
+	return e.Top.Switch(best).Name, score, true
+}
+
+// assertHopVotes checks every candidate hop of the pair against the vote
+// table.
+func (e *Engine) assertHopVotes(ch *Chain, src, dst topology.ServerID) (hop topology.SwitchID, score float64, fail bool) {
+	if e.Votes == nil {
+		ch.Steps = append(ch.Steps, Step{Assertion: AssertHopVotes, Verdict: StepSkip, Detail: "no vote collector wired"})
+		return -1, 0, false
+	}
+	best, bestScore, ok := e.maxVoteHop(src, dst)
+	if !ok {
+		ch.Steps = append(ch.Steps, Step{Assertion: AssertHopVotes, Verdict: StepSkip, Detail: "pair endpoints unknown to the topology"})
+		return -1, 0, false
+	}
+	if best >= 0 && bestScore >= e.SuspectScore {
+		ch.Steps = append(ch.Steps, Step{Assertion: AssertHopVotes, Verdict: StepFail, Hop: e.Top.Switch(best).Name, Score: bestScore,
+			Detail: fmt.Sprintf("%s holds vote score %.4f (threshold %.4f) across the pair's candidate hops", e.Top.Switch(best).Name, bestScore, e.SuspectScore)})
+		return best, bestScore, true
+	}
+	ch.Steps = append(ch.Steps, Step{Assertion: AssertHopVotes, Verdict: StepPass, Score: bestScore,
+		Detail: fmt.Sprintf("no candidate hop above vote score %.4f (max %.4f)", e.SuspectScore, bestScore)})
+	return best, bestScore, false
+}
+
+// pinTally aggregates one switch's loss estimates across the sweep's
+// tuples, keeping the tuple where it looked worst as the confirmation
+// exemplar.
+type pinTally struct {
+	sum  float64
+	n    int
+	port uint16 // exemplar tuple's source port
+	kHop int    // exemplar tuple's TTL index for this switch
+	peak float64
+}
+
+// assertTracePin sweeps TTL-limited probes over a handful of five-tuples
+// and pins the hop where per-hop loss concentrates. When the vote step
+// produced a suspect, tuples whose modeled path crosses it are tried
+// first — the vote table guides the traceroute, which then confirms or
+// clears the suspicion independently.
+//
+// A single per-tuple estimate at ProbesPerHop samples has binomial noise
+// of the same order as a real silent drop, and taking the max over
+// tuples × hops selects exactly that noise. So estimates are averaged per
+// switch across tuples first, and the leading suspects must then survive
+// a fresh confirmation sweep at 5× the probe budget before pinning —
+// noise does not repeat, real loss does.
+func (e *Engine) assertTracePin(ch *Chain, src, dst topology.ServerID, suspect topology.SwitchID) (hop topology.SwitchID, loss float64, fail bool) {
+	if e.Tracer == nil {
+		ch.Steps = append(ch.Steps, Step{Assertion: AssertTracePin, Verdict: StepSkip, Detail: "no trace prober wired"})
+		return -1, 0, false
+	}
+	rng := rand.New(rand.NewPCG(e.Seed^0xd1a9, uint64(src)<<32|uint64(uint32(dst))))
+	ports := e.pinPorts(src, dst, suspect)
+
+	tallies := map[topology.SwitchID]*pinTally{}
+	for _, sport := range ports {
+		spec := netsim.ProbeSpec{Src: src, Dst: dst, SrcPort: sport, DstPort: engineDstPort, Proto: probe.TCP}
+		hops := e.tupleHops(spec, rng)
+		if len(hops) == 0 {
+			continue
+		}
+		est := EstimateHopLoss(e.Tracer, spec, len(hops), e.ProbesPerHop, rng)
+		for k, p := range est {
+			t := tallies[hops[k]]
+			if t == nil {
+				t = &pinTally{port: sport, kHop: k, peak: p}
+				tallies[hops[k]] = t
+			}
+			t.sum += p
+			t.n++
+			if p > t.peak {
+				t.port, t.kHop, t.peak = sport, k, p
+			}
+		}
+	}
+
+	// Leading suspects by mean estimate, deterministically ordered.
+	suspects := make([]topology.SwitchID, 0, len(tallies))
+	for sw, t := range tallies {
+		if t.sum/float64(t.n) >= e.PinThreshold {
+			suspects = append(suspects, sw)
+		}
+	}
+	sort.Slice(suspects, func(i, j int) bool {
+		a, b := tallies[suspects[i]], tallies[suspects[j]]
+		ma, mb := a.sum/float64(a.n), b.sum/float64(b.n)
+		if ma != mb {
+			return ma > mb
+		}
+		return suspects[i] < suspects[j]
+	})
+	if len(suspects) > 3 {
+		suspects = suspects[:3]
+	}
+	for _, sw := range suspects {
+		t := tallies[sw]
+		spec := netsim.ProbeSpec{Src: src, Dst: dst, SrcPort: t.port, DstPort: engineDstPort, Proto: probe.TCP}
+		est := EstimateHopLoss(e.Tracer, spec, t.kHop+1, 5*e.ProbesPerHop, rng)
+		if got := est[t.kHop]; got >= e.PinThreshold {
+			ch.Steps = append(ch.Steps, Step{Assertion: AssertTracePin, Verdict: StepFail, Hop: e.Top.Switch(sw).Name, Score: got,
+				Detail: fmt.Sprintf("TTL sweep pins %s: per-traversal loss %.4f confirmed at 5x probes (threshold %.4f)",
+					e.Top.Switch(sw).Name, got, e.PinThreshold)})
+			return sw, got, true
+		}
+	}
+	ch.Steps = append(ch.Steps, Step{Assertion: AssertTracePin, Verdict: StepPass,
+		Detail: fmt.Sprintf("TTL sweep over %d tuples found no hop sustaining %.4f loss", len(ports), e.PinThreshold)})
+	return -1, 0, false
+}
+
+// pinPorts picks the source ports the pin step sweeps. With a path model
+// wired it scans a wide port window and keeps tuples for ECMP coverage —
+// every candidate hop of the pair should appear in at least one swept
+// tuple, or a fault on an ECMP member none of the tuples crosses is
+// unobservable — plus up to three tuples crossing the vote suspect so its
+// per-hop mean averages over more samples. Without a model it falls back
+// to PortTries sequential ports.
+func (e *Engine) pinPorts(src, dst topology.ServerID, suspect topology.SwitchID) []uint16 {
+	ports := make([]uint16, 0, 2*e.PortTries)
+	if e.Paths != nil {
+		const suspectQuota = 3
+		covered := map[topology.SwitchID]bool{}
+		suspectTuples := 0
+		var buf []topology.SwitchID
+		for i := 0; i < 8*e.PortTries && len(ports) < 2*e.PortTries; i++ {
+			sport := uint16(engineBaseSrcPort + i)
+			hops, ok := e.Paths.AppendPath(buf[:0], src, dst, sport, engineDstPort)
+			buf = hops
+			if !ok {
+				continue
+			}
+			fresh, hitSuspect := false, false
+			for _, sw := range hops {
+				if !covered[sw] {
+					fresh = true
+				}
+				if sw == suspect {
+					hitSuspect = true
+				}
+			}
+			if !fresh && !(hitSuspect && suspectTuples < suspectQuota) {
+				continue
+			}
+			for _, sw := range hops {
+				covered[sw] = true
+			}
+			if hitSuspect {
+				suspectTuples++
+			}
+			ports = append(ports, sport)
+		}
+	}
+	for i := 0; len(ports) < e.PortTries; i++ {
+		ports = append(ports, uint16(engineBaseSrcPort+i))
+	}
+	return ports
+}
+
+// tupleHops resolves one five-tuple's hop sequence: the fabric model when
+// wired, a TTL-sweep path recovery otherwise.
+func (e *Engine) tupleHops(spec netsim.ProbeSpec, rng *rand.Rand) []topology.SwitchID {
+	if e.Paths != nil {
+		if h, ok := e.Paths.AppendPath(nil, spec.Src, spec.Dst, spec.SrcPort, spec.DstPort); ok {
+			return h
+		}
+	}
+	return TracePath(e.Tracer, spec, 8, 3, rng)
+}
+
+func (e *Engine) assertRepairBudget(ch *Chain) {
+	if e.Budget == nil {
+		ch.Steps = append(ch.Steps, Step{Assertion: AssertRepairBudg, Verdict: StepSkip, Detail: "no repair service wired"})
+		return
+	}
+	remaining, perDay := e.Budget()
+	if perDay <= 0 {
+		ch.Steps = append(ch.Steps, Step{Assertion: AssertRepairBudg, Verdict: StepSkip, Detail: "no repair service wired"})
+		return
+	}
+	if remaining > 0 {
+		ch.Steps = append(ch.Steps, Step{Assertion: AssertRepairBudg, Verdict: StepPass,
+			Detail: fmt.Sprintf("repair budget available: %d of %d actions left today", remaining, perDay)})
+		return
+	}
+	ch.Steps = append(ch.Steps, Step{Assertion: AssertRepairBudg, Verdict: StepFail,
+		Detail: fmt.Sprintf("repair budget exhausted (%d/day): mitigation waits for the next day or an engineer", perDay)})
+}

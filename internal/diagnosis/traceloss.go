@@ -1,0 +1,110 @@
+package diagnosis
+
+import (
+	"math/rand/v2"
+
+	"pingmesh/internal/netsim"
+	"pingmesh/internal/topology"
+)
+
+// TraceProber issues TTL-limited trace probes (§5.2). netsim.Network
+// implements it; a real deployment would wrap a TCP traceroute prober.
+type TraceProber interface {
+	TraceProbe(spec netsim.ProbeSpec, ttl int, rng *rand.Rand) netsim.TraceResult
+}
+
+// SweepTraceLoss walks TTL 1..hops, sending probesPerHop trace probes per
+// TTL, and calls visit with each TTL's observed round-trip loss fraction.
+// visit returning false stops the sweep early — the silent-drop localizer
+// stops at the first blamed hop, and stopping inside the sweep keeps its
+// rng draw sequence identical to the pre-refactor loop.
+func SweepTraceLoss(tr TraceProber, spec netsim.ProbeSpec, hops, probesPerHop int, rng *rand.Rand, visit func(ttl int, loss float64) bool) {
+	for ttl := 1; ttl <= hops; ttl++ {
+		lost := 0
+		for i := 0; i < probesPerHop; i++ {
+			if !tr.TraceProbe(spec, ttl, rng).OK {
+				lost++
+			}
+		}
+		if !visit(ttl, float64(lost)/float64(probesPerHop)) {
+			return
+		}
+	}
+}
+
+// EstimateHopLoss converts a full TTL sweep into per-hop per-traversal
+// loss estimates (est[k-1] is hop k's estimate).
+//
+// The naive estimator — successive differences of the round-trip loss
+// series — is biased by return-path drops: a TTL-k answer crosses hops
+// 1..k-1 twice (probe out, answer back) but the answering hop only once,
+// so a lossy hop j adds its loss to every later TTL a second time and the
+// difference re-attributes ~p_j to hop j+1. Survival ratios cancel the
+// return crossing exactly: with R(k) the TTL-k answer rate and Q(k) the
+// one-way survival through hops 1..k,
+//
+//	R(k) = (1-h)² · Q(k-1) · Q(k)
+//	R(k)/R(k-1) = (1-p_k)(1-p_{k-1})
+//	⇒ 1 - p̂_k = R(k) / (R(k-1) · (1 - p̂_{k-1}))
+//
+// which is exact for any number of lossy hops on the path — the property
+// multi-fault vote ranking relies on. Hop 1 cannot be separated from the
+// source host's own drop term, so est[0] absorbs it (it is ~1e-5 under
+// the paper's profiles). Estimates are clamped to [0, 1]; once a TTL gets
+// no answers at all the remaining hops are unobservable and report 0.
+func EstimateHopLoss(tr TraceProber, spec netsim.ProbeSpec, hops, probesPerHop int, rng *rand.Rand) []float64 {
+	est := make([]float64, hops)
+	prevRate := 1.0 // R(k-1); R(0) ≡ 1 folds the host term into hop 1
+	prevEst := 0.0  // p̂_{k-1}
+	SweepTraceLoss(tr, spec, hops, probesPerHop, rng, func(ttl int, loss float64) bool {
+		rate := 1 - loss
+		if rate <= 0 {
+			// Nothing answered: everything from here on is dark. Attribute
+			// total loss to this hop and stop — downstream hops stay 0.
+			est[ttl-1] = 1
+			return false
+		}
+		p := 1 - rate/(prevRate*(1-prevEst))
+		if p < 0 {
+			p = 0 // sampling noise: a TTL answering better than its parent
+		}
+		if p > 1 {
+			p = 1
+		}
+		est[ttl-1] = p
+		prevRate, prevEst = rate, p
+		return true
+	})
+	return est
+}
+
+// TracePath recovers a five-tuple's hop sequence by TTL sweep: each TTL is
+// probed until a hop answers (up to attempts tries), mirroring how a real
+// deployment reconstructs paths without a fabric model. The sweep stops at
+// the first TTL where the destination host answers or nothing answers at
+// all (a black-holed tuple yields the hops before the hole).
+func TracePath(tr TraceProber, spec netsim.ProbeSpec, maxHops, attempts int, rng *rand.Rand) []topology.SwitchID {
+	if attempts <= 0 {
+		attempts = 3
+	}
+	var hops []topology.SwitchID
+	for ttl := 1; ttl <= maxHops; ttl++ {
+		answered := false
+		for i := 0; i < attempts; i++ {
+			res := tr.TraceProbe(spec, ttl, rng)
+			if !res.OK {
+				continue
+			}
+			if res.Hop < 0 {
+				return hops // destination host answered: path complete
+			}
+			hops = append(hops, res.Hop)
+			answered = true
+			break
+		}
+		if !answered {
+			return hops
+		}
+	}
+	return hops
+}

@@ -1,0 +1,391 @@
+// Package diagnosis turns failed Pingmesh probes into a located cause.
+//
+// The voting core follows 007 ("Democratically Finding The Cause of Packet
+// Drops", PAPERS.md): every failed probe casts one vote, split 1/h across
+// the h candidate hops of its path; every probe — good or bad — credits
+// the hops it traversed. A switch's score is votes per traversal, so a
+// spine carrying 100× the traffic of a ToR needs 100× the implicating
+// failures to rank equally, and two simultaneously lossy switches both
+// surface because each accumulates vote mass from its own victim flows.
+// Paths come from the netsim ECMP resolver when the deployment has one, or
+// from the topology's candidate stage sets when only the fabric shape is
+// known (real CSV uploads).
+//
+// The Engine layers an evidence chain on top (the collector → network
+// model → assertions shape of kubeskoop's skoop): for one (src, dst) pair
+// it runs an ordered assertion list — pair SLA, heatmap cell, per-hop vote
+// score, traceroute pin, repair budget — emitting a Chain of steps with
+// verdict + evidence rather than a bare color (§4.3 extended into "which
+// hop?").
+package diagnosis
+
+import (
+	"sort"
+
+	"pingmesh/internal/topology"
+)
+
+// Candidate is one switch in a ranked root-cause hypothesis list.
+type Candidate struct {
+	Switch topology.SwitchID `json:"switch_id"`
+	// Score is the normalized tally: votes per traversal.
+	Score float64 `json:"score"`
+	// Votes is the vote mass accumulated from failed probes.
+	Votes float64 `json:"votes"`
+	// Coverage is how many traversals (good + bad probes) credited the
+	// switch; fractional under candidate-set attribution.
+	Coverage float64 `json:"coverage"`
+}
+
+// Link is one directed fabric link, ordered as traversed (A forwards to B).
+type Link struct {
+	A topology.SwitchID `json:"a"`
+	B topology.SwitchID `json:"b"`
+}
+
+// LinkCandidate is one link in a ranked hypothesis list.
+type LinkCandidate struct {
+	Link     Link    `json:"link"`
+	Score    float64 `json:"score"`
+	Votes    float64 `json:"votes"`
+	Coverage float64 `json:"coverage"`
+}
+
+type linkTally struct {
+	votes      float64
+	traversals float64
+}
+
+// VoteTable accumulates 007-style root-cause votes, keyed by switch and by
+// link. Not safe for concurrent use; Collector adds the locking.
+//
+// Failed probes' hop lists are additionally retained (up to maxFailLog
+// entries) so ranking can explain failures away greedily: a single loud
+// fault — a black-hole dropping whole pairs — otherwise spreads enough
+// collateral vote mass over the innocent hops of its victims' paths to
+// bury a second, quieter fault.
+type VoteTable struct {
+	votes      []float64 // vote mass per SwitchID
+	traversals []float64 // traversal credit per SwitchID
+	links      map[Link]*linkTally
+	observed   uint64
+	failures   uint64
+
+	// failure log: flattened hop (or candidate-hop) lists of failed
+	// probes, each entry having cast vote share 1/len on every hop.
+	failHops []topology.SwitchID
+	failEnds []int
+}
+
+// maxFailLog caps how many failures the explain-away log retains; beyond
+// it, votes still tally but greedy ranking can no longer subtract the
+// overflow (a window with >128k failures has bigger problems).
+const maxFailLog = 1 << 17
+
+// NewVoteTable sizes a table for a fleet of numSwitches switches.
+func NewVoteTable(numSwitches int) *VoteTable {
+	return &VoteTable{
+		votes:      make([]float64, numSwitches),
+		traversals: make([]float64, numSwitches),
+		links:      make(map[Link]*linkTally),
+	}
+}
+
+// Reset clears every tally while keeping the allocated storage.
+func (vt *VoteTable) Reset() {
+	for i := range vt.votes {
+		vt.votes[i] = 0
+		vt.traversals[i] = 0
+	}
+	for _, lt := range vt.links {
+		lt.votes = 0
+		lt.traversals = 0
+	}
+	vt.observed = 0
+	vt.failures = 0
+	vt.failHops = vt.failHops[:0]
+	vt.failEnds = vt.failEnds[:0]
+}
+
+// logFailure retains one failed probe's hop list for explain-away ranking.
+func (vt *VoteTable) logFailure(hops []topology.SwitchID) {
+	if len(vt.failEnds) >= maxFailLog {
+		return
+	}
+	vt.failHops = append(vt.failHops, hops...)
+	vt.failEnds = append(vt.failEnds, len(vt.failHops))
+}
+
+// Observed returns how many probes have been ingested.
+func (vt *VoteTable) Observed() uint64 { return vt.observed }
+
+// Failures returns how many ingested probes failed (cast votes).
+func (vt *VoteTable) Failures() uint64 { return vt.failures }
+
+// Score returns a switch's current normalized tally.
+func (vt *VoteTable) Score(sw topology.SwitchID) float64 {
+	if int(sw) >= len(vt.votes) || vt.traversals[sw] <= 0 {
+		return 0
+	}
+	return vt.votes[sw] / vt.traversals[sw]
+}
+
+// Votes returns a switch's accumulated vote mass.
+func (vt *VoteTable) Votes(sw topology.SwitchID) float64 {
+	if int(sw) >= len(vt.votes) {
+		return 0
+	}
+	return vt.votes[sw]
+}
+
+// ObservePath ingests one probe whose exact hop sequence is known (netsim
+// plans, or a recovered traceroute). A failed probe splits its vote 1/h
+// across the h hops and 1/(h-1) across the h-1 links; every probe credits
+// each hop and link with one traversal. Allocation-free once the link set
+// has been seen.
+func (vt *VoteTable) ObservePath(hops []topology.SwitchID, failed bool) {
+	vt.observed++
+	if len(hops) == 0 {
+		return
+	}
+	if failed {
+		vt.failures++
+		vt.logFailure(hops)
+		share := 1 / float64(len(hops))
+		for _, sw := range hops {
+			vt.votes[sw] += share
+			vt.traversals[sw]++
+		}
+	} else {
+		for _, sw := range hops {
+			vt.traversals[sw]++
+		}
+	}
+	if len(hops) < 2 {
+		return
+	}
+	linkShare := 0.0
+	if failed {
+		linkShare = 1 / float64(len(hops)-1)
+	}
+	for i := 1; i < len(hops); i++ {
+		vt.linkTally(Link{A: hops[i-1], B: hops[i]}).add(linkShare, 1)
+	}
+}
+
+// ObserveStages ingests one probe whose exact ECMP choices are unknown: ps
+// holds every candidate switch per routing stage. A failed probe splits
+// its vote 1/h across all h candidate hops; traversal credit is the
+// expectation under uniform ECMP — 1/m per member of an m-wide stage.
+// Links are not tallied (stage adjacency is a cross product, not a path).
+func (vt *VoteTable) ObserveStages(ps *PathSet, failed bool) {
+	vt.observed++
+	h := ps.Hops()
+	if h == 0 {
+		return
+	}
+	voteShare := 0.0
+	if failed {
+		vt.failures++
+		vt.logFailure(ps.hops)
+		voteShare = 1 / float64(h)
+	}
+	for s := 0; s < ps.Stages(); s++ {
+		members := ps.Stage(s)
+		credit := 1 / float64(len(members))
+		for _, sw := range members {
+			vt.votes[sw] += voteShare
+			vt.traversals[sw] += credit
+		}
+	}
+}
+
+// AddVotes feeds a pre-aggregated tally: votes units of vote mass against
+// coverage traversals. The detector refactors (blackhole victim counting)
+// use this to express their bespoke symptom counts in the shared scorer.
+func (vt *VoteTable) AddVotes(sw topology.SwitchID, votes, coverage float64) {
+	vt.votes[sw] += votes
+	vt.traversals[sw] += coverage
+}
+
+func (vt *VoteTable) linkTally(l Link) *linkTally {
+	lt := vt.links[l]
+	if lt == nil {
+		lt = &linkTally{}
+		vt.links[l] = lt
+	}
+	return lt
+}
+
+func (lt *linkTally) add(votes, traversals float64) {
+	lt.votes += votes
+	lt.traversals += traversals
+}
+
+// AppendRank appends every switch with vote mass to dst, ranked worst
+// first (score desc, votes desc, switch asc), and returns dst. A window
+// with no failures yields no candidates.
+func (vt *VoteTable) AppendRank(dst []Candidate) []Candidate {
+	for sw, v := range vt.votes {
+		if v <= 0 {
+			continue
+		}
+		c := Candidate{Switch: topology.SwitchID(sw), Votes: v, Coverage: vt.traversals[sw]}
+		if c.Coverage > 0 {
+			c.Score = c.Votes / c.Coverage
+		}
+		dst = append(dst, c)
+	}
+	sortRank(dst)
+	return dst
+}
+
+func sortRank(cands []Candidate) {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		if cands[i].Votes != cands[j].Votes {
+			return cands[i].Votes > cands[j].Votes
+		}
+		return cands[i].Switch < cands[j].Switch
+	})
+}
+
+// AppendRankGreedy ranks by iterative explain-away: pick the worst switch
+// by normalized score, subtract the full vote mass of every logged failure
+// whose path (or candidate set) contains it, and repeat on the residual
+// tallies. Under simultaneous faults this keeps a quiet fault visible: the
+// louder fault's victims stop voting for the innocent hops they shared
+// once the loud fault is chosen, so the quiet fault's own vote mass
+// dominates the next round. Each candidate carries its residual tallies —
+// the vote mass not explained by earlier picks. Failures past the log cap
+// (or fed via AddVotes) cannot be explained away; when a round explains
+// nothing, the remaining switches are appended in one-shot order.
+func (vt *VoteTable) AppendRankGreedy(dst []Candidate) []Candidate {
+	const eps = 1e-9
+	votes := append([]float64(nil), vt.votes...)
+	removed := make([]bool, len(vt.failEnds))
+	for {
+		best := -1
+		var bestScore, bestVotes float64
+		for sw, v := range votes {
+			if v <= eps {
+				continue
+			}
+			score := 0.0
+			if vt.traversals[sw] > 0 {
+				score = v / vt.traversals[sw]
+			}
+			if best < 0 || score > bestScore ||
+				(score == bestScore && v > bestVotes) {
+				best, bestScore, bestVotes = sw, score, v
+			}
+		}
+		if best < 0 {
+			break
+		}
+		dst = append(dst, Candidate{
+			Switch: topology.SwitchID(best), Score: bestScore,
+			Votes: bestVotes, Coverage: vt.traversals[best],
+		})
+		explained := 0
+		start := 0
+		for f, end := range vt.failEnds {
+			hops := vt.failHops[start:end]
+			start = end
+			if removed[f] {
+				continue
+			}
+			hit := false
+			for _, sw := range hops {
+				if int(sw) == best {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			share := 1 / float64(len(hops))
+			for _, sw := range hops {
+				votes[sw] -= share
+			}
+			removed[f] = true
+			explained++
+		}
+		if explained == 0 {
+			// Nothing left to explain (AddVotes mass or overflow): emit the
+			// residual tail one-shot so the ranking still terminates.
+			votes[best] = 0
+			tail := len(dst)
+			for sw, v := range votes {
+				if v <= eps {
+					continue
+				}
+				c := Candidate{Switch: topology.SwitchID(sw), Votes: v, Coverage: vt.traversals[sw]}
+				if c.Coverage > 0 {
+					c.Score = c.Votes / c.Coverage
+				}
+				dst = append(dst, c)
+			}
+			sortRank(dst[tail:])
+			break
+		}
+	}
+	return dst
+}
+
+// AppendRankLinks appends every link with vote mass to dst, ranked worst
+// first with the same order as AppendRank.
+func (vt *VoteTable) AppendRankLinks(dst []LinkCandidate) []LinkCandidate {
+	for l, lt := range vt.links {
+		if lt.votes <= 0 {
+			continue
+		}
+		c := LinkCandidate{Link: l, Votes: lt.votes, Coverage: lt.traversals}
+		if c.Coverage > 0 {
+			c.Score = c.Votes / c.Coverage
+		}
+		dst = append(dst, c)
+	}
+	sort.Slice(dst, func(i, j int) bool {
+		if dst[i].Score != dst[j].Score {
+			return dst[i].Score > dst[j].Score
+		}
+		if dst[i].Votes != dst[j].Votes {
+			return dst[i].Votes > dst[j].Votes
+		}
+		if dst[i].Link.A != dst[j].Link.A {
+			return dst[i].Link.A < dst[j].Link.A
+		}
+		return dst[i].Link.B < dst[j].Link.B
+	})
+	return dst
+}
+
+// SortByScore orders candidates by score desc, then switch asc — the §5.1
+// black-hole candidate order (score ties break on device identity only).
+func SortByScore(cands []Candidate) {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].Switch < cands[j].Switch
+	})
+}
+
+// SortByVotes orders candidates by votes desc, then score desc, then
+// switch asc — the §5.2 silent-drop suspect order (implicating pairs
+// first, loss estimate second).
+func SortByVotes(cands []Candidate) {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Votes != cands[j].Votes {
+			return cands[i].Votes > cands[j].Votes
+		}
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].Switch < cands[j].Switch
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"pingmesh/internal/analysis"
 	"pingmesh/internal/blackhole"
 	"pingmesh/internal/cosmos"
+	"pingmesh/internal/diagnosis"
 	"pingmesh/internal/metrics"
 	"pingmesh/internal/probe"
 	"pingmesh/internal/reportdb"
@@ -69,6 +70,11 @@ type Config struct {
 	// (idle shards steal stragglers' leftovers). 0 means unbounded.
 	// Cycles always drain fully regardless.
 	FoldBudget int
+	// Diagnosis, when set, is the root-cause vote collector whose ranking
+	// the read side publishes alongside the SLA/heatmap outputs. The
+	// pipeline does not feed it — ingestion happens where records are
+	// uploaded — it only exposes it to snapshot builders.
+	Diagnosis *diagnosis.Collector
 }
 
 // Report database tables the pipeline writes.
@@ -186,6 +192,10 @@ func (p *Pipeline) JobRegistry() *metrics.Registry { return p.jm.Metrics() }
 
 // Thresholds returns the SLA alerting thresholds the pipeline runs with.
 func (p *Pipeline) Thresholds() analysis.Thresholds { return p.cfg.Thresholds }
+
+// Diagnosis returns the wired root-cause vote collector (nil when the
+// deployment runs without one).
+func (p *Pipeline) Diagnosis() *diagnosis.Collector { return p.cfg.Diagnosis }
 
 // SetOnCycle installs the snapshot publication hook: fn runs after every
 // successful analysis cycle (kind is Cycle10Min/Cycle1Hour/Cycle1Day) with

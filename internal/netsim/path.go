@@ -137,3 +137,15 @@ func (n *Network) Path(src, dst topology.ServerID, sport, dport uint16) ([]topol
 	}
 	return append([]topology.SwitchID(nil), r.Hops()...), true
 }
+
+// AppendPath is Path into a caller-owned buffer: it appends the hops to
+// dst and returns the extended slice. Allocation-free when dst has
+// capacity (a route is at most 6 hops), which keeps per-record path
+// recovery off the allocator on the diagnosis ingest path.
+func (n *Network) AppendPath(dst []topology.SwitchID, src, dstID topology.ServerID, sport, dport uint16) ([]topology.SwitchID, bool) {
+	r := n.resolve(n.faults.Load(), src, dstID, sport, dport)
+	if !r.ok {
+		return dst, false
+	}
+	return append(dst, r.Hops()...), true
+}

@@ -1,0 +1,210 @@
+package portal
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"pingmesh/internal/core"
+	"pingmesh/internal/cosmos"
+	"pingmesh/internal/diagnosis"
+	"pingmesh/internal/dsa"
+	"pingmesh/internal/fleet"
+	"pingmesh/internal/netsim"
+	"pingmesh/internal/probe"
+	"pingmesh/internal/simclock"
+	"pingmesh/internal/topology"
+)
+
+// buildDiagRig is buildRig with the diagnosis subsystem wired: the vote
+// collector ingests the probe stream, the pipeline publishes its ranking
+// into snapshots, and the portal carries the evidence-chain engine.
+func buildDiagRig(t testing.TB, mutate func(*netsim.Network)) (*rig, *diagnosis.Engine) {
+	t.Helper()
+	top, err := topology.Build(topology.Spec{DCs: []topology.DCSpec{
+		{Name: "DC1", Podsets: 2, PodsPerPodset: 3, ServersPerPod: 3, LeavesPerPodset: 2, Spines: 4},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := netsim.New(top, netsim.Config{Profiles: []netsim.Profile{netsim.DC1Profile()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutate != nil {
+		mutate(n)
+	}
+	store, err := cosmos.NewStore(3, cosmos.Config{ExtentSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists, err := core.Generate(top, core.DefaultGeneratorConfig(), "v1", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := diagnosis.NewCollector(diagnosis.CollectorConfig{Top: top, Paths: n})
+	runner := &fleet.Runner{Net: n, Lists: lists, Seed: 9}
+	err = runner.Run(t0, t0.Add(30*time.Minute), func(src topology.ServerID, recs []probe.Record) {
+		if err := store.Append("pingmesh/2026-07-01", probe.EncodeBatch(recs)); err != nil {
+			t.Error(err)
+		}
+		col.ObserveBatch(recs)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := simclock.NewSim(t0.Add(time.Hour))
+	pipe, err := dsa.New(dsa.Config{
+		Store: store, Top: top, Clock: clock, HeatmapMinProbes: 3,
+		Diagnosis: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.RunTenMinute(t0, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	engine := &diagnosis.Engine{
+		Top: top, Votes: col, Paths: n, Tracer: n, Clock: clock, Seed: 11,
+	}
+	p := New(Config{Pipeline: pipe, Top: top, Clock: clock, Diagnosis: engine})
+	if err := p.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{top: top, net: n, clock: clock, pipe: pipe, portal: p}, engine
+}
+
+func TestDiagnoseDisabled(t *testing.T) {
+	r := buildRig(t, nil) // no engine wired
+	w := get(t, r.portal.Handler(), "/diagnose?src=a&dst=b", nil)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", w.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["error"] == "" {
+		t.Fatal("404 body has no error field")
+	}
+}
+
+func TestDiagnoseParamValidation(t *testing.T) {
+	r, _ := buildDiagRig(t, nil)
+	h := r.portal.Handler()
+	srv := r.top.Servers()[0].Name
+	for _, path := range []string{
+		"/diagnose?src=" + srv,
+		"/diagnose?dst=" + srv,
+		"/diagnose?src=" + srv + "&dst=not-a-server",
+		"/diagnose?src=not-a-server&dst=" + srv,
+	} {
+		if w := get(t, h, path, nil); w.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400", path, w.Code)
+		}
+	}
+}
+
+func TestDiagnoseBeforeFirstSnapshot(t *testing.T) {
+	top, err := topology.Build(topology.Spec{DCs: []topology.DCSpec{
+		{Name: "DC1", Podsets: 2, PodsPerPodset: 2, ServersPerPod: 2, LeavesPerPodset: 2, Spines: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(Config{Top: top, Diagnosis: &diagnosis.Engine{Top: top}})
+	a := top.Servers()[0].Name
+	b := top.Servers()[3].Name
+	w := get(t, p.Handler(), "/diagnose?src="+a+"&dst="+b, nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 before first snapshot", w.Code)
+	}
+}
+
+// TestDiagnoseCachedRanking: a bare GET /diagnose serves the epoch's
+// pre-rendered ranking through the httpcache path, epoch header included.
+func TestDiagnoseCachedRanking(t *testing.T) {
+	r, _ := buildDiagRig(t, nil)
+	w := get(t, r.portal.Handler(), "/diagnose", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", w.Code)
+	}
+	if w.Header().Get(epochHeaderKey) == "" {
+		t.Fatal("cached ranking body has no epoch header")
+	}
+	var doc struct {
+		Observed   uint64 `json:"observed"`
+		Candidates []struct {
+			Switch string `json:"switch"`
+		} `json:"candidates"`
+		Query string `json:"query"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Observed == 0 {
+		t.Fatal("ranking observed no probes")
+	}
+	if doc.Query == "" {
+		t.Fatal("ranking body has no query hint")
+	}
+}
+
+// TestDiagnoseChainJSON runs the full pair chain over HTTP against a clean
+// fabric and checks the chain schema.
+func TestDiagnoseChainJSON(t *testing.T) {
+	r, _ := buildDiagRig(t, nil)
+	a := r.top.Servers()[0].Name
+	b := r.top.DCs[0].Podsets[1].Pods[0].Servers[0]
+	w := get(t, r.portal.Handler(), "/diagnose?src="+a+"&dst="+r.top.Server(b).Name, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200: %s", w.Code, w.Body.String())
+	}
+	if w.Header().Get(epochHeaderKey) == "" {
+		t.Fatal("chain response has no epoch header")
+	}
+	var ch struct {
+		Src     string `json:"src"`
+		Dst     string `json:"dst"`
+		Verdict string `json:"verdict"`
+		Steps   []struct {
+			Assertion string `json:"assertion"`
+			Verdict   string `json:"verdict"`
+		} `json:"steps"`
+		Path []string `json:"path"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &ch); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Src != a {
+		t.Fatalf("chain src = %q, want %q", ch.Src, a)
+	}
+	if ch.Verdict == "" || len(ch.Steps) == 0 {
+		t.Fatalf("chain missing verdict or steps: %+v", ch)
+	}
+	if len(ch.Path) == 0 {
+		t.Fatal("chain has no modeled path (tracer is wired)")
+	}
+}
+
+// TestTriageCarriesDiagnosePointer: with the engine wired, /triage links
+// to the full chain for the same pair.
+func TestTriageCarriesDiagnosePointer(t *testing.T) {
+	r, _ := buildDiagRig(t, nil)
+	a := r.top.Servers()[0].Name
+	b := r.top.DCs[0].Podsets[1].Pods[0].Servers[0]
+	w := get(t, r.portal.Handler(), "/triage?src="+a+"&dst="+r.top.Server(b).Name, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", w.Code)
+	}
+	var res struct {
+		Diagnose string `json:"diagnose"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Diagnose == "" {
+		t.Fatal("/triage has no diagnose pointer with the engine wired")
+	}
+}

@@ -12,11 +12,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"pingmesh/internal/analysis"
+	"pingmesh/internal/diagnosis"
 	"pingmesh/internal/dsa"
 	"pingmesh/internal/httpcache"
 	"pingmesh/internal/metrics"
@@ -57,6 +60,10 @@ type Config struct {
 	// Budget is the freshness budget /health evaluates; zero value means
 	// trace.DefaultBudget().
 	Budget trace.Budget
+	// Diagnosis, if non-nil, enables GET /diagnose: the cached root-cause
+	// ranking at the bare path and the per-pair evidence chain with
+	// ?src=&dst=. /triage then carries the chain's thin summary.
+	Diagnosis *diagnosis.Engine
 }
 
 // state is one published epoch: the snapshot plus every pre-rendered
@@ -85,6 +92,7 @@ type Portal struct {
 	cBytes       *metrics.Counter
 	cNotFound    *metrics.Counter
 	cTriage      *metrics.Counter
+	cDiagnose    *metrics.Counter
 	cScrapes     *metrics.Counter
 	gEpoch       *metrics.Gauge
 	gBodies      *metrics.Gauge
@@ -120,6 +128,7 @@ func New(cfg Config) *Portal {
 	p.cBytes = p.reg.Counter("portal.bytes_served")
 	p.cNotFound = p.reg.Counter("portal.not_found")
 	p.cTriage = p.reg.Counter("portal.triage_requests")
+	p.cDiagnose = p.reg.Counter("portal.diagnose_requests")
 	p.cScrapes = p.reg.Counter("portal.metrics_scrapes")
 	p.gEpoch = p.reg.Gauge("portal.epoch")
 	p.gBodies = p.reg.Gauge("portal.cached_bodies")
@@ -160,7 +169,7 @@ func (p *Portal) Refresh() error {
 		return err
 	}
 	snap.Epoch = p.epoch + 1
-	st, err := renderState(snap)
+	st, err := renderState(snap, p.cfg.Top)
 	if err != nil {
 		return err
 	}
@@ -210,7 +219,7 @@ type indexDoc struct {
 
 // renderState renders every cacheable body for a snapshot. All rendering
 // cost is paid here, once per analysis cycle, never per request.
-func renderState(snap *Snapshot) (*state, error) {
+func renderState(snap *Snapshot, top *topology.Topology) (*state, error) {
 	st := &state{
 		snap:   snap,
 		bodies: make(map[string]*httpcache.Body, len(snap.SLA)+2*len(snap.Heatmaps)+3),
@@ -263,6 +272,18 @@ func renderState(snap *Snapshot) (*state, error) {
 	}
 	sortStrings(heatmapNames)
 
+	endpoints := []string{
+		"/sla", "/sla/{scope}", "/heatmap/{dc}", "/heatmap/{dc}.svg",
+		"/alerts", "/triage?src=&dst=", "/metrics", "/healthz",
+		"/health", "/debug/trace",
+	}
+	if snap.Diagnosis != nil {
+		if err := put("/diagnose", ctJSON, diagnoseDoc(snap.Diagnosis, top)); err != nil {
+			return nil, err
+		}
+		endpoints = append(endpoints, "/diagnose", "/diagnose?src=&dst=")
+	}
+
 	idx := indexDoc{
 		Service:     "pingmesh-portal",
 		Epoch:       snap.Epoch,
@@ -270,11 +291,7 @@ func renderState(snap *Snapshot) (*state, error) {
 		Scopes:      scopes,
 		Heatmaps:    heatmapNames,
 		Alerts:      len(snap.Alerts),
-		Endpoints: []string{
-			"/sla", "/sla/{scope}", "/heatmap/{dc}", "/heatmap/{dc}.svg",
-			"/alerts", "/triage?src=&dst=", "/metrics", "/healthz",
-			"/health", "/debug/trace",
-		},
+		Endpoints:   endpoints,
 	}
 	if err := put("/", ctJSON, idx); err != nil {
 		return nil, err
@@ -329,10 +346,58 @@ func heatmapDoc(hv HeatmapView) heatmapJSON {
 	return doc
 }
 
+// diagnoseJSON is the wire form of the published root-cause ranking: the
+// 007-style vote tally over the current episode, worst suspects first.
+type diagnoseJSON struct {
+	Observed   uint64          `json:"observed"`
+	Failures   uint64          `json:"failures"`
+	Candidates []candidateJSON `json:"candidates"`
+	Links      []linkJSON      `json:"links,omitempty"`
+	Query      string          `json:"query"`
+}
+
+type candidateJSON struct {
+	Switch   string  `json:"switch"`
+	Score    float64 `json:"score"`
+	Votes    float64 `json:"votes"`
+	Coverage float64 `json:"coverage"`
+}
+
+type linkJSON struct {
+	A        string  `json:"a"`
+	B        string  `json:"b"`
+	Score    float64 `json:"score"`
+	Votes    float64 `json:"votes"`
+	Coverage float64 `json:"coverage"`
+}
+
+func diagnoseDoc(r *diagnosis.Ranking, top *topology.Topology) diagnoseJSON {
+	doc := diagnoseJSON{
+		Observed:   r.Observed,
+		Failures:   r.Failures,
+		Candidates: make([]candidateJSON, 0, len(r.Candidates)),
+		Query:      "/diagnose?src=<server|addr|podref>&dst=<server|addr|podref>",
+	}
+	for _, c := range r.Candidates {
+		doc.Candidates = append(doc.Candidates, candidateJSON{
+			Switch: top.Switch(c.Switch).Name,
+			Score:  c.Score, Votes: c.Votes, Coverage: c.Coverage,
+		})
+	}
+	for _, l := range r.Links {
+		doc.Links = append(doc.Links, linkJSON{
+			A: top.Switch(l.Link.A).Name, B: top.Switch(l.Link.B).Name,
+			Score: l.Score, Votes: l.Votes, Coverage: l.Coverage,
+		})
+	}
+	return doc
+}
+
 // Handler returns the portal's HTTP handler.
 func (p *Portal) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/triage", p.serveTriage)
+	mux.HandleFunc("/diagnose", p.serveDiagnose)
 	mux.HandleFunc("/metrics", p.ServeMetrics)
 	mux.HandleFunc("/healthz", p.serveHealthz)
 	mux.HandleFunc("/health", p.ServeHealth)
@@ -473,7 +538,93 @@ func (p *Portal) serveTriage(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header()[epochHeaderKey] = st.epochH
-	writeJSON(w, http.StatusOK, st.snap.Triage(p.cfg.Top, src, dst))
+	res := st.snap.Triage(p.cfg.Top, src, dst)
+	// With diagnosis wired, /triage is the chain's thin summary: the same
+	// SLA/heatmap evidence condensed into the verdict, plus the vote
+	// table's current suspect and a pointer to the full chain.
+	if p.cfg.Diagnosis != nil {
+		srcID, okS := resolveServer(p.cfg.Top, src)
+		dstID, okD := resolveServer(p.cfg.Top, dst)
+		if okS && okD {
+			if hop, _, ok := p.cfg.Diagnosis.TopSuspect(srcID, dstID); ok {
+				res.PinnedHop = hop
+			}
+			res.Diagnose = "/diagnose?src=" + url.QueryEscape(src) + "&dst=" + url.QueryEscape(dst)
+		}
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// serveDiagnose answers GET /diagnose. Bare, it serves the epoch's
+// pre-rendered root-cause ranking (the httpcache path, like every other
+// read). With ?src=&dst= it runs the evidence chain for the pair — dynamic
+// like /triage (the pair space is quadratic) but reading only the
+// immutable snapshot plus the vote table.
+func (p *Portal) serveDiagnose(w http.ResponseWriter, r *http.Request) {
+	if p.cfg.Diagnosis == nil {
+		p.cNotFound.Inc()
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "diagnosis not enabled on this portal"})
+		return
+	}
+	q := r.URL.Query()
+	src, dst := q.Get("src"), q.Get("dst")
+	if src == "" && dst == "" {
+		p.ServeCached(w, r)
+		return
+	}
+	p.cDiagnose.Inc()
+	if src == "" || dst == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": "usage: /diagnose?src=<server|addr|podref>&dst=<server|addr|podref>",
+		})
+		return
+	}
+	st := p.state.Load()
+	if st.snap == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"error": "no snapshot published yet",
+		})
+		return
+	}
+	srcID, ok := resolveServer(p.cfg.Top, src)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("source %q is not a known server, address, or pod ref", src),
+		})
+		return
+	}
+	dstID, ok := resolveServer(p.cfg.Top, dst)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("destination %q is not a known server, address, or pod ref", dst),
+		})
+		return
+	}
+	w.Header()[epochHeaderKey] = st.epochH
+	writeJSON(w, http.StatusOK, p.cfg.Diagnosis.Diagnose(srcID, dstID, st.snap.Evidence(p.cfg.Top)))
+}
+
+// resolveServer resolves a diagnosis parameter — a server address, server
+// name, or pod ref ("d0.s1.p2", standing for the pod's first server) — to
+// a concrete server, since chains walk real five-tuples.
+func resolveServer(top *topology.Topology, s string) (topology.ServerID, bool) {
+	if id, ok := top.ServerByAddrString(s); ok {
+		return id, true
+	}
+	if id, ok := top.ServerByName(s); ok {
+		return id, true
+	}
+	if ref, err := analysis.ParsePodRef(s); err == nil {
+		if ref.DC >= 0 && ref.DC < len(top.DCs) &&
+			ref.Podset >= 0 && ref.Podset < len(top.DCs[ref.DC].Podsets) &&
+			ref.Pod >= 0 && ref.Pod < len(top.DCs[ref.DC].Podsets[ref.Podset].Pods) {
+			pod := &top.DCs[ref.DC].Podsets[ref.Podset].Pods[ref.Pod]
+			if len(pod.Servers) > 0 {
+				return pod.Servers[0], true
+			}
+		}
+	}
+	return 0, false
 }
 
 func (p *Portal) serveHealthz(w http.ResponseWriter, r *http.Request) {

@@ -6,11 +6,15 @@ import (
 	"time"
 
 	"pingmesh/internal/analysis"
+	"pingmesh/internal/diagnosis"
 	"pingmesh/internal/dsa"
 	"pingmesh/internal/reportdb"
 	"pingmesh/internal/topology"
 	"pingmesh/internal/viz"
 )
+
+// DefaultRankLimit caps the published root-cause candidate ranking.
+const DefaultRankLimit = 64
 
 // SLAEntry is one scope's latest network SLA: the row the §4.3 "is it a
 // network issue?" conversation starts from. Durations marshal as
@@ -60,6 +64,9 @@ type Snapshot struct {
 	Heatmaps map[string]HeatmapView
 	// Thresholds are the SLA limits triage verdicts are judged against.
 	Thresholds analysis.Thresholds
+	// Diagnosis is the epoch's root-cause vote ranking (nil when the
+	// deployment runs without a diagnosis collector).
+	Diagnosis *diagnosis.Ranking
 }
 
 // BuildSnapshot assembles a snapshot from the pipeline's report database
@@ -114,6 +121,9 @@ func BuildSnapshot(p *dsa.Pipeline, now time.Time, alertWindow time.Duration, al
 			DC: dc, Heatmap: hr.Heatmap, Classification: hr.Classification,
 			From: hr.From, To: hr.To,
 		}
+	}
+	if col := p.Diagnosis(); col != nil {
+		s.Diagnosis = col.Snapshot(DefaultRankLimit)
 	}
 	return s, nil
 }
@@ -195,6 +205,13 @@ type TriageResult struct {
 	// Thresholds the evidence was judged against.
 	MaxDropRate float64       `json:"max_drop_rate"`
 	MaxP99      time.Duration `json:"max_p99_ns"`
+
+	// PinnedHop names the root-cause engine's current top vote suspect on
+	// the pair's candidate path, when diagnosis is wired and a suspect
+	// clears its threshold; Diagnose links the full evidence chain. These
+	// make /triage the thin summary of /diagnose.
+	PinnedHop string `json:"pinned_hop,omitempty"`
+	Diagnose  string `json:"diagnose,omitempty"`
 }
 
 // resolvePod resolves a src/dst parameter — a pod ref ("d0.s1.p2"), a
@@ -253,11 +270,12 @@ func (s *Snapshot) Triage(top *topology.Topology, srcParam, dstParam string) Tri
 	}
 
 	dcName := top.DCs[src.DC].Name
-	res.DCScope = "dc/" + dcName
+	scope, e := s.pairScopeSLA(top, src, dst)
+	res.DCScope = scope
 	dcHealthy := false
-	if e, ok := s.SLA[res.DCScope]; ok {
-		res.DCSLA = &e
-		if violated(e, th) {
+	if e != nil {
+		res.DCSLA = e
+		if violated(*e, th) {
 			res.Verdict = VerdictNetwork
 			res.Reason = fmt.Sprintf("DC-level SLA violated: p99=%v drop=%.2g over %d probes", e.P99, e.DropRate, e.Probes)
 			return res
@@ -307,15 +325,14 @@ func (s *Snapshot) Triage(top *topology.Topology, srcParam, dstParam string) Tri
 // triageInterDC judges a cross-DC pair from the inter-DC pipeline's SLA
 // scope (§6.2), since heatmaps are per-DC.
 func (s *Snapshot) triageInterDC(top *topology.Topology, src, dst analysis.PodRef, res TriageResult) TriageResult {
-	scope := "interdc/" + top.DCs[src.DC].Name + "->" + top.DCs[dst.DC].Name
+	scope, e := s.pairScopeSLA(top, src, dst)
 	res.DCScope = scope
-	e, ok := s.SLA[scope]
-	if !ok {
+	if e == nil {
 		res.Reason = "no inter-DC SLA data for " + scope
 		return res
 	}
-	res.DCSLA = &e
-	if violated(e, s.Thresholds) {
+	res.DCSLA = e
+	if violated(*e, s.Thresholds) {
 		res.Verdict = VerdictNetwork
 		res.Reason = fmt.Sprintf("inter-DC SLA violated: p99=%v drop=%.2g", e.P99, e.DropRate)
 	} else {
@@ -323,6 +340,71 @@ func (s *Snapshot) triageInterDC(top *topology.Topology, src, dst analysis.PodRe
 		res.Reason = fmt.Sprintf("inter-DC SLA healthy: p99=%v drop=%.2g", e.P99, e.DropRate)
 	}
 	return res
+}
+
+// pairScopeSLA names the SLA scope judging a pod pair — "dc/<name>" inside
+// one DC, "interdc/<a>-><b>" across DCs — and returns its latest entry
+// (nil when the scope has none). Both the §4.3 triage summary and the
+// diagnosis chain's first assertion read this one helper: /triage is a
+// thin summary over the same evidence the chain spells out.
+func (s *Snapshot) pairScopeSLA(top *topology.Topology, src, dst analysis.PodRef) (string, *SLAEntry) {
+	var scope string
+	if src.DC != dst.DC {
+		scope = "interdc/" + top.DCs[src.DC].Name + "->" + top.DCs[dst.DC].Name
+	} else {
+		scope = "dc/" + top.DCs[src.DC].Name
+	}
+	if e, ok := s.SLA[scope]; ok {
+		return scope, &e
+	}
+	return scope, nil
+}
+
+// Evidence adapts the snapshot into the diagnosis engine's evidence
+// source: the chain's first two assertions (pair SLA, heatmap cell) read
+// the same immutable epoch every other portal endpoint serves.
+func (s *Snapshot) Evidence(top *topology.Topology) diagnosis.EvidenceSource {
+	return &snapshotEvidence{snap: s, top: top}
+}
+
+type snapshotEvidence struct {
+	snap *Snapshot
+	top  *topology.Topology
+}
+
+func podRefOf(top *topology.Topology, id topology.ServerID) analysis.PodRef {
+	sv := top.Server(id)
+	return analysis.PodRef{DC: sv.DC, Podset: sv.Podset, Pod: sv.Pod}
+}
+
+func (se *snapshotEvidence) PairSLA(src, dst topology.ServerID) (diagnosis.SLAFacts, bool) {
+	scope, e := se.snap.pairScopeSLA(se.top, podRefOf(se.top, src), podRefOf(se.top, dst))
+	if e == nil {
+		return diagnosis.SLAFacts{Scope: scope}, false
+	}
+	return diagnosis.SLAFacts{
+		Scope: scope, Probes: e.Probes, P99: e.P99, DropRate: e.DropRate,
+		Violated: violated(*e, se.snap.Thresholds),
+	}, true
+}
+
+func (se *snapshotEvidence) PairCell(src, dst topology.ServerID) (diagnosis.CellFacts, bool) {
+	srcRef, dstRef := podRefOf(se.top, src), podRefOf(se.top, dst)
+	if srcRef.DC != dstRef.DC {
+		return diagnosis.CellFacts{}, false // heatmaps are per-DC
+	}
+	hv, ok := se.snap.Heatmaps[se.top.DCs[srcRef.DC].Name]
+	if !ok {
+		return diagnosis.CellFacts{}, false
+	}
+	cell, ok := lookupCell(hv.Heatmap, srcRef, dstRef)
+	if !ok || !cell.HasData {
+		return diagnosis.CellFacts{}, false
+	}
+	return diagnosis.CellFacts{
+		Probes: cell.Probes, P99: cell.P99, Color: cell.Color().String(),
+		Judgeable: cell.Probes >= se.snap.Thresholds.MinProbes,
+	}, true
 }
 
 // lookupCell finds the heatmap cell for a pod pair.

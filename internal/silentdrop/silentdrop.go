@@ -14,9 +14,18 @@ import (
 	"math/rand/v2"
 	"sort"
 
+	"pingmesh/internal/diagnosis"
 	"pingmesh/internal/netsim"
 	"pingmesh/internal/probe"
 	"pingmesh/internal/topology"
+)
+
+// SweepTraceLoss and EstimateHopLoss moved to internal/diagnosis so the
+// root-cause engine shares the per-TTL estimator; re-exported here because
+// this package is where the §5.2 workflow lives.
+var (
+	SweepTraceLoss  = diagnosis.SweepTraceLoss
+	EstimateHopLoss = diagnosis.EstimateHopLoss
 )
 
 // SpikeDetector decides whether a drop-rate series left its normal band.
@@ -110,16 +119,11 @@ func (l *Localizer) Localize(pairs []Pair) []Suspect {
 		// increase would smear blame downstream; first-appearance is how
 		// traceroute localization pinpoints the culprit (§5.2). If several
 		// switches on one path leak, isolate-and-re-run finds them one at
-		// a time.
+		// a time. The sweep itself is the shared per-TTL estimator; the
+		// early-stop visit keeps the rng draw sequence identical to the
+		// pre-refactor loop.
 		prevLoss := 0.0
-		for ttl := 1; ttl <= len(hops); ttl++ {
-			lost := 0
-			for i := 0; i < probesPerHop; i++ {
-				if !l.Net.TraceProbe(spec, ttl, rng).OK {
-					lost++
-				}
-			}
-			loss := float64(lost) / float64(probesPerHop)
+		diagnosis.SweepTraceLoss(l.Net, spec, len(hops), probesPerHop, rng, func(ttl int, loss float64) bool {
 			if delta := loss - prevLoss; delta >= threshold {
 				a := blame[hops[ttl-1]]
 				if a == nil {
@@ -128,27 +132,31 @@ func (l *Localizer) Localize(pairs []Pair) []Suspect {
 				}
 				a.loss += delta
 				a.pairs++
-				break
+				return false
 			}
 			if loss > prevLoss {
 				prevLoss = loss
 			}
-		}
+			return true
+		})
 	}
 
-	out := make([]Suspect, 0, len(blame))
+	// Rank through the shared scorer: implicating pairs are the vote mass
+	// and the per-pair mean loss estimate the score — SortByVotes is the
+	// §5.2 suspect order (pairs desc, loss desc, device asc).
+	ranked := make([]diagnosis.Candidate, 0, len(blame))
 	for sw, a := range blame {
-		out = append(out, Suspect{Switch: sw, Loss: a.loss / float64(a.pairs), Pairs: a.pairs})
+		ranked = append(ranked, diagnosis.Candidate{
+			Switch: sw,
+			Score:  a.loss / float64(a.pairs),
+			Votes:  float64(a.pairs),
+		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Pairs != out[j].Pairs {
-			return out[i].Pairs > out[j].Pairs
-		}
-		if out[i].Loss != out[j].Loss {
-			return out[i].Loss > out[j].Loss
-		}
-		return out[i].Switch < out[j].Switch
-	})
+	diagnosis.SortByVotes(ranked)
+	out := make([]Suspect, 0, len(ranked))
+	for _, rc := range ranked {
+		out = append(out, Suspect{Switch: rc.Switch, Loss: rc.Score, Pairs: int(rc.Votes)})
+	}
 	return out
 }
 

@@ -31,6 +31,7 @@ import (
 	"pingmesh/internal/controller"
 	"pingmesh/internal/core"
 	"pingmesh/internal/cosmos"
+	"pingmesh/internal/diagnosis"
 	"pingmesh/internal/dsa"
 	"pingmesh/internal/fleet"
 	"pingmesh/internal/metrics"
@@ -95,6 +96,14 @@ type (
 	Tracer = trace.Tracer
 	// FreshnessBudget is the §3.5 data-freshness budget /health evaluates.
 	FreshnessBudget = trace.Budget
+	// DiagnosisCandidate is one switch ranked by the vote-based localizer.
+	DiagnosisCandidate = diagnosis.Candidate
+	// DiagnosisRanking is a published snapshot of the fleet-wide ranking.
+	DiagnosisRanking = diagnosis.Ranking
+	// DiagnosisChain is the ordered evidence chain /diagnose returns.
+	DiagnosisChain = diagnosis.Chain
+	// DiagnosisEngine runs the per-pair assertion chain.
+	DiagnosisEngine = diagnosis.Engine
 )
 
 // Switch tiers, bottom up.
@@ -142,10 +151,16 @@ type SimTestbed struct {
 	// Tracer is the testbed's tracing/self-monitoring layer, on the
 	// testbed's virtual clock and threaded through the pipeline and portal.
 	Tracer *trace.Tracer
+	// Diag accumulates per-hop votes from every probe the fleet runs; the
+	// portal publishes its ranking on /diagnose and the diagnosis engine
+	// reads it for the hop-votes assertion.
+	Diag *diagnosis.Collector
 
-	gen   core.GeneratorConfig
-	seed  uint64
-	lists map[topology.ServerID]*pinglist.File
+	gen    core.GeneratorConfig
+	seed   uint64
+	lists  map[topology.ServerID]*pinglist.File
+	repair *autopilot.RepairService
+	budget int
 }
 
 // NewSimTestbed builds a simulated deployment from a topology spec.
@@ -188,6 +203,7 @@ func NewSimTestbed(spec TopologySpec, opts SimOptions) (*SimTestbed, error) {
 		return nil, err
 	}
 	tracer := trace.New(clock)
+	diag := diagnosis.NewCollector(diagnosis.CollectorConfig{Top: top, Paths: net})
 	pipe, err := dsa.New(dsa.Config{
 		Store:            store,
 		Top:              top,
@@ -198,6 +214,7 @@ func NewSimTestbed(spec TopologySpec, opts SimOptions) (*SimTestbed, error) {
 		Tracer:           tracer,
 		Shards:           opts.Shards,
 		FoldBudget:       opts.FoldBudget,
+		Diagnosis:        diag,
 	})
 	if err != nil {
 		return nil, err
@@ -208,7 +225,7 @@ func NewSimTestbed(spec TopologySpec, opts SimOptions) (*SimTestbed, error) {
 	}
 	return &SimTestbed{
 		Top: top, Net: net, Clock: clock, Store: store,
-		Controller: ctrl, Pipeline: pipe, Tracer: tracer,
+		Controller: ctrl, Pipeline: pipe, Tracer: tracer, Diag: diag,
 		gen: gen, seed: seed, lists: lists,
 	}, nil
 }
@@ -233,6 +250,7 @@ func (tb *SimTestbed) RunWindow(d time.Duration) error {
 		if err := tb.Store.Append(stream(recs[0].Start), probe.EncodeBatch(recs)); err != nil {
 			panic(fmt.Sprintf("pingmesh: store append: %v", err)) // in-memory store: only programming errors
 		}
+		tb.Diag.ObserveBatch(recs)
 	})
 	if err != nil {
 		return err
@@ -324,6 +342,7 @@ func (tb *SimTestbed) DB() *ReportDB { return tb.Pipeline.DB() }
 // snapshot, and /metrics exposes the controller's and the scope jobs'
 // registries alongside the portal's own.
 func (tb *SimTestbed) NewPortal() *Portal {
+	engine := tb.NewDiagnosisEngine()
 	p := portal.New(portal.Config{
 		Pipeline: tb.Pipeline,
 		Top:      tb.Top,
@@ -331,8 +350,11 @@ func (tb *SimTestbed) NewPortal() *Portal {
 		Metrics: []portal.MetricSource{
 			{Prefix: "", Registry: tb.Controller.Metrics()},
 			{Prefix: "", Registry: tb.Pipeline.JobRegistry()},
+			{Prefix: "", Registry: tb.Diag.Metrics()},
+			{Prefix: "", Registry: engine.Metrics()},
 		},
-		Tracer: tb.Tracer,
+		Tracer:    tb.Tracer,
+		Diagnosis: engine,
 	})
 	tb.Pipeline.SetOnCycle(func(kind string, from, to time.Time) {
 		// Publication is best-effort: a refresh failure leaves the previous
@@ -364,7 +386,7 @@ func (tb *SimTestbed) HeatmapFor(dc int, from, to time.Time) (*Heatmap, error) {
 // simulated network (reload / isolate / replace by device name), with the
 // paper's default budget of 20 actions per day.
 func (tb *SimTestbed) NewRepairService(budgetPerDay int) *autopilot.RepairService {
-	return autopilot.NewRepairService(tb.Clock, budgetPerDay, func(a autopilot.RepairAction) error {
+	rs := autopilot.NewRepairService(tb.Clock, budgetPerDay, func(a autopilot.RepairAction) error {
 		for _, sw := range tb.Top.Switches() {
 			if sw.Name != a.Device {
 				continue
@@ -383,6 +405,31 @@ func (tb *SimTestbed) NewRepairService(budgetPerDay int) *autopilot.RepairServic
 		}
 		return fmt.Errorf("pingmesh: unknown device %q", a.Device)
 	})
+	// The diagnosis engine's repair-budget assertion reads the most
+	// recently created service, whichever order the caller wires things in.
+	tb.repair = rs
+	tb.budget = budgetPerDay
+	return rs
+}
+
+// NewDiagnosisEngine wires a diagnosis chain engine to the testbed: votes
+// from the fleet's collector, exact paths and TTL sweeps from the fabric
+// simulator, and (when NewRepairService has been called) the repair budget.
+func (tb *SimTestbed) NewDiagnosisEngine() *diagnosis.Engine {
+	return &diagnosis.Engine{
+		Top:    tb.Top,
+		Votes:  tb.Diag,
+		Paths:  tb.Net,
+		Tracer: tb.Net,
+		Clock:  tb.Clock,
+		Seed:   tb.seed ^ 0xd1a9,
+		Budget: func() (remaining, perDay int) {
+			if tb.repair == nil {
+				return 0, 0
+			}
+			return tb.repair.BudgetRemaining(), tb.budget
+		},
+	}
 }
 
 func defaultProfiles() []netsim.Profile { return netsim.DefaultProfiles() }

@@ -33,6 +33,11 @@
 #                                      reduced scale: byte reduction,
 #                                      percentile parity, SLA row parity
 #                                      through the sharded fold)
+#   3e. diagnosis smoke               (the root-cause localization CLI at
+#                                      reduced scale: two simultaneous
+#                                      injected faults must land in the
+#                                      vote ranking's top two and each
+#                                      evidence chain must pin its hop)
 #   4. short fuzz pass over the pinglist wire format, the delta codec
 #      (patch(old, diff) == new, byte-identical), the streaming record
 #      decoder, the binary sketch codec, and the sketch-vs-exact
@@ -57,7 +62,7 @@ go test ./internal/scope ./internal/probe ./internal/analysis \
     ./internal/netsim ./internal/fleet \
     ./internal/httpcache ./internal/metrics ./internal/portal \
     ./internal/trace ./internal/agent ./internal/controller \
-    ./internal/shard ./internal/dsa \
+    ./internal/shard ./internal/dsa ./internal/diagnosis \
     -run 'ZeroAlloc' -count=1 -v | grep -E '^(=== RUN|--- (PASS|FAIL)|ok|FAIL)'
 
 echo "== tier 3b: churn-harness smoke (reduced scale)"
@@ -73,6 +78,9 @@ echo "== tier 3d: upload-harness smoke (reduced scale)"
 go run ./cmd/pingmesh-uploadsim -servers 2000 -peers 4 -probes-per-peer 30 \
     -extent-size 262144 -q \
     -out "${TMPDIR:-/tmp}/pingmesh_upload_smoke.json"
+
+echo "== tier 3e: diagnosis smoke (reduced scale)"
+go run ./cmd/pingmesh-diagnose -minutes 6 -check > /dev/null
 
 if [ "${FUZZ:-0}" = "1" ]; then
     echo "== tier 4: fuzz wire formats (30s each)"
