@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race ci fuzz bench bench-ingest bench-fleet bench-portal bench-trace bench-controlplane bench-analysis bench-upload bench-diagnosis churn foldsim uploadsim diagnose clean
+.PHONY: all build test race ci fuzz bench bench-ingest bench-fleet bench-portal bench-trace bench-controlplane bench-analysis bench-upload bench-diagnosis bench-telemetry churn foldsim uploadsim telemsim diagnose clean
 
 all: build test
 
@@ -82,6 +82,14 @@ bench-diagnosis:
 	$(GO) test -run '^$$' -bench 'BenchmarkVoteIngest|BenchmarkRankGreedy|BenchmarkDiagnoseSweep|BenchmarkDiagnoseChain' \
 		-benchmem ./internal/diagnosis
 
+# Telemetry hot paths: PMT1 encode and collector ingest microbenchmarks
+# (both must be zero-alloc once warm) plus the million-agent harness.
+# BENCH_PR10.json records the tracked numbers.
+bench-telemetry:
+	$(GO) test -run '^$$' -bench 'BenchmarkEncode|BenchmarkIngest' \
+		-benchmem ./internal/telemetry
+	$(MAKE) telemsim
+
 # Root-cause localization experiment: injects a spine silent drop plus a
 # ToR black-hole and requires the diagnosis subsystem to locate both.
 diagnose:
@@ -102,6 +110,11 @@ foldsim:
 # Writes BENCH_PR8.json.
 uploadsim:
 	$(GO) run ./cmd/pingmesh-uploadsim -servers 20000 -peers 8 -out BENCH_PR8.json
+
+# Million-agent telemetry harness: PMT1 reports through the real collector
+# with rollup parity checking. Writes BENCH_PR10.json.
+telemsim:
+	$(GO) run ./cmd/pingmesh-telemsim -agents 1000000 -check -out BENCH_PR10.json
 
 clean:
 	$(GO) clean -testcache

@@ -17,6 +17,7 @@ import (
 	"net/netip"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -25,8 +26,20 @@ import (
 	"pingmesh/internal/debugsrv"
 	"pingmesh/internal/metrics"
 	"pingmesh/internal/netlib"
+	"pingmesh/internal/telemetry"
 	"pingmesh/internal/trace"
 )
+
+// scopeFromName derives the rollup scope from a conventional server name:
+// "DC1-ps00-pod00-s00" becomes "DC1.ps00.pod00". Names without the
+// hierarchy fold into fleet-level rollups only.
+func scopeFromName(name string) string {
+	parts := strings.SplitN(name, "-", 4)
+	if len(parts) < 4 {
+		return ""
+	}
+	return strings.Join(parts[:3], ".")
+}
 
 func main() {
 	var (
@@ -43,6 +56,10 @@ func main() {
 		sketchUpload = flag.Bool("sketch-upload", false, "aggregate healthy probes into per-peer latency sketches and upload the binary format (requires an uploader)")
 		gzipUpload   = flag.Bool("gzip-upload", false, "gzip upload batches on the wire (storage inflates before append)")
 		rawThreshold = flag.Duration("raw-threshold", time.Second, "in sketch mode, RTT at or above which a record ships raw")
+
+		telemetryURL   = flag.String("telemetry-url", "", "ship PMT1 perfcounter reports to this collector endpoint, e.g. <controller>/telemetry/report (empty = off)")
+		telemetryScope = flag.String("telemetry-scope", "", "dot-separated DC.podset.pod scope for fleet rollups (default: derived from -name)")
+		telemetryEvery = flag.Duration("telemetry-interval", 5*time.Minute, "perfcounter report interval")
 	)
 	flag.Parse()
 	if *name == "" || *source == "" || *ctrlURL == "" {
@@ -97,6 +114,18 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *telemetryURL != "" {
+		scope := *telemetryScope
+		if scope == "" {
+			scope = scopeFromName(*name)
+		}
+		sh := &telemetry.Shipper{
+			URL: *telemetryURL, Src: *name, Scope: scope,
+			Registry: a.Metrics(), Interval: *telemetryEvery,
+		}
+		go sh.Run(ctx)
+		fmt.Printf("telemetry: shipping to %s every %v as scope %q\n", *telemetryURL, *telemetryEvery, scope)
+	}
 	go func() {
 		t := time.NewTicker(*statsEvery)
 		defer t.Stop()

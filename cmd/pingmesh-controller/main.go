@@ -12,16 +12,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"pingmesh/internal/controller"
 	"pingmesh/internal/core"
 	"pingmesh/internal/debugsrv"
 	"pingmesh/internal/metrics"
+	"pingmesh/internal/telemetry"
 	"pingmesh/internal/topology"
 )
 
@@ -31,7 +34,10 @@ func main() {
 		listen    = flag.String("listen", ":8080", "HTTP listen address")
 		saveDir   = flag.String("save-dir", "", "optionally persist generated pinglists to this directory")
 		payload   = flag.Int("payload", 0, "add payload probe variants of this many bytes")
-		debugAddr = flag.String("debug-addr", "", "serve pprof, /health, and /metrics on this address (empty = off)")
+		debugAddr = flag.String("debug-addr", "", "serve pprof, /health, /metrics, and /telemetry on this address (empty = off)")
+
+		telemetryOn    = flag.Bool("telemetry", false, "mount the fleet telemetry collector on /telemetry/ (agent PMT1 reports)")
+		telemetryEvery = flag.Duration("telemetry-sample", 5*time.Minute, "fleet rollup sampling interval")
 	)
 	flag.Parse()
 	if *topoPath == "" {
@@ -55,7 +61,12 @@ func main() {
 
 	cfg := core.DefaultGeneratorConfig()
 	cfg.PayloadBytes = *payload
-	ctrl, err := controller.New(top, cfg, nil)
+	var col *telemetry.Collector
+	if *telemetryOn {
+		col = telemetry.NewCollector(telemetry.CollectorConfig{SampleInterval: *telemetryEvery})
+		go col.Run(context.Background())
+	}
+	ctrl, err := controller.NewWithOptions(top, cfg, nil, controller.Options{Telemetry: col})
 	if err != nil {
 		log.Fatalf("controller: %v", err)
 	}
@@ -67,7 +78,12 @@ func main() {
 	if *debugAddr != "" {
 		exp := metrics.NewExposition()
 		exp.Add("", ctrl.Metrics())
-		dbg, err := debugsrv.Serve(*debugAddr, debugsrv.Config{Metrics: exp})
+		dcfg := debugsrv.Config{Metrics: exp}
+		if col != nil {
+			exp.Add("telemetry.", col.Metrics())
+			dcfg.Series = col.Store()
+		}
+		dbg, err := debugsrv.Serve(*debugAddr, dcfg)
 		if err != nil {
 			log.Fatalf("debug server: %v", err)
 		}

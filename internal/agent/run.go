@@ -85,6 +85,7 @@ type detailFetcher interface {
 }
 
 func (a *Agent) fetchOnce(ctx context.Context) {
+	fetchStart := a.clock.Now()
 	var f *pinglist.File
 	var err error
 	notModified := false
@@ -121,6 +122,7 @@ func (a *Agent) fetchOnce(ctx context.Context) {
 		return
 	}
 	a.reg.Counter("agent.fetches_ok").Inc()
+	a.reg.Histogram("agent.fetch.duration").Observe(a.clock.Since(fetchStart))
 	if notModified {
 		// The controller revalidated our cached copy with a 304: the
 		// pinglist is unchanged and the fetch cost no body bytes.
@@ -303,6 +305,7 @@ func (a *Agent) flush(ctx context.Context, final bool) {
 			a.mu.Unlock()
 		}()
 	}
+	flushStart := a.clock.Now()
 	var skRecords int64
 	for i := range sks {
 		skRecords += int64(sks[i].RTT.Count())
@@ -350,6 +353,7 @@ func (a *Agent) flush(ctx context.Context, final bool) {
 				a.tracer.Freshness().Mark(trace.StageUpload)
 			}
 			a.reg.Counter("agent.uploads_ok").Inc()
+			a.reg.Histogram("agent.flush.duration").Observe(a.clock.Since(flushStart))
 			a.reg.Counter("agent.uploaded_records").Add(int64(len(batch)) + skRecords)
 			a.cUploadRaw.Add(int64(len(batch)))
 			a.cUploadSketch.Add(int64(len(sks)))

@@ -131,6 +131,56 @@ func NewStalenessWatchdog(f *trace.Freshness, b trace.Budget) Watchdog {
 	}
 }
 
+// FleetTelemetryWatchdogName is the fleet-level "who watches Pingmesh"
+// alert: it fires when too large a fraction of agents has stopped shipping
+// telemetry — a fleet-wide outage signal that pages before any single
+// component's staleness budget would.
+const FleetTelemetryWatchdogName = "pingmesh-fleet-stale"
+
+// FleetTelemetryDevice is the Device Manager device the fleet watchdog
+// escalates.
+const FleetTelemetryDevice = "pingmesh-fleet"
+
+// TelemetrySource is the slice of the telemetry collector the fleet
+// watchdog reads (satisfied by *telemetry.Collector).
+type TelemetrySource interface {
+	// StaleFraction returns the fraction of known agents whose last
+	// accepted report is older than staleAfter.
+	StaleFraction(staleAfter time.Duration, now time.Time) float64
+	// AgentCount returns how many agents have ever reported.
+	AgentCount() int
+}
+
+// NewFleetTelemetryWatchdog returns a watchdog that fails when more than
+// maxStale of the fleet's agents (by fraction, e.g. 0.1) have not reported
+// within staleAfter. An empty fleet is healthy — the watchdog runs from
+// collector start, before any agent has had a chance to report.
+func NewFleetTelemetryWatchdog(src TelemetrySource, clock simclock.Clock, staleAfter time.Duration, maxStale float64) Watchdog {
+	if clock == nil {
+		clock = simclock.NewReal()
+	}
+	if staleAfter <= 0 {
+		staleAfter = 15 * time.Minute // three missed 5-minute reports
+	}
+	if maxStale <= 0 {
+		maxStale = 0.1
+	}
+	return Watchdog{
+		Name:   FleetTelemetryWatchdogName,
+		Device: FleetTelemetryDevice,
+		Check: func() error {
+			if src.AgentCount() == 0 {
+				return nil
+			}
+			if f := src.StaleFraction(staleAfter, clock.Now()); f > maxStale {
+				return fmt.Errorf("%.1f%% of %d agents stale for >%v (budget %.1f%%)",
+					f*100, src.AgentCount(), staleAfter, maxStale*100)
+			}
+			return nil
+		},
+	}
+}
+
 // WatchdogService runs registered watchdogs periodically.
 type WatchdogService struct {
 	clock    simclock.Clock

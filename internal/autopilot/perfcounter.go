@@ -1,18 +1,22 @@
 package autopilot
 
 import (
-	"sort"
 	"sync"
 	"time"
 
 	"pingmesh/internal/metrics"
 	"pingmesh/internal/simclock"
+	"pingmesh/internal/telemetry"
 )
 
 // PA is the Perfcounter Aggregator: it collects perf-counter snapshots
 // from registered sources every interval (5 minutes in production — the
 // fast path that beats the 20-minute Cosmos/SCOPE latency, §3.5) and keeps
 // them as time series for dashboards and alerts.
+//
+// Series storage is a telemetry.Store: fixed-capacity rings, so memory is
+// bounded by construction (the old slice trim kept the evicted backing
+// array head alive) and an hourly downsampled tier rides along for free.
 type PA struct {
 	clock    simclock.Clock
 	interval time.Duration
@@ -20,16 +24,14 @@ type PA struct {
 
 	mu         sync.Mutex
 	collectors map[string]func() metrics.Snapshot
-	series     map[string][]Point // "source/kind/name" -> points
+	store      *telemetry.Store // created lazily so tests can tune maxPts
+	running    bool
 	stop       chan struct{}
 	stopOnce   sync.Once
 }
 
 // Point is one collected sample.
-type Point struct {
-	At    time.Time
-	Value float64
-}
+type Point = telemetry.Point
 
 // NewPA creates an aggregator. A zero interval defaults to 5 minutes.
 func NewPA(clock simclock.Clock, interval time.Duration) *PA {
@@ -42,11 +44,19 @@ func NewPA(clock simclock.Clock, interval time.Duration) *PA {
 	return &PA{
 		clock:      clock,
 		interval:   interval,
-		maxPts:     8192,
+		maxPts:     telemetry.DefaultRawCap,
 		collectors: map[string]func() metrics.Snapshot{},
-		series:     map[string][]Point{},
 		stop:       make(chan struct{}),
 	}
+}
+
+// storeLocked returns the backing store, creating it at the configured
+// capacity on first use.
+func (pa *PA) storeLocked() *telemetry.Store {
+	if pa.store == nil {
+		pa.store = telemetry.NewStore(pa.maxPts, 0)
+	}
+	return pa.store
 }
 
 // Register adds a counter source (typically an agent's or controller's
@@ -71,36 +81,39 @@ func (pa *PA) Collect() {
 	for k, v := range pa.collectors {
 		collectors[k] = v
 	}
+	st := pa.storeLocked()
 	pa.mu.Unlock()
 
 	now := pa.clock.Now()
 	for source, fn := range collectors {
 		snap := fn()
-		pa.mu.Lock()
 		for name, v := range snap.Counters {
-			pa.appendLocked(source+"/counter/"+name, Point{now, float64(v)})
+			st.Append(source+"/counter/"+name, now, float64(v))
 		}
 		for name, v := range snap.Gauges {
-			pa.appendLocked(source+"/gauge/"+name, Point{now, float64(v)})
+			st.Append(source+"/gauge/"+name, now, float64(v))
 		}
 		for name, s := range snap.Histograms {
-			pa.appendLocked(source+"/p50/"+name, Point{now, float64(s.P50) / 1e6})
-			pa.appendLocked(source+"/p99/"+name, Point{now, float64(s.P99) / 1e6})
+			st.Append(source+"/p50/"+name, now, float64(s.P50)/1e6)
+			st.Append(source+"/p99/"+name, now, float64(s.P99)/1e6)
 		}
-		pa.mu.Unlock()
 	}
 }
 
-func (pa *PA) appendLocked(key string, p Point) {
-	s := append(pa.series[key], p)
-	if len(s) > pa.maxPts {
-		s = s[len(s)-pa.maxPts:]
-	}
-	pa.series[key] = s
-}
-
-// Start collects on the interval until Stop.
+// Start collects on the interval until Stop. Start is idempotent: extra
+// calls while running (or after Stop) do nothing.
 func (pa *PA) Start() {
+	pa.mu.Lock()
+	defer pa.mu.Unlock()
+	if pa.running {
+		return
+	}
+	select {
+	case <-pa.stop:
+		return // stopped PAs stay stopped
+	default:
+	}
+	pa.running = true
 	go func() {
 		ticker := pa.clock.NewTicker(pa.interval)
 		defer ticker.Stop()
@@ -115,36 +128,29 @@ func (pa *PA) Start() {
 	}()
 }
 
-// Stop halts periodic collection.
+// Stop halts periodic collection. Idempotent.
 func (pa *PA) Stop() { pa.stopOnce.Do(func() { close(pa.stop) }) }
 
-// Series returns the samples for "source/kind/name" (kind: counter, gauge,
-// p50, p99; histogram values are milliseconds).
-func (pa *PA) Series(key string) []Point {
+// Store exposes the backing time-series store (e.g. for the debug server's
+// telemetry dump endpoint).
+func (pa *PA) Store() *telemetry.Store {
 	pa.mu.Lock()
 	defer pa.mu.Unlock()
-	return append([]Point(nil), pa.series[key]...)
+	return pa.storeLocked()
+}
+
+// Series returns the samples for "source/kind/name" (kind: counter, gauge,
+// p50, p99; histogram values are milliseconds), oldest first.
+func (pa *PA) Series(key string) []Point {
+	return pa.Store().Series(key)
 }
 
 // Latest returns the most recent sample for a key.
 func (pa *PA) Latest(key string) (Point, bool) {
-	pa.mu.Lock()
-	defer pa.mu.Unlock()
-	s := pa.series[key]
-	if len(s) == 0 {
-		return Point{}, false
-	}
-	return s[len(s)-1], true
+	return pa.Store().Latest(key)
 }
 
 // Keys lists collected series keys, sorted.
 func (pa *PA) Keys() []string {
-	pa.mu.Lock()
-	defer pa.mu.Unlock()
-	var out []string
-	for k := range pa.series {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return pa.Store().Keys()
 }

@@ -1,0 +1,240 @@
+package autopilot
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"pingmesh/internal/metrics"
+	"pingmesh/internal/simclock"
+)
+
+// oldPA is the pre-telemetry slice-based Perfcounter Aggregator storage,
+// kept verbatim as the reference for the differential test below. (Its
+// trim had the backing-array retention bug; values and visible behavior
+// were correct, memory was not.)
+type oldPA struct {
+	mu     sync.Mutex
+	maxPts int
+	series map[string][]Point
+}
+
+func newOldPA(maxPts int) *oldPA {
+	return &oldPA{maxPts: maxPts, series: map[string][]Point{}}
+}
+
+func (pa *oldPA) appendLocked(key string, p Point) {
+	s := append(pa.series[key], p)
+	if len(s) > pa.maxPts {
+		s = s[len(s)-pa.maxPts:]
+	}
+	pa.series[key] = s
+}
+
+func (pa *oldPA) collect(source string, snap metrics.Snapshot, now time.Time) {
+	pa.mu.Lock()
+	defer pa.mu.Unlock()
+	for name, v := range snap.Counters {
+		pa.appendLocked(source+"/counter/"+name, Point{At: now, Value: float64(v)})
+	}
+	for name, v := range snap.Gauges {
+		pa.appendLocked(source+"/gauge/"+name, Point{At: now, Value: float64(v)})
+	}
+	for name, s := range snap.Histograms {
+		pa.appendLocked(source+"/p50/"+name, Point{At: now, Value: float64(s.P50) / 1e6})
+		pa.appendLocked(source+"/p99/"+name, Point{At: now, Value: float64(s.P99) / 1e6})
+	}
+}
+
+func (pa *oldPA) Series(key string) []Point {
+	pa.mu.Lock()
+	defer pa.mu.Unlock()
+	return append([]Point(nil), pa.series[key]...)
+}
+
+func (pa *oldPA) Latest(key string) (Point, bool) {
+	pa.mu.Lock()
+	defer pa.mu.Unlock()
+	s := pa.series[key]
+	if len(s) == 0 {
+		return Point{}, false
+	}
+	return s[len(s)-1], true
+}
+
+func (pa *oldPA) Keys() []string {
+	pa.mu.Lock()
+	defer pa.mu.Unlock()
+	var out []string
+	for k := range pa.series {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestPADifferentialVsOldStore pins the PA's visible behavior across the
+// ring-buffer rebase: Series, Latest, and Keys must match the old
+// slice-based implementation sample-for-sample, including across the
+// pruning boundary.
+func TestPADifferentialVsOldStore(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	pa := NewPA(clock, 5*time.Minute)
+	pa.maxPts = 6
+	old := newOldPA(6)
+
+	reg := metrics.NewRegistry()
+	cnt := reg.Counter("probes")
+	g := reg.Gauge("peers")
+	h := reg.Histogram("rtt")
+	pa.Register("srv1", reg.Snapshot)
+	reg2 := metrics.NewRegistry()
+	cnt2 := reg2.Counter("probes")
+	pa.Register("srv2", reg2.Snapshot)
+
+	for round := 0; round < 20; round++ {
+		cnt.Add(int64(round%3) + 1)
+		cnt2.Add(int64(round % 5))
+		g.Set(int64(1000 - round))
+		h.Observe(time.Duration(round+1) * time.Millisecond)
+		pa.Collect()
+		now := clock.Now()
+		old.collect("srv1", reg.Snapshot(), now)
+		old.collect("srv2", reg2.Snapshot(), now)
+		clock.Advance(5 * time.Minute)
+	}
+
+	gotKeys, wantKeys := pa.Keys(), old.Keys()
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("Keys: got %v want %v", gotKeys, wantKeys)
+	}
+	for i := range wantKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Fatalf("Keys[%d]: got %q want %q", i, gotKeys[i], wantKeys[i])
+		}
+	}
+	for _, key := range append(wantKeys, "missing/counter/x") {
+		got, want := pa.Series(key), old.Series(key)
+		if len(got) != len(want) {
+			t.Fatalf("%s: len got %d want %d", key, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s[%d]: got %+v want %+v", key, i, got[i], want[i])
+			}
+		}
+		gl, gok := pa.Latest(key)
+		wl, wok := old.Latest(key)
+		if gok != wok || gl != wl {
+			t.Fatalf("%s Latest: got %+v %v want %+v %v", key, gl, gok, wl, wok)
+		}
+	}
+}
+
+// TestPAStartIdempotent: repeated Starts must not stack collection
+// goroutines (each would double-sample every interval).
+func TestPAStartIdempotent(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	pa := NewPA(clock, 5*time.Minute)
+	reg := metrics.NewRegistry()
+	reg.Counter("c").Add(1)
+	pa.Register("s", reg.Snapshot)
+
+	pa.Start()
+	pa.Start()
+	pa.Start()
+	defer pa.Stop()
+	waitFor(t, func() bool { return clock.PendingTimers() >= 1 })
+	if n := clock.PendingTimers(); n != 1 {
+		t.Fatalf("%d tickers pending after triple Start, want 1", n)
+	}
+	clock.Advance(5 * time.Minute)
+	waitFor(t, func() bool { return len(pa.Series("s/counter/c")) >= 1 })
+	time.Sleep(5 * time.Millisecond)
+	if n := len(pa.Series("s/counter/c")); n != 1 {
+		t.Fatalf("%d samples after one tick, want 1 (stacked collectors?)", n)
+	}
+}
+
+// TestPAStopIdempotentAndFinal: Stop twice is safe; Start after Stop stays
+// stopped.
+func TestPAStopIdempotentAndFinal(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	pa := NewPA(clock, 5*time.Minute)
+	reg := metrics.NewRegistry()
+	reg.Counter("c").Add(1)
+	pa.Register("s", reg.Snapshot)
+
+	pa.Start()
+	waitFor(t, func() bool { return clock.PendingTimers() >= 1 })
+	pa.Stop()
+	pa.Stop()
+	waitFor(t, func() bool { return clock.PendingTimers() == 0 })
+
+	pa.Start() // must not revive
+	time.Sleep(5 * time.Millisecond)
+	if n := clock.PendingTimers(); n != 0 {
+		t.Fatalf("Start after Stop scheduled %d tickers", n)
+	}
+	if n := len(pa.Series("s/counter/c")); n != 0 {
+		t.Fatalf("stopped PA collected %d samples", n)
+	}
+}
+
+// TestPABoundedSeries is the PA-level face of the retention fix: pushing
+// 10x maxPts samples leaves exactly maxPts retained, newest window, with
+// monotonic timestamps. (The backing-array bound itself is asserted
+// white-box in internal/telemetry's TestStoreBoundedBacking.)
+func TestPABoundedSeries(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	pa := NewPA(clock, 5*time.Minute)
+	pa.maxPts = 8
+	reg := metrics.NewRegistry()
+	c := reg.Counter("c")
+	pa.Register("s", reg.Snapshot)
+
+	for i := 0; i < 80; i++ {
+		c.Inc()
+		pa.Collect()
+		clock.Advance(5 * time.Minute)
+	}
+	s := pa.Series("s/counter/c")
+	if len(s) != 8 {
+		t.Fatalf("retained %d points, want 8", len(s))
+	}
+	for i, p := range s {
+		if want := float64(73 + i); p.Value != want {
+			t.Fatalf("series[%d]=%v want %v", i, p.Value, want)
+		}
+	}
+}
+
+func TestFleetTelemetryWatchdog(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	src := &fakeTelemetry{}
+	wd := NewFleetTelemetryWatchdog(src, clock, 15*time.Minute, 0.25)
+	if wd.Name != FleetTelemetryWatchdogName || wd.Device != FleetTelemetryDevice {
+		t.Fatalf("identity: %+v", wd)
+	}
+	// Empty fleet: healthy.
+	if err := wd.Check(); err != nil {
+		t.Fatalf("empty fleet unhealthy: %v", err)
+	}
+	src.agents, src.stale = 100, 0.2
+	if err := wd.Check(); err != nil {
+		t.Fatalf("20%% stale under 25%% budget flagged: %v", err)
+	}
+	src.stale = 0.3
+	if err := wd.Check(); err == nil {
+		t.Fatal("30% stale over 25% budget passed")
+	}
+}
+
+type fakeTelemetry struct {
+	agents int
+	stale  float64
+}
+
+func (f *fakeTelemetry) StaleFraction(time.Duration, time.Time) float64 { return f.stale }
+func (f *fakeTelemetry) AgentCount() int                                { return f.agents }

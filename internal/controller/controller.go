@@ -30,6 +30,7 @@ import (
 	"pingmesh/internal/metrics"
 	"pingmesh/internal/pinglist"
 	"pingmesh/internal/simclock"
+	"pingmesh/internal/telemetry"
 	"pingmesh/internal/topology"
 )
 
@@ -38,7 +39,8 @@ type Controller struct {
 	cfg       core.GeneratorConfig
 	clock     simclock.Clock
 	reg       *metrics.Registry
-	ringDepth int // previous generations retained for delta serving
+	ringDepth int                  // previous generations retained for delta serving
+	telemetry *telemetry.Collector // nil unless Options.Telemetry mounted one
 
 	state atomic.Pointer[state] // current generation
 	gen   atomic.Uint64         // version counter
@@ -73,6 +75,11 @@ type Options struct {
 	// form) for serving delta updates. 0 means DefaultDeltaRing; negative
 	// disables delta serving entirely.
 	DeltaRing int
+	// Telemetry, if non-nil, mounts the fleet telemetry collector under
+	// /telemetry/ on the controller's data-plane handler, so agents ship
+	// their perfcounter reports to the same VIP they fetch pinglists from
+	// (§3.5: the PA shares the controller's web-service footprint).
+	Telemetry *telemetry.Collector
 }
 
 // New builds a controller with default options and runs the first
@@ -93,7 +100,7 @@ func NewWithOptions(top *topology.Topology, cfg core.GeneratorConfig, clock simc
 	if depth < 0 {
 		depth = 0
 	}
-	c := &Controller{cfg: cfg, clock: clock, reg: metrics.NewRegistry(), ringDepth: depth}
+	c := &Controller{cfg: cfg, clock: clock, reg: metrics.NewRegistry(), ringDepth: depth, telemetry: opts.Telemetry}
 	c.cServes = c.reg.Counter("controller.pinglist_serves")
 	c.cBytes = c.reg.Counter("controller.bytes_served")
 	c.cNotModified = c.reg.Counter("controller.not_modified")
@@ -275,6 +282,7 @@ func (c *Controller) SaveToDir(dir string) error {
 //	                        A-IM: pingmesh-delta → 226 patch responses
 //	GET /version            current generation id
 //	GET /healthz            liveness for the SLB health prober
+//	POST /telemetry/report  agent PMT1 perfcounter reports (when mounted)
 //
 // Conditional-GET, gzip negotiation and cached delta serving all follow
 // the shared httpcache discipline: the steady-state paths (304, cached
@@ -323,5 +331,8 @@ func (c *Controller) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if c.telemetry != nil {
+		mux.Handle("/telemetry/", http.StripPrefix("/telemetry", c.telemetry.Handler()))
+	}
 	return mux
 }

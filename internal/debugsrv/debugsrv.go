@@ -15,8 +15,20 @@ import (
 	"strconv"
 
 	"pingmesh/internal/metrics"
+	"pingmesh/internal/telemetry"
 	"pingmesh/internal/trace"
 )
+
+// SeriesSource is the slice of a time-series store the /telemetry dump
+// reads — satisfied by *telemetry.Store (and so by autopilot.PA.Store()
+// and Collector.Store()), letting every binary serve its own recent
+// series without a fleet collector.
+type SeriesSource interface {
+	Keys() []string
+	Series(key string) []telemetry.Point
+	Hourly(key string) []telemetry.Point
+	Latest(key string) (telemetry.Point, bool)
+}
 
 // Config selects what the debug server exposes. All fields are optional:
 // a zero Config still serves pprof and the index.
@@ -29,6 +41,9 @@ type Config struct {
 	Budget trace.Budget
 	// Metrics backs /metrics. Nil disables the endpoint.
 	Metrics *metrics.Exposition
+	// Series backs /telemetry: the binary's own recent time series. Nil
+	// disables the endpoint.
+	Series SeriesSource
 }
 
 // Handler returns the debug mux:
@@ -38,6 +53,7 @@ type Config struct {
 //	GET /debug/trace   tracer span dump; ?trace=<hex id> for one trace
 //	GET /health        freshness verdict: 200 ok/waiting, 503 degraded
 //	GET /metrics       Prometheus text exposition
+//	GET /telemetry     series keys; ?key=<k> for points, &tier=hourly
 func Handler(cfg Config) http.Handler {
 	if cfg.Budget == (trace.Budget{}) {
 		cfg.Budget = trace.DefaultBudget()
@@ -56,6 +72,9 @@ func Handler(cfg Config) http.Handler {
 			cfg.Metrics.WriteTo(w)
 		})
 	}
+	if cfg.Series != nil {
+		mux.HandleFunc("/telemetry", func(w http.ResponseWriter, r *http.Request) { serveTelemetry(cfg, w, r) })
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -64,6 +83,9 @@ func Handler(cfg Config) http.Handler {
 		endpoints := []string{"/debug/pprof/", "/debug/trace", "/health"}
 		if cfg.Metrics != nil {
 			endpoints = append(endpoints, "/metrics")
+		}
+		if cfg.Series != nil {
+			endpoints = append(endpoints, "/telemetry")
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"service":   "pingmesh-debug",
@@ -104,6 +126,29 @@ func serveHealth(cfg Config, w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, h)
+}
+
+// serveTelemetry dumps the binary's own series: a bare GET lists keys,
+// ?key= returns that key's raw points, &tier=hourly its downsampled tier.
+func serveTelemetry(cfg Config, w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeJSON(w, http.StatusOK, map[string]any{"keys": cfg.Series.Keys()})
+		return
+	}
+	var pts []telemetry.Point
+	if r.URL.Query().Get("tier") == "hourly" {
+		pts = cfg.Series.Hourly(key)
+	} else {
+		pts = cfg.Series.Series(key)
+	}
+	if pts == nil {
+		if _, ok := cfg.Series.Latest(key); !ok {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown key"})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"key": key, "points": pts})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

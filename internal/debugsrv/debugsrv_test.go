@@ -11,6 +11,7 @@ import (
 
 	"pingmesh/internal/metrics"
 	"pingmesh/internal/simclock"
+	"pingmesh/internal/telemetry"
 	"pingmesh/internal/trace"
 )
 
@@ -205,5 +206,59 @@ func TestServeBindsAndCloses(t *testing.T) {
 	}
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestTelemetryEndpoint(t *testing.T) {
+	st := telemetry.NewStore(8, 4)
+	at := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 30; i++ {
+		st.Append("agent/counter/probes", at.Add(time.Duration(i)*5*time.Minute), float64(i))
+	}
+	h := Handler(Config{Series: st})
+
+	res, body := get(t, h, "/telemetry")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("keys status = %d", res.StatusCode)
+	}
+	var keys struct {
+		Keys []string `json:"keys"`
+	}
+	if err := json.Unmarshal(body, &keys); err != nil || len(keys.Keys) != 1 {
+		t.Fatalf("keys = %v err=%v", keys, err)
+	}
+
+	res, body = get(t, h, "/telemetry?key=agent/counter/probes")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("series status = %d", res.StatusCode)
+	}
+	var series struct {
+		Points []telemetry.Point `json:"points"`
+	}
+	if err := json.Unmarshal(body, &series); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(series.Points) != 8 {
+		t.Fatalf("%d raw points, want ring cap 8", len(series.Points))
+	}
+	if series.Points[7].Value != 29 {
+		t.Fatalf("newest point = %v", series.Points[7])
+	}
+
+	res, body = get(t, h, "/telemetry?key=agent/counter/probes&tier=hourly")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("hourly status = %d", res.StatusCode)
+	}
+	if err := json.Unmarshal(body, &series); err != nil || len(series.Points) == 0 {
+		t.Fatalf("hourly points = %d err=%v", len(series.Points), err)
+	}
+
+	if res, _ := get(t, h, "/telemetry?key=nope"); res.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown key status = %d", res.StatusCode)
+	}
+
+	// Without a Series source the endpoint is absent.
+	if res, _ := get(t, Handler(Config{}), "/telemetry"); res.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled endpoint status = %d", res.StatusCode)
 	}
 }

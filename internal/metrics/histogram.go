@@ -287,6 +287,9 @@ func (h *Histogram) Reset() {
 // Figure 4(b).
 type Summary struct {
 	Count uint64
+	// Sum is the total of all observations; Sum/Count gives the mean
+	// without bucket math, and successive sums give rates.
+	Sum   time.Duration
 	Mean  time.Duration
 	P50   time.Duration
 	P90   time.Duration
@@ -300,6 +303,7 @@ type Summary struct {
 func (h *Histogram) Summarize() Summary {
 	return Summary{
 		Count: h.count,
+		Sum:   h.Sum(),
 		Mean:  h.Mean(),
 		P50:   h.Percentile(0.50),
 		P90:   h.Percentile(0.90),
@@ -312,8 +316,8 @@ func (h *Histogram) Summarize() Summary {
 
 // String renders the summary in a compact human-readable form.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d p50=%v p99=%v p99.9=%v p99.99=%v max=%v",
-		s.Count, s.P50, s.P99, s.P999, s.P9999, s.Max)
+	return fmt.Sprintf("n=%d sum=%v mean=%v p50=%v p99=%v p99.9=%v p99.99=%v max=%v",
+		s.Count, s.Sum, s.Mean, s.P50, s.P99, s.P999, s.P9999, s.Max)
 }
 
 // CDF returns (value, cumulative-fraction) points for plotting the latency

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -201,6 +202,16 @@ func TestHistogramSummary(t *testing.T) {
 	}
 	if s.String() == "" {
 		t.Fatal("empty String()")
+	}
+	// Sum is exact (not bucket-estimated): 1+2+...+1000 microseconds.
+	if want := time.Duration(1000*1001/2) * time.Microsecond; s.Sum != want {
+		t.Fatalf("Sum = %v, want %v", s.Sum, want)
+	}
+	if want := s.Sum / time.Duration(s.Count); s.Mean != want {
+		t.Fatalf("Mean = %v, want Sum/Count = %v", s.Mean, want)
+	}
+	if !strings.Contains(s.String(), "sum=") || !strings.Contains(s.String(), "mean=") {
+		t.Fatalf("String() missing sum/mean: %q", s.String())
 	}
 }
 

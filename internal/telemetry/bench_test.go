@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEncode measures the steady-state PMT1 encode cost for the
+// realistic agent registry: counters bumped, a fresh RTT observed, one
+// report built. Must report 0 B/op.
+func BenchmarkEncode(b *testing.B) {
+	reg, enc, col := telemetryFixture()
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		data, seq := enc.Encode(now.UnixNano())
+		if _, err := col.Ingest(data, now); err != nil {
+			b.Fatal(err)
+		}
+		enc.Ack(seq)
+		now = now.Add(5 * time.Minute)
+	}
+	h := reg.Histogram("agent.probe_rtt")
+	cnt := reg.Counter("agent.probes_sent")
+	var bytes int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cnt.Add(3)
+		h.Observe(2 * time.Millisecond)
+		data, seq := enc.Encode(now.UnixNano())
+		bytes += int64(len(data))
+		enc.Ack(seq)
+	}
+	b.SetBytes(bytes / int64(b.N))
+}
+
+// BenchmarkIngest measures the steady-state collector fold: validate,
+// dedup check, counter/gauge/histogram fold into all four rollup levels.
+// Must report 0 B/op.
+func BenchmarkIngest(b *testing.B) {
+	reg, enc, col := telemetryFixture()
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		data, seq := enc.Encode(now.UnixNano())
+		if _, err := col.Ingest(data, now); err != nil {
+			b.Fatal(err)
+		}
+		enc.Ack(seq)
+		now = now.Add(5 * time.Minute)
+	}
+	h := reg.Histogram("agent.probe_rtt")
+	cnt := reg.Counter("agent.probes_sent")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cnt.Add(3)
+		h.Observe(2 * time.Millisecond)
+		data, _ := enc.Encode(now.UnixNano())
+		res, err := col.Ingest(data, now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc.Ack(res.Ack)
+	}
+}

@@ -1,0 +1,268 @@
+package telemetry
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"pingmesh/internal/metrics"
+	"pingmesh/internal/simclock"
+)
+
+// Shipper periodically encodes a registry into PMT1 reports and POSTs them
+// to a collector. It is the agent-side half of the §3.5 perfcounter path:
+// one report per interval, gzip-compressed, retried with the same capped
+// equal-jitter backoff the pinglist client uses, acknowledged so the next
+// report's deltas start where the collector actually is. A 409 from the
+// collector (it lost our base — restart, failover) triggers a Rebase and
+// the next report goes out self-contained.
+//
+// Shipper runs one report at a time from one goroutine; retries resend the
+// same bytes, so a report applied whose ack was lost is deduplicated by
+// the collector's seq check.
+type Shipper struct {
+	// URL is the collector's report endpoint, e.g.
+	// "http://controller:8080/telemetry/report".
+	URL string
+	// Src identifies this agent on the wire (typically its server name).
+	Src string
+	// Scope is the agent's position in the rollup hierarchy, e.g.
+	// "d0.s1.p2" for DC d0, podset s1, pod p2. Empty folds into fleet only.
+	Scope string
+	// Registry is the metrics source.
+	Registry *metrics.Registry
+
+	// HTTPClient optionally overrides the transport. Defaults to a client
+	// with a 10s timeout and keep-alives off (reports are minutes apart).
+	HTTPClient *http.Client
+	// Clock drives the report loop and backoff sleeps. nil means wall time.
+	Clock simclock.Clock
+	// Interval is the reporting cadence. Default 5 minutes (§3.5).
+	Interval time.Duration
+	// NoGzip ships reports uncompressed.
+	NoGzip bool
+
+	// MaxRetries bounds transient-failure retries per report. 0 means the
+	// default of 2 (three attempts total); negative disables retries.
+	MaxRetries int
+	// BackoffBase is the first retry's nominal delay (default 100ms),
+	// doubling per retry up to BackoffMax (default 2s), equal-jittered.
+	BackoffBase time.Duration
+	// BackoffMax caps the nominal backoff delay.
+	BackoffMax time.Duration
+
+	enc   *Encoder
+	zbuf  bytes.Buffer
+	zw    *gzip.Writer
+	stats ShipperStats
+}
+
+// ShipperStats counts the shipper's transport behaviour.
+type ShipperStats struct {
+	// Reports is the number of reports acknowledged by the collector.
+	Reports int64
+	// BytesOnWire is total body bytes sent (compressed size when gzip).
+	BytesOnWire int64
+	// Retries is how many transient-failure retries were attempted.
+	Retries int64
+	// Resyncs is how many 409 responses triggered a rebase.
+	Resyncs int64
+	// Errors is how many reports were abandoned after retries ran out.
+	Errors int64
+}
+
+// Stats returns a snapshot of the shipper's counters. Call from the
+// shipper's goroutine or after Run returns.
+func (s *Shipper) Stats() ShipperStats { return s.stats }
+
+var shipperClient = &http.Client{
+	Timeout:   10 * time.Second,
+	Transport: &http.Transport{DisableKeepAlives: true},
+}
+
+func (s *Shipper) httpClient() *http.Client {
+	if s.HTTPClient != nil {
+		return s.HTTPClient
+	}
+	return shipperClient
+}
+
+func (s *Shipper) clock() simclock.Clock {
+	if s.Clock != nil {
+		return s.Clock
+	}
+	return simclock.NewReal()
+}
+
+func (s *Shipper) interval() time.Duration {
+	if s.Interval > 0 {
+		return s.Interval
+	}
+	return 5 * time.Minute
+}
+
+func (s *Shipper) maxRetries() int {
+	switch {
+	case s.MaxRetries < 0:
+		return 0
+	case s.MaxRetries == 0:
+		return 2
+	default:
+		return s.MaxRetries
+	}
+}
+
+func (s *Shipper) backoff(attempt int) time.Duration {
+	base, max := s.BackoffBase, s.BackoffMax
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// Run reports every Interval until ctx is done, then ships one final
+// report so the collector sees activity up to shutdown.
+func (s *Shipper) Run(ctx context.Context) {
+	clk := s.clock()
+	ticker := clk.NewTicker(s.interval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			final, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			s.ReportOnce(final)
+			cancel()
+			return
+		case <-ticker.C:
+			s.ReportOnce(ctx)
+		}
+	}
+}
+
+// ReportOnce builds and ships one report. Transient failures (transport
+// errors, 5xx) retry the same bytes with backoff; a 409 rebases the
+// encoder and returns nil (the next interval's report is self-contained).
+// Permanent failures and retry exhaustion return the error; the deltas are
+// not lost — the next report re-carries them against the same base.
+func (s *Shipper) ReportOnce(ctx context.Context) error {
+	if s.enc == nil {
+		s.enc = NewEncoder(s.Src, s.Scope, s.Registry)
+	}
+	data, seq := s.enc.Encode(s.clock().Now().UnixNano())
+	body := data
+	if !s.NoGzip {
+		s.zbuf.Reset()
+		if s.zw == nil {
+			s.zw = gzip.NewWriter(&s.zbuf)
+		} else {
+			s.zw.Reset(&s.zbuf)
+		}
+		s.zw.Write(data)
+		if err := s.zw.Close(); err != nil {
+			return fmt.Errorf("telemetry: gzip report: %w", err)
+		}
+		body = s.zbuf.Bytes()
+	}
+
+	err := s.post(ctx, body, seq)
+	for attempt := 0; attempt < s.maxRetries(); attempt++ {
+		if err == nil || !isTransient(err) || ctx.Err() != nil {
+			break
+		}
+		s.stats.Retries++
+		if serr := sleepClock(ctx, s.clock(), s.backoff(attempt)); serr != nil {
+			break
+		}
+		err = s.post(ctx, body, seq)
+	}
+	if err != nil {
+		s.stats.Errors++
+	}
+	return err
+}
+
+func (s *Shipper) post(ctx context.Context, body []byte, seq uint64) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.URL, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("telemetry: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if !s.NoGzip {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	resp, err := s.httpClient().Do(req)
+	if err != nil {
+		return &transientError{fmt.Errorf("telemetry: ship report: %w", err)}
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var ack struct {
+			Ack uint64 `json:"ack"`
+		}
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&ack); err != nil {
+			return fmt.Errorf("telemetry: parse ack: %w", err)
+		}
+		if ack.Ack != seq {
+			return fmt.Errorf("telemetry: collector acked %d, sent %d", ack.Ack, seq)
+		}
+		s.enc.Ack(seq)
+		s.stats.Reports++
+		s.stats.BytesOnWire += int64(len(body))
+		return nil
+	case http.StatusConflict:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		s.enc.Rebase()
+		s.stats.Resyncs++
+		return nil
+	default:
+		io.Copy(io.Discard, resp.Body)
+		err := fmt.Errorf("telemetry: ship report: status %d", resp.StatusCode)
+		if resp.StatusCode >= 500 {
+			return &transientError{err}
+		}
+		return err
+	}
+}
+
+// sleepClock blocks for d on the given clock, or until ctx is done.
+func sleepClock(ctx context.Context, clk simclock.Clock, d time.Duration) error {
+	t := clk.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// transientError marks failures worth retrying: transport errors and 5xx —
+// the shapes a restarting collector produces.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+func isTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
+}

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"pingmesh/internal/metrics"
+)
+
+// telemetryFixture builds a realistic agent registry (the metric shapes the
+// real agent registers) plus an encoder and a warmed collector.
+func telemetryFixture() (*metrics.Registry, *Encoder, *Collector) {
+	reg := metrics.NewRegistry()
+	for _, n := range []string{
+		"agent.probes_sent", "agent.probes_failed", "agent.uploads_ok",
+		"agent.uploads_failed", "agent.fetches_ok",
+	} {
+		reg.Counter(n).Add(1)
+	}
+	reg.Gauge("agent.peers").Set(40)
+	for _, n := range []string{"agent.probe_rtt", "agent.fetch.duration", "agent.flush.duration"} {
+		h := reg.Histogram(n)
+		for i := 0; i < 32; i++ {
+			h.Observe(time.Duration(i+1) * time.Millisecond)
+		}
+	}
+	enc := NewEncoder("srv-alloc", "d0.s1.p2", reg)
+	col := NewCollector(CollectorConfig{})
+	return reg, enc, col
+}
+
+// TestEncodeZeroAlloc guards the steady-state encode path: after warmup
+// (maps populated, buffers sized), Encode must not allocate.
+func TestEncodeZeroAlloc(t *testing.T) {
+	reg, enc, col := telemetryFixture()
+	now := time.Unix(1000, 0)
+	// Warm: two acked rounds size every buffer and map.
+	for i := 0; i < 2; i++ {
+		data, seq := enc.Encode(now.UnixNano())
+		if _, err := col.Ingest(data, now); err != nil {
+			t.Fatal(err)
+		}
+		enc.Ack(seq)
+		now = now.Add(5 * time.Minute)
+	}
+	h := reg.Histogram("agent.probe_rtt")
+	cnt := reg.Counter("agent.probes_sent")
+	allocs := testing.AllocsPerRun(100, func() {
+		cnt.Add(3)
+		h.Observe(2 * time.Millisecond)
+		data, seq := enc.Encode(now.UnixNano())
+		_ = data
+		enc.Ack(seq)
+	})
+	if allocs != 0 {
+		t.Fatalf("Encode allocates %v allocs/op in steady state, want 0", allocs)
+	}
+}
+
+// TestIngestZeroAlloc guards the steady-state ingest path: with the agent
+// and every metric already registered, folding a report must not allocate.
+func TestIngestZeroAlloc(t *testing.T) {
+	reg, enc, col := telemetryFixture()
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		data, seq := enc.Encode(now.UnixNano())
+		if _, err := col.Ingest(data, now); err != nil {
+			t.Fatal(err)
+		}
+		enc.Ack(seq)
+		now = now.Add(5 * time.Minute)
+	}
+	h := reg.Histogram("agent.probe_rtt")
+	cnt := reg.Counter("agent.probes_sent")
+	allocs := testing.AllocsPerRun(100, func() {
+		cnt.Add(3)
+		h.Observe(2 * time.Millisecond)
+		data, seq := enc.Encode(now.UnixNano())
+		res, err := col.Ingest(data, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc.Ack(res.Ack)
+		_ = seq
+	})
+	if allocs != 0 {
+		t.Fatalf("Encode+Ingest allocates %v allocs/op in steady state, want 0", allocs)
+	}
+}

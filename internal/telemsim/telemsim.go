@@ -1,0 +1,470 @@
+// Package telemsim is the telemetry-plane load harness: it drives a very
+// large simulated agent fleet (up to millions) against a real telemetry
+// Collector and measures what the §3.5 perfcounter path costs at
+// fleet scale — collector ingest throughput, bytes per agent per
+// reporting interval on the PMT1 wire, and fleet-rollup latency.
+//
+// Modeling note: running a million real Encoders is neither feasible nor
+// necessary — an Encoder carries base/pending maps and a scratch
+// histogram so it can re-carry unacked deltas, but a fleet whose reports
+// are all delivered and acked ships exactly its per-window increments.
+// The harness therefore keeps one 8-byte RNG per agent and synthesizes
+// each report directly with the real ReportBuilder: counter deltas drawn
+// from the RNG, histogram windows observed into one shared scratch
+// histogram and emitted as the same sparse bucket runs the Encoder
+// produces. Every byte still crosses the real wire format and the real
+// Collector.Ingest path (validate, dedup, fold, rollup), so throughput
+// and byte numbers are measured, not modeled. Duplicate delivery — the
+// retry-after-lost-ack case — is injected at a configurable rate to keep
+// the dedup path hot; in -check mode a global exact histogram and counter
+// tally observe every draw, and the run fails unless the fleet rollups
+// match them bit for bit.
+package telemsim
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"time"
+
+	"pingmesh/internal/metrics"
+	"pingmesh/internal/simclock"
+	"pingmesh/internal/telemetry"
+)
+
+// Config describes one telemetry-harness run.
+type Config struct {
+	// Agents is the simulated fleet size. Required.
+	Agents int
+	// DCs/PodsetsPerDC/PodsPerPodset shape the scope hierarchy agents are
+	// distributed over (round-robin by pod). Defaults 8/25/25: 5000 pods,
+	// so a 1M-agent fleet puts 200 agents in each pod-level rollup.
+	DCs           int
+	PodsetsPerDC  int
+	PodsPerPodset int
+
+	// Rounds is how many reporting intervals to simulate. Default 3.
+	Rounds int
+	// Interval is the reporting cadence on sim time. Default 5 minutes.
+	Interval time.Duration
+	// ObsPerHist is RTT observations per agent per round. Default 32.
+	ObsPerHist int
+	// DupRate is the probability a report is delivered twice (the
+	// retry-after-lost-ack case the collector must dedup). Default 0.01.
+	DupRate float64
+	// GzipSampleEvery samples every Nth report through gzip to estimate
+	// the compressed wire size without gzipping the whole fleet.
+	// Default 1024; negative disables sampling.
+	GzipSampleEvery int
+	// Seed decorrelates runs. Default 1.
+	Seed uint64
+	// Check verifies fleet rollups against exact shadow tallies: counter
+	// sums equal, histogram buckets and percentiles bit-identical.
+	Check bool
+	// Start anchors sim time. Default 2026-07-01T00:00:00Z.
+	Start time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.DCs <= 0 {
+		c.DCs = 8
+	}
+	if c.PodsetsPerDC <= 0 {
+		c.PodsetsPerDC = 25
+	}
+	if c.PodsPerPodset <= 0 {
+		c.PodsPerPodset = 25
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 3
+	}
+	if c.Interval <= 0 {
+		c.Interval = 5 * time.Minute
+	}
+	if c.ObsPerHist <= 0 {
+		c.ObsPerHist = 32
+	}
+	if c.DupRate < 0 {
+		c.DupRate = 0
+	}
+	if c.GzipSampleEvery == 0 {
+		c.GzipSampleEvery = 1024
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return c
+}
+
+// Report is one run's measurements.
+type Report struct {
+	Agents int    `json:"agents"`
+	Rounds int    `json:"rounds"`
+	Pods   int    `json:"pods"`
+	Seed   uint64 `json:"seed"`
+
+	IntervalSec float64 `json:"intervalSec"`
+	ObsPerHist  int     `json:"obsPerHist"`
+	DupRate     float64 `json:"dupRate"`
+
+	// Reports is deliveries folded by the collector; Duplicates is resent
+	// deliveries it deduplicated on top of that.
+	Reports    int64 `json:"reports"`
+	Duplicates int64 `json:"duplicates"`
+
+	// PMT1Bytes is total uncompressed wire bytes across all deliveries.
+	PMT1Bytes                int64   `json:"pmt1Bytes"`
+	BytesPerAgentPerInterval float64 `json:"bytesPerAgentPerInterval"`
+	// GzipRatio is compressed/raw over the sampled reports (0 when
+	// sampling is off); GzipBytesPerAgentEst scales the raw per-agent
+	// number by it.
+	GzipRatio            float64 `json:"gzipRatio"`
+	GzipBytesPerAgentEst float64 `json:"gzipBytesPerAgentEst"`
+
+	// Ingest cost: wall seconds spent inside Collector.Ingest across the
+	// run, and the derived rates.
+	IngestWallSec  float64 `json:"ingestWallSec"`
+	ReportsPerSec  float64 `json:"reportsPerSec"`
+	IngestMBPerSec float64 `json:"ingestMBPerSec"`
+
+	// Rollup sampling cost: wall seconds per SampleRollups call (one per
+	// round), which walks every scope-level rollup into the store.
+	RollupAvgSec float64 `json:"rollupAvgSec"`
+	RollupMaxSec float64 `json:"rollupMaxSec"`
+	SeriesKeys   int     `json:"seriesKeys"`
+
+	// HeapMB is the process heap after the final round (collector state,
+	// rollups, store, and the harness's own tables), HeapDeltaMB the
+	// growth since before the fleet was built.
+	HeapMB      float64 `json:"heapMB"`
+	HeapDeltaMB float64 `json:"heapDeltaMB"`
+
+	// Headline fleet percentiles, for scale context.
+	FleetRTTCount uint64  `json:"fleetRttCount"`
+	FleetRTTP50Ns int64   `json:"fleetRttP50Ns"`
+	FleetRTTP99Ns int64   `json:"fleetRttP99Ns"`
+	CheckRan      bool    `json:"checkRan"`
+	WallSec       float64 `json:"wallSec"`
+}
+
+// seedFor spreads the run seed over agent indices (splitmix64 step), so
+// adjacent agents get decorrelated streams and seed 0 still works.
+func seedFor(seed uint64, i int) uint64 {
+	z := seed + uint64(i)*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// next steps an xorshift64* generator.
+func next(s *uint64) uint64 {
+	x := *s
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// unitFloat draws from [0, 1).
+func unitFloat(s *uint64) float64 {
+	return float64(next(s)>>11) / float64(1<<53)
+}
+
+// shadow is the exact per-metric tally the -check pass compares fleet
+// rollups against.
+type shadow struct {
+	probesSent, probesFailed, uploadsOK int64
+	peers                               int64
+	rtt, fetch                          *metrics.Histogram
+}
+
+// Run executes one telemetry simulation and returns its report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Agents <= 0 {
+		return nil, errors.New("telemsim: Agents must be positive")
+	}
+	wallStart := time.Now()
+
+	var mBefore runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&mBefore)
+
+	clock := simclock.NewSim(cfg.Start)
+	col := telemetry.NewCollector(telemetry.CollectorConfig{
+		Clock:          clock,
+		SampleInterval: cfg.Interval,
+	})
+
+	pods := cfg.DCs * cfg.PodsetsPerDC * cfg.PodsPerPodset
+	scopes := make([]string, pods)
+	for i := range scopes {
+		dc := i / (cfg.PodsetsPerDC * cfg.PodsPerPodset)
+		ps := (i / cfg.PodsPerPodset) % cfg.PodsetsPerDC
+		pod := i % cfg.PodsPerPodset
+		scopes[i] = "dc" + strconv.Itoa(dc) + ".ps" + strconv.Itoa(ps) + ".pod" + strconv.Itoa(pod)
+	}
+	names := make([]string, cfg.Agents)
+	for i := range names {
+		names[i] = "a" + strconv.Itoa(i)
+	}
+	// Per-agent state is one RNG word: an always-acked fleet's next report
+	// is a pure function of its window draws (see package comment).
+	rngs := make([]uint64, cfg.Agents)
+	for i := range rngs {
+		rngs[i] = seedFor(cfg.Seed, i)
+	}
+
+	var sh *shadow
+	if cfg.Check {
+		sh = &shadow{rtt: metrics.NewLatencyHistogram(), fetch: metrics.NewLatencyHistogram()}
+	}
+
+	rep := &Report{
+		Agents: cfg.Agents, Rounds: cfg.Rounds, Pods: pods, Seed: cfg.Seed,
+		IntervalSec: cfg.Interval.Seconds(), ObsPerHist: cfg.ObsPerHist,
+		DupRate: cfg.DupRate, CheckRan: cfg.Check,
+	}
+
+	var (
+		b           telemetry.ReportBuilder
+		scratch     = metrics.NewLatencyHistogram()
+		fscratch    = metrics.NewLatencyHistogram()
+		zbuf        bytes.Buffer
+		zw          = gzip.NewWriter(&zbuf)
+		gzRaw       int64
+		gzOut       int64
+		ingestDur   time.Duration
+		rollupDur   []time.Duration
+		nDelivery   int64
+		uniqueBytes int64
+	)
+	fetchObs := cfg.ObsPerHist / 4
+	if fetchObs < 1 {
+		fetchObs = 1
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		seq := uint64(round + 1)
+		base := uint64(round) // acked previous seq; 0 = self-contained
+		nowNS := clock.Now().UnixNano()
+		for i := 0; i < cfg.Agents; i++ {
+			rng := &rngs[i]
+			b.Begin(names[i], scopes[i%pods], seq, base, nowNS)
+
+			sent := 200 + next(rng)%100
+			failed := next(rng) % 3
+			uploads := 1 + next(rng)%3
+			b.Counter("agent.probes_sent", sent)
+			if failed != 0 {
+				b.Counter("agent.probes_failed", failed)
+			}
+			b.Counter("agent.uploads_ok", uploads)
+
+			var peersDelta int64
+			if round == 0 {
+				peersDelta = int64(2000 + next(rng)%200)
+			} else {
+				peersDelta = int64(next(rng)%21) - 10
+			}
+			if peersDelta != 0 {
+				b.Gauge("agent.peers", peersDelta)
+			}
+			if sh != nil {
+				sh.probesSent += int64(sent)
+				sh.probesFailed += int64(failed)
+				sh.uploadsOK += int64(uploads)
+				sh.peers += peersDelta
+			}
+
+			scratch.Reset()
+			for o := 0; o < cfg.ObsPerHist; o++ {
+				v := time.Duration(150_000 + next(rng)%200_000)
+				if next(rng)%100 == 0 {
+					v += time.Duration(next(rng) % 5_000_000)
+				}
+				scratch.Observe(v)
+				if sh != nil {
+					sh.rtt.Observe(v)
+				}
+			}
+			emitHist(&b, "agent.rtt", scratch)
+
+			fscratch.Reset()
+			for o := 0; o < fetchObs; o++ {
+				v := time.Duration(1_000_000 + next(rng)%4_000_000)
+				fscratch.Observe(v)
+				if sh != nil {
+					sh.fetch.Observe(v)
+				}
+			}
+			emitHist(&b, "agent.fetch.duration", fscratch)
+
+			data := b.Finish()
+			uniqueBytes += int64(len(data))
+			rep.PMT1Bytes += int64(len(data))
+			deliver := 1
+			if cfg.DupRate > 0 && unitFloat(rng) < cfg.DupRate {
+				deliver = 2
+			}
+			for d := 0; d < deliver; d++ {
+				t0 := time.Now()
+				res, err := col.Ingest(data, clock.Now())
+				ingestDur += time.Since(t0)
+				if err != nil {
+					return nil, fmt.Errorf("telemsim: agent %d round %d: %w", i, round, err)
+				}
+				if res.Resync {
+					return nil, fmt.Errorf("telemsim: agent %d round %d: unexpected resync", i, round)
+				}
+				if res.Ack != seq {
+					return nil, fmt.Errorf("telemsim: agent %d round %d: ack %d, want %d", i, round, res.Ack, seq)
+				}
+				if d == 1 {
+					if !res.Duplicate {
+						return nil, fmt.Errorf("telemsim: agent %d round %d: resend not deduplicated", i, round)
+					}
+					rep.Duplicates++
+					rep.PMT1Bytes += int64(len(data))
+				}
+			}
+			nDelivery += int64(deliver)
+			if cfg.GzipSampleEvery > 0 && nDelivery%int64(cfg.GzipSampleEvery) == 0 {
+				zbuf.Reset()
+				zw.Reset(&zbuf)
+				zw.Write(data)
+				zw.Close()
+				gzRaw += int64(len(data))
+				gzOut += int64(zbuf.Len())
+			}
+		}
+		rep.Reports += int64(cfg.Agents)
+		t0 := time.Now()
+		col.SampleRollups(clock.Now())
+		rollupDur = append(rollupDur, time.Since(t0))
+		clock.Advance(cfg.Interval)
+	}
+
+	rep.IngestWallSec = ingestDur.Seconds()
+	if rep.IngestWallSec > 0 {
+		rep.ReportsPerSec = float64(rep.Reports+rep.Duplicates) / rep.IngestWallSec
+		rep.IngestMBPerSec = float64(rep.PMT1Bytes) / 1e6 / rep.IngestWallSec
+	}
+	rep.BytesPerAgentPerInterval = float64(uniqueBytes) / float64(rep.Reports)
+	if gzRaw > 0 {
+		rep.GzipRatio = float64(gzOut) / float64(gzRaw)
+		rep.GzipBytesPerAgentEst = rep.BytesPerAgentPerInterval * rep.GzipRatio
+	}
+	var rollupTotal time.Duration
+	for _, d := range rollupDur {
+		rollupTotal += d
+		if s := d.Seconds(); s > rep.RollupMaxSec {
+			rep.RollupMaxSec = s
+		}
+	}
+	rep.RollupAvgSec = rollupTotal.Seconds() / float64(len(rollupDur))
+	rep.SeriesKeys = len(col.Store().Keys())
+
+	if fleet, ok := col.RollupHistogram("fleet", "agent.rtt"); ok {
+		rep.FleetRTTCount = fleet.Count()
+		rep.FleetRTTP50Ns = int64(fleet.Percentile(0.50))
+		rep.FleetRTTP99Ns = int64(fleet.Percentile(0.99))
+	}
+
+	var mAfter runtime.MemStats
+	runtime.ReadMemStats(&mAfter)
+	rep.HeapMB = float64(mAfter.HeapAlloc) / 1e6
+	rep.HeapDeltaMB = float64(mAfter.HeapAlloc-mBefore.HeapAlloc) / 1e6
+
+	if sh != nil {
+		if err := verify(col, sh, cfg); err != nil {
+			return nil, err
+		}
+	}
+	rep.WallSec = time.Since(wallStart).Seconds()
+	return rep, nil
+}
+
+// emitHist writes h's window as one wire hist entry: exact tallies plus
+// the sparse bucket runs. Skips empty windows (absent = zero delta).
+func emitHist(b *telemetry.ReportBuilder, name string, h *metrics.Histogram) {
+	if h.Count() == 0 {
+		return
+	}
+	b.BeginHist(name, int64(h.Sum()), int64(h.Min()), int64(h.Max()))
+	it := h.Buckets()
+	for {
+		bk, ok := it.Next()
+		if !ok {
+			break
+		}
+		b.Bucket(bk.Index, bk.Count)
+	}
+	b.EndHist()
+}
+
+// verify compares the fleet rollups against the exact shadow tallies.
+func verify(col *telemetry.Collector, sh *shadow, cfg Config) error {
+	for _, c := range []struct {
+		name string
+		want int64
+	}{
+		{"agent.probes_sent", sh.probesSent},
+		{"agent.probes_failed", sh.probesFailed},
+		{"agent.uploads_ok", sh.uploadsOK},
+	} {
+		got, ok := col.RollupCounter("fleet", c.name)
+		if !ok || got != c.want {
+			return fmt.Errorf("telemsim check: fleet counter %s = %d (ok=%v), want %d", c.name, got, ok, c.want)
+		}
+	}
+	if got, ok := col.RollupGauge("fleet", "agent.peers"); !ok || got != sh.peers {
+		return fmt.Errorf("telemsim check: fleet gauge agent.peers = %d (ok=%v), want %d", got, ok, sh.peers)
+	}
+	for _, h := range []struct {
+		name  string
+		exact *metrics.Histogram
+	}{
+		{"agent.rtt", sh.rtt},
+		{"agent.fetch.duration", sh.fetch},
+	} {
+		got, ok := col.RollupHistogram("fleet", h.name)
+		if !ok {
+			return fmt.Errorf("telemsim check: no fleet histogram %s", h.name)
+		}
+		if got.Count() != h.exact.Count() || got.Sum() != h.exact.Sum() ||
+			got.Min() != h.exact.Min() || got.Max() != h.exact.Max() {
+			return fmt.Errorf("telemsim check: %s tallies diverge: count %d/%d sum %v/%v",
+				h.name, got.Count(), h.exact.Count(), got.Sum(), h.exact.Sum())
+		}
+		gi, ei := got.Buckets(), h.exact.Buckets()
+		for {
+			gb, gok := gi.Next()
+			eb, eok := ei.Next()
+			if gok != eok {
+				return fmt.Errorf("telemsim check: %s bucket sets differ", h.name)
+			}
+			if !gok {
+				break
+			}
+			if gb != eb {
+				return fmt.Errorf("telemsim check: %s bucket %d = %d, want bucket %d = %d",
+					h.name, gb.Index, gb.Count, eb.Index, eb.Count)
+			}
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			if got.Percentile(q) != h.exact.Percentile(q) {
+				return fmt.Errorf("telemsim check: %s P%g diverges: %v != %v",
+					h.name, q*100, got.Percentile(q), h.exact.Percentile(q))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package telemsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTelemsimParitySmall(t *testing.T) {
+	rep, err := Run(Config{
+		Agents: 300, Rounds: 3, DCs: 2, PodsetsPerDC: 3, PodsPerPodset: 5,
+		DupRate: 0.05, Check: true, GzipSampleEvery: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reports != 900 {
+		t.Fatalf("Reports = %d, want 900", rep.Reports)
+	}
+	if rep.BytesPerAgentPerInterval <= 0 {
+		t.Fatalf("BytesPerAgentPerInterval = %v", rep.BytesPerAgentPerInterval)
+	}
+	if rep.GzipRatio <= 0 || rep.GzipRatio >= 1.5 {
+		t.Fatalf("GzipRatio = %v", rep.GzipRatio)
+	}
+	if rep.FleetRTTCount != 300*3*32 {
+		t.Fatalf("FleetRTTCount = %d, want %d", rep.FleetRTTCount, 300*3*32)
+	}
+	if rep.FleetRTTP50Ns <= 0 || rep.FleetRTTP99Ns < rep.FleetRTTP50Ns {
+		t.Fatalf("fleet percentiles = %d/%d", rep.FleetRTTP50Ns, rep.FleetRTTP99Ns)
+	}
+	if rep.SeriesKeys == 0 || rep.RollupAvgSec <= 0 {
+		t.Fatalf("rollups not sampled: keys=%d avg=%v", rep.SeriesKeys, rep.RollupAvgSec)
+	}
+}
+
+func TestTelemsimEveryReportDuplicated(t *testing.T) {
+	rep, err := Run(Config{
+		Agents: 50, Rounds: 2, DCs: 1, PodsetsPerDC: 1, PodsPerPodset: 2,
+		DupRate: 1.0, Check: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Duplicates != rep.Reports {
+		t.Fatalf("Duplicates = %d, want %d (every report delivered twice)",
+			rep.Duplicates, rep.Reports)
+	}
+}
+
+func TestTelemsimDeterministic(t *testing.T) {
+	cfg := Config{
+		Agents: 120, Rounds: 2, DCs: 1, PodsetsPerDC: 2, PodsPerPodset: 3,
+		DupRate: 0.1, Seed: 9,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PMT1Bytes != b.PMT1Bytes || a.Duplicates != b.Duplicates ||
+		a.FleetRTTP99Ns != b.FleetRTTP99Ns || a.FleetRTTCount != b.FleetRTTCount {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestTelemsimRejectsEmptyFleet(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("zero agents did not error")
+	}
+}
+
+func TestTelemsimDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Rounds != 3 || c.Interval != 5*time.Minute || c.ObsPerHist != 32 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.DCs*c.PodsetsPerDC*c.PodsPerPodset != 5000 {
+		t.Fatalf("default pods = %d, want 5000", c.DCs*c.PodsetsPerDC*c.PodsPerPodset)
+	}
+}

@@ -1,0 +1,68 @@
+package viz
+
+import (
+	"strconv"
+)
+
+// AppendSparkline appends a compact SVG polyline of vals to dst and
+// returns the extended slice — the append-style form the portal's render
+// cache writes straight into its body buffer. The series is scaled to fit
+// the w x h viewport (oldest sample left, newest right) with 1px padding;
+// an empty or constant series draws a midline. Coordinates are fixed to
+// one decimal so output is deterministic across platforms.
+func AppendSparkline(dst []byte, vals []float64, w, h int) []byte {
+	if w < 20 {
+		w = 120
+	}
+	if h < 10 {
+		h = 28
+	}
+	dst = append(dst, `<svg xmlns="http://www.w3.org/2000/svg" width="`...)
+	dst = strconv.AppendInt(dst, int64(w), 10)
+	dst = append(dst, `" height="`...)
+	dst = strconv.AppendInt(dst, int64(h), 10)
+	dst = append(dst, `">`...)
+	if len(vals) > 0 {
+		minV, maxV := vals[0], vals[0]
+		for _, v := range vals[1:] {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		span := maxV - minV
+		dst = append(dst, `<polyline fill="none" stroke="#1565c0" stroke-width="1.5" points="`...)
+		for i, v := range vals {
+			x := 1.0
+			if len(vals) > 1 {
+				x = 1 + float64(i)*float64(w-2)/float64(len(vals)-1)
+			}
+			y := float64(h) / 2
+			if span > 0 {
+				y = 1 + (1-(v-minV)/span)*float64(h-2)
+			}
+			if i > 0 {
+				dst = append(dst, ' ')
+			}
+			dst = strconv.AppendFloat(dst, fix1(x), 'f', 1, 64)
+			dst = append(dst, ',')
+			dst = strconv.AppendFloat(dst, fix1(y), 'f', 1, 64)
+		}
+		dst = append(dst, `"/>`...)
+	}
+	dst = append(dst, `</svg>`...)
+	dst = append(dst, '\n')
+	return dst
+}
+
+// fix1 rounds to one decimal place, pinning negative zero to zero so the
+// rendered coordinates are stable.
+func fix1(v float64) float64 {
+	r := float64(int64(v*10+0.5)) / 10
+	if r == 0 {
+		return 0
+	}
+	return r
+}

@@ -1,0 +1,50 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAppendSparkline(t *testing.T) {
+	out := string(AppendSparkline(nil, []float64{1, 3, 2, 5, 4}, 120, 28))
+	if !strings.HasPrefix(out, `<svg xmlns="http://www.w3.org/2000/svg" width="120" height="28">`) {
+		t.Fatalf("header: %q", out)
+	}
+	if !strings.Contains(out, "<polyline") || !strings.HasSuffix(out, "</svg>\n") {
+		t.Fatalf("body: %q", out)
+	}
+	// Five samples produce five points.
+	pts := strings.Count(out, ",")
+	if pts != 5 {
+		t.Fatalf("point count = %d, want 5: %q", pts, out)
+	}
+	// Min maps to the bottom padding row, max to the top.
+	if !strings.Contains(out, "1.0,27.0") {
+		t.Fatalf("min sample not at bottom: %q", out)
+	}
+	if !strings.Contains(out, "89.5,1.0") {
+		t.Fatalf("max sample not at top: %q", out)
+	}
+}
+
+func TestAppendSparklineDegenerate(t *testing.T) {
+	if out := string(AppendSparkline(nil, nil, 120, 28)); strings.Contains(out, "polyline") {
+		t.Fatalf("empty series drew a line: %q", out)
+	}
+	// A constant series draws a midline, not NaNs.
+	out := string(AppendSparkline(nil, []float64{7, 7, 7}, 120, 28))
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("constant series produced NaN: %q", out)
+	}
+	if !strings.Contains(out, ",14.0") {
+		t.Fatalf("constant series not on midline: %q", out)
+	}
+}
+
+func TestAppendSparklineReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 4096)
+	out := AppendSparkline(buf, []float64{1, 2}, 120, 28)
+	if cap(out) != cap(buf) {
+		t.Fatalf("sized buffer reallocated: cap %d -> %d", cap(buf), cap(out))
+	}
+}

@@ -21,7 +21,10 @@
 #                                      controller's cached delta serving
 #                                      must be allocation-free per request;
 #                                      the incremental analysis fold path
-#                                      must be allocation-free per record)
+#                                      must be allocation-free per record;
+#                                      PMT1 telemetry encode and collector
+#                                      ingest must be allocation-free per
+#                                      report in steady state)
 #   3b. churn-harness smoke           (the control-plane churn CLI end to
 #                                      end at reduced scale: delta serving,
 #                                      replica kill, convergence)
@@ -38,10 +41,15 @@
 #                                      injected faults must land in the
 #                                      vote ranking's top two and each
 #                                      evidence chain must pin its hop)
+#   3f. telemetry-harness smoke       (the telemetry-plane CLI at reduced
+#                                      scale with -check: fleet rollups
+#                                      must match exact shadow tallies
+#                                      bit for bit)
 #   4. short fuzz pass over the pinglist wire format, the delta codec
 #      (patch(old, diff) == new, byte-identical), the streaming record
-#      decoder, the binary sketch codec, and the sketch-vs-exact
-#      aggregation equivalence (optional, FUZZ=1)
+#      decoder, the binary sketch codec, the sketch-vs-exact aggregation
+#      equivalence, and the PMT1 telemetry report round trip
+#      (optional, FUZZ=1)
 #
 # Usage: scripts/ci.sh [package...]   # default: ./...
 set -eu
@@ -63,6 +71,7 @@ go test ./internal/scope ./internal/probe ./internal/analysis \
     ./internal/httpcache ./internal/metrics ./internal/portal \
     ./internal/trace ./internal/agent ./internal/controller \
     ./internal/shard ./internal/dsa ./internal/diagnosis \
+    ./internal/telemetry \
     -run 'ZeroAlloc' -count=1 -v | grep -E '^(=== RUN|--- (PASS|FAIL)|ok|FAIL)'
 
 echo "== tier 3b: churn-harness smoke (reduced scale)"
@@ -82,6 +91,10 @@ go run ./cmd/pingmesh-uploadsim -servers 2000 -peers 4 -probes-per-peer 30 \
 echo "== tier 3e: diagnosis smoke (reduced scale)"
 go run ./cmd/pingmesh-diagnose -minutes 6 -check > /dev/null
 
+echo "== tier 3f: telemetry-harness smoke (reduced scale)"
+go run ./cmd/pingmesh-telemsim -agents 5000 -rounds 2 -dcs 2 -podsets 4 -pods 5 \
+    -check -out "${TMPDIR:-/tmp}/pingmesh_telem_smoke.json"
+
 if [ "${FUZZ:-0}" = "1" ]; then
     echo "== tier 4: fuzz wire formats (30s each)"
     go test ./internal/pinglist -fuzz FuzzUnmarshal -fuzztime 30s
@@ -90,6 +103,7 @@ if [ "${FUZZ:-0}" = "1" ]; then
     go test ./internal/probe -fuzz FuzzScannerVsDecodeBatch -fuzztime 30s
     go test ./internal/probe -fuzz FuzzBinaryCodecRoundTrip -fuzztime 30s
     go test ./internal/analysis -fuzz FuzzSketchMergeVsExact -fuzztime 30s
+    go test ./internal/telemetry -fuzz FuzzPMT1RoundTrip -fuzztime 30s
 fi
 
 echo "== ci ok"
